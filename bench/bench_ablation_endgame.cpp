@@ -1,0 +1,82 @@
+/// Experiment A2 - ablation: the block-cyclic construction vs the greedy
+/// scheduler vs the true optimum from exhaustive search, on instances small
+/// enough to search.  Certifies (a) the Theorem 3.1 bound is sometimes
+/// loose for single-sending schedules (the k* endgame gap), (b) our
+/// construction matches the single-sending optimum, (c) greedy is a usable
+/// but weaker fallback.
+
+#include "bench_util.hpp"
+
+#include "bcast/kitem.hpp"
+#include "bcast/kitem_buffered.hpp"
+#include "bcast/three_phase.hpp"
+#include "search/bcast_search.hpp"
+#include "sched/metrics.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+void report() {
+  logpc::bench::section(
+      "small instances: exhaustive optimum vs constructions");
+  Table t({"P", "L", "k", "Thm3.1 lb", "true optimum", "ss lb",
+           "block-cyclic", "greedy", "buffered"});
+  struct Case {
+    int P;
+    Time L;
+    int k;
+  };
+  for (const auto& c :
+       {Case{2, 2, 2}, Case{3, 1, 2}, Case{3, 2, 2}, Case{4, 1, 2},
+        Case{4, 2, 2}, Case{5, 1, 2}, Case{5, 2, 2}, Case{3, 3, 2},
+        Case{4, 1, 3}, Case{3, 1, 3}}) {
+    const auto bounds = bcast::kitem_bounds(c.P, c.L, c.k);
+    const auto opt = logpc::search::min_completion(c.P, c.L, c.k);
+    const auto ours = bcast::kitem_broadcast(c.P, c.L, c.k);
+    const Time greedy = completion_time(bcast::kitem_greedy(c.P, c.L, c.k));
+    const auto buffered = bcast::kitem_buffered(c.P, c.L, c.k);
+    t.row(c.P, c.L, c.k, bounds.general_lower,
+          opt ? std::to_string(*opt) : std::string("budget"),
+          bounds.single_sending_lower, ours.completion, greedy,
+          buffered.completion);
+  }
+  t.print();
+  std::cout << "reading: the true optimum can dip below the single-sending\n"
+               "lower bound (multi-sending endgames, Theorem 3.2); our\n"
+               "block-cyclic schedule is optimal among single-sending\n"
+               "strategies, and the buffered variant meets that bound on\n"
+               "every instance.\n";
+
+  logpc::bench::section(
+      "structure ablation: full-tree vs greedy vs naive three-phase endgame");
+  Table g({"P", "L", "k", "full-tree (ours)", "greedy", "naive 3-phase",
+           "Thm3.6 ub"});
+  for (const auto& c :
+       {Case{10, 3, 8}, Case{22, 2, 8}, Case{42, 3, 12}, Case{17, 4, 6}}) {
+    const auto ours = bcast::kitem_broadcast(c.P, c.L, c.k);
+    const Time greedy = completion_time(bcast::kitem_greedy(c.P, c.L, c.k));
+    const auto three = bcast::kitem_three_phase(c.P, c.L, c.k);
+    g.row(c.P, c.L, c.k, ours.completion, greedy, three.completion,
+          ours.bounds.single_sending_upper);
+  }
+  g.print();
+  std::cout << "reading: sizing blocks by the full t-step tree (so leaf\n"
+               "deliveries ARE the endgame) is what makes B+L+k-1 work;\n"
+               "a tree phase that saturates every send port leaves the\n"
+               "endgame to receiver relays and blows through Thm 3.6's\n"
+               "bound - exactly why the paper's Section 3.4 assignment is\n"
+               "so intricate.\n";
+}
+
+void BM_ExhaustiveSearch(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logpc::search::min_completion(4, 2, 2));
+  }
+}
+BENCHMARK(BM_ExhaustiveSearch);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

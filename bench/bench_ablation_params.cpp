@@ -1,0 +1,83 @@
+/// Experiment A1 - ablation: how the LogP parameters shape the optimal
+/// tree.  Larger g narrows fan-out (sends are scarcer); larger L deepens
+/// subtree reuse; o enters only through L + 2o.  This is the design-space
+/// view that makes the broadcast tree "LogP-aware" rather than a fixed
+/// binomial shape.
+
+#include "bench_util.hpp"
+
+#include "baselines/bcast_baselines.hpp"
+#include "bcast/tree.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+void report() {
+  const int P = 64;
+  logpc::bench::section("B(64) across the (L, g) grid (o = 1)");
+  Table t({"L \\ g", "g=1", "g=2", "g=4", "g=8", "g=16"});
+  for (const Time L : {1, 2, 4, 8, 16, 32}) {
+    std::string cells[5];
+    int i = 0;
+    for (const Time g : {1, 2, 4, 8, 16}) {
+      const Params params{P, L, 1, g};
+      cells[i++] = std::to_string(bcast::B_of_P(params, P));
+    }
+    t.row("L=" + std::to_string(L), cells[0], cells[1], cells[2], cells[3],
+          cells[4]);
+  }
+  t.print();
+
+  logpc::bench::section("root fan-out across the grid (o = 1)");
+  Table f({"L \\ g", "g=1", "g=2", "g=4", "g=8", "g=16"});
+  for (const Time L : {1, 2, 4, 8, 16, 32}) {
+    std::string cells[5];
+    int i = 0;
+    for (const Time g : {1, 2, 4, 8, 16}) {
+      const auto tree = bcast::BroadcastTree::optimal(Params{P, L, 1, g}, P);
+      cells[i++] = std::to_string(tree.node(0).children.size());
+    }
+    f.row("L=" + std::to_string(L), cells[0], cells[1], cells[2], cells[3],
+          cells[4]);
+  }
+  f.print();
+  std::cout << "shape: fan-out grows with L/g (high latency -> keep sending;\n"
+               "high gap -> hand off quickly), reproducing the paper's point\n"
+               "that the optimal tree adapts to the machine.\n";
+
+  logpc::bench::section("overhead only shifts, never reshapes (L+2o)");
+  Table o({"o", "B(64) at L=4,g=2", "root fan-out"});
+  for (const Time oo : {0, 1, 2, 4, 8}) {
+    const Params params{P, 4, oo, std::max<Time>(2, oo)};  // keep g >= o
+    const auto tree = bcast::BroadcastTree::optimal(params, P);
+    o.row(oo, tree.makespan(), tree.node(0).children.size());
+  }
+  o.print();
+
+  logpc::bench::section("optimal vs binomial gap across L (g = 1, o = 0)");
+  Table gap({"L", "optimal B(64)", "binomial", "penalty"});
+  for (const Time L : {1, 2, 4, 8, 16}) {
+    const Params params{P, L, 0, 1};
+    const Time opt = bcast::B_of_P(params, P);
+    const Time bin = baselines::binomial_tree(params, P).makespan();
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2)
+       << static_cast<double>(bin) / static_cast<double>(opt) << "x";
+    gap.row(L, opt, bin, os.str());
+  }
+  gap.print();
+}
+
+void BM_TreeAcrossParams(benchmark::State& state) {
+  const Params params{1024, state.range(0), 1, state.range(1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast::BroadcastTree::optimal(params, 1024));
+  }
+}
+BENCHMARK(BM_TreeAcrossParams)->Args({1, 1})->Args({16, 1})->Args({16, 8});
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

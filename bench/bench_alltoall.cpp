@@ -1,0 +1,78 @@
+/// Experiment T41a - Section 4.1: all-to-all broadcast meets
+/// L + 2o + (P-2)g exactly, its k-item variant meets
+/// L + 2o + (k(P-1)-1)g, and the same rotation solves personalized
+/// all-to-all.
+
+#include "bench_util.hpp"
+
+#include "bcast/all_to_all.hpp"
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+void report() {
+  logpc::bench::section("all-to-all broadcast: measured vs bound");
+  Table t({"machine", "k", "bound", "measured", "valid", "match"});
+  for (const Params params :
+       {Params::postal(4, 2), Params::postal(10, 3), Params::postal(32, 5),
+        Params{8, 6, 2, 4}, Params{16, 4, 1, 2}, Params{64, 8, 2, 3}}) {
+    for (const int k : {1, 2, 4}) {
+      const Schedule s = bcast::all_to_all_k(params, k);
+      const Time bound = bcast::all_to_all_lower_bound(params, k);
+      const Time measured = completion_time(s);
+      const bool valid =
+          validate::is_valid(s, {.allow_duplex_overhead = true});
+      t.row(params.to_string(), k, bound, measured, logpc::bench::ok(valid),
+            logpc::bench::ok(measured == bound));
+    }
+  }
+  t.print();
+  std::cout << "(o > 0 machines need duplex overheads when L < (P-2)g - see\n"
+               "the header note; the paper's bound presumes them.)\n";
+
+  logpc::bench::section("personalized all-to-all: same time, same rotation");
+  Table p({"machine", "bound", "makespan", "delivered", "pairs"});
+  for (const Params params :
+       {Params::postal(6, 3), Params{8, 6, 2, 4}, Params{24, 4, 1, 2}}) {
+    const Schedule s = bcast::all_to_all_personalized(params);
+    p.row(params.to_string(), bcast::all_to_all_lower_bound(params),
+          s.makespan(), logpc::bench::ok(bcast::personalized_complete(s)),
+          s.sends().size());
+  }
+  p.print();
+
+  logpc::bench::section("scaling: bound is linear in P and in k");
+  Table scale({"P", "1 item", "2 items", "4 items", "8 items"});
+  for (const int P : {4, 8, 16, 32, 64, 128}) {
+    const Params params = Params::postal(P, 4);
+    scale.row(P, bcast::all_to_all_lower_bound(params, 1),
+              bcast::all_to_all_lower_bound(params, 2),
+              bcast::all_to_all_lower_bound(params, 4),
+              bcast::all_to_all_lower_bound(params, 8));
+  }
+  scale.print();
+}
+
+void BM_AllToAll(benchmark::State& state) {
+  const Params params = Params::postal(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast::all_to_all(params));
+  }
+}
+BENCHMARK(BM_AllToAll)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_AllToAllPersonalized(benchmark::State& state) {
+  const Params params = Params::postal(static_cast<int>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast::all_to_all_personalized(params));
+  }
+}
+BENCHMARK(BM_AllToAllPersonalized)->Arg(8)->Arg(64);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

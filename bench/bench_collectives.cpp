@@ -1,0 +1,88 @@
+/// The downstream view: the Communicator facade's exact cycle predictions
+/// across machine scales - the table an MPI tuning layer would consult.
+/// Shape check: every collective's cost curve follows its closed form
+/// (log-ish for tree collectives, linear in P for scatter/alltoall).
+
+#include "bench_util.hpp"
+
+#include "api/communicator.hpp"
+#include "sched/stats.hpp"
+#include "validate/checker.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+void report() {
+  logpc::bench::section("collective cost table (L=8, o=1, g=4), cycles");
+  Table t({"P", "bcast", "reduce", "allreduce*", "scatter", "gather",
+           "alltoall", "bcast_k(8)", "buffered_k(8)"});
+  for (const int P : {2, 4, 8, 16, 32, 64, 128, 256}) {
+    const api::Communicator comm(Params{P, 8, 1, 4});
+    t.row(P, comm.bcast_time(), comm.reduce_time(), comm.allreduce_time(),
+          comm.scatter_time(), comm.gather_time(), comm.alltoall_time(),
+          comm.bcast_k(8).completion, comm.bcast_k_buffered(8).completion);
+  }
+  t.print();
+  std::cout << "(* allreduce in the postal projection; equals reduce time\n"
+               "   there - half of reduce+broadcast)\n";
+
+  logpc::bench::section("machine sensitivity: bcast(64) across parameters");
+  Table m({"machine", "bcast", "alltoall", "winner for 64-proc sync"});
+  for (const Params params :
+       {Params{64, 2, 1, 2}, Params{64, 8, 1, 4}, Params{64, 32, 2, 4},
+        Params{64, 8, 8, 8}, Params{64, 1, 0, 1}}) {
+    const api::Communicator comm(params);
+    const Time b = comm.bcast_time();
+    const Time a = comm.alltoall_time();
+    m.row(params.to_string(), b, a, b <= a ? "tree bcast" : "alltoall");
+  }
+  m.print();
+
+  logpc::bench::section("schedule shapes (P=32, L=8, o=1, g=4)");
+  const api::Communicator comm(Params{32, 8, 1, 4});
+  Table s({"collective", "messages", "peak in flight", "max sends/proc",
+           "valid"});
+  struct Row {
+    const char* name;
+    Schedule sched;
+    bool duplex;
+  };
+  for (auto& row : {Row{"bcast", comm.bcast(), false},
+                    Row{"scatter", comm.scatter(), false},
+                    Row{"gather", comm.gather(), false},
+                    Row{"alltoall", comm.alltoall(), true},
+                    Row{"reduce", comm.reduce().schedule, false}}) {
+    const auto st = schedule_stats(row.sched);
+    const auto verdict = validate::check(
+        row.sched, {.forbid_duplicate_receive = false,
+                    .require_complete = false,
+                    .allow_duplex_overhead = row.duplex});
+    s.row(row.name, st.messages, st.peak_in_flight, st.max_sends_per_proc,
+          logpc::bench::ok(verdict.ok()));
+  }
+  s.print();
+}
+
+void BM_CommunicatorBcastPlan(benchmark::State& state) {
+  const api::Communicator comm(
+      Params{static_cast<int>(state.range(0)), 8, 1, 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm.bcast());
+  }
+}
+BENCHMARK(BM_CommunicatorBcastPlan)->Arg(64)->Arg(1024);
+
+void BM_CommunicatorAlltoallPlan(benchmark::State& state) {
+  const api::Communicator comm(
+      Params{static_cast<int>(state.range(0)), 8, 1, 4});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(comm.alltoall());
+  }
+}
+BENCHMARK(BM_CommunicatorAlltoallPlan)->Arg(64)->Arg(256);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

@@ -1,0 +1,87 @@
+/// Experiment F1 - Figure 1: the optimal broadcast tree for P = 8, L = 6,
+/// g = 4, o = 2, and the per-processor activity chart.  Paper: B(8) = 24,
+/// root sends 4 times, node times {0,10,14,18,20,22,24,24}.
+
+#include "bench_util.hpp"
+
+#include "bcast/single_item.hpp"
+#include "baselines/bcast_baselines.hpp"
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+#include "viz/timeline.hpp"
+#include "viz/tree_render.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+void report() {
+  const Params params{8, 6, 2, 4};
+  logpc::bench::section("Figure 1: optimal broadcast tree (P=8, L=6, g=4, o=2)");
+  const auto tree = bcast::BroadcastTree::optimal(params, 8);
+  std::cout << viz::render_tree(tree);
+  std::cout << viz::degree_summary(tree) << "\n";
+
+  logpc::bench::section("Figure 1 (right): processor activity over time");
+  const Schedule s = bcast::optimal_single_item(params);
+  std::cout << viz::render_timeline(s);
+
+  logpc::bench::section("paper vs measured");
+  Table t({"quantity", "paper", "measured", "match"});
+  t.row("B(8; 6,2,4)", 24, completion_time(s),
+        logpc::bench::ok(completion_time(s) == 24));
+  t.row("root sends", 4, tree.node(0).children.size(),
+        logpc::bench::ok(tree.node(0).children.size() == 4));
+  t.row("messages", 7, s.sends().size(),
+        logpc::bench::ok(s.sends().size() == 7));
+  t.row("schedule valid", "-", validate::check(s).summary(),
+        logpc::bench::ok(validate::is_valid(s)));
+  t.print();
+
+  logpc::bench::section("baseline comparison on the same machine");
+  Table c({"tree", "completion", "vs optimal"});
+  const Time best = completion_time(s);
+  auto add = [&](const char* name, Time v) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(2)
+       << static_cast<double>(v) / static_cast<double>(best) << "x";
+    c.row(name, v, os.str());
+  };
+  add("optimal (Theorem 2.1)", best);
+  add("binomial", baselines::binomial_tree(params, 8).makespan());
+  add("binary", baselines::binary_tree(params, 8).makespan());
+  add("chain", baselines::linear_chain(params, 8).makespan());
+  add("flat", baselines::flat_tree(params, 8).makespan());
+  c.print();
+}
+
+void BM_OptimalTreeConstruction(benchmark::State& state) {
+  const Params params{static_cast<int>(state.range(0)), 6, 2, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bcast::BroadcastTree::optimal(params, params.P));
+  }
+}
+BENCHMARK(BM_OptimalTreeConstruction)->Arg(8)->Arg(64)->Arg(512)->Arg(4096);
+
+void BM_BOfP(benchmark::State& state) {
+  const Params params{static_cast<int>(state.range(0)), 6, 2, 4};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast::B_of_P(params, params.P));
+  }
+}
+BENCHMARK(BM_BOfP)->Arg(64)->Arg(4096)->Arg(1 << 16);
+
+void BM_ScheduleValidation(benchmark::State& state) {
+  const Params params{static_cast<int>(state.range(0)), 6, 2, 4};
+  const Schedule s = bcast::optimal_single_item(params);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(validate::check(s));
+  }
+}
+BENCHMARK(BM_ScheduleValidation)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

@@ -1,0 +1,77 @@
+/// Experiment F3 - Figure 3: the block transmission digraph for L = 3 and
+/// P - 1 = P(11) = 41.  The paper draws one concrete digraph; ours differs
+/// in the inactive-edge pattern (a different legal word solution) but must
+/// satisfy the same invariants: in/out weights of a block of size r sum to
+/// r, the receive-only vertex has in-weight 1, the source emits exactly one
+/// active transmission into the largest block.
+
+#include "bench_util.hpp"
+
+#include <map>
+
+#include "bcast/blocks.hpp"
+#include "viz/digraph.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+void report() {
+  logpc::bench::section("Figure 3: block transmission digraph (L=3, P-1=41)");
+  const auto res = bcast::plan_continuous(3, 11);
+  if (res.status != bcast::SolveStatus::kSolved) {
+    std::cout << "plan FAILED\n";
+    return;
+  }
+  const auto g = bcast::block_digraph(*res.plan);
+  std::cout << viz::render_digraph(g);
+
+  logpc::bench::section("block inventory");
+  Table blocks({"block size r", "count", "internal delay d"});
+  std::map<int, std::pair<int, Time>> by_size;
+  for (const auto& b : res.plan->blocks) {
+    by_size[b.r].first++;
+    by_size[b.r].second = b.d;
+  }
+  for (const auto& [r, cd] : by_size) blocks.row(r, cd.first, cd.second);
+  blocks.print();
+
+  logpc::bench::section("paper vs measured");
+  Table t({"invariant", "paper", "measured", "match"});
+  t.row("P - 1", 41, res.plan->params.P - 1,
+        logpc::bench::ok(res.plan->params.P - 1 == 41));
+  t.row("largest block", 9, by_size.rbegin()->first,
+        logpc::bench::ok(by_size.rbegin()->first == 9));
+  const bool inv = bcast::digraph_invariants_hold(g);
+  t.row("in/out weights = r; recv-only in = 1; source out = 1 (active)",
+        "holds", inv ? "holds" : "violated", logpc::bench::ok(inv));
+  bool all_items = true;
+  for (ItemId i = 0; i < 8; ++i) {
+    all_items = all_items &&
+                bcast::digraph_invariants_hold(bcast::block_digraph(
+                    *res.plan, i));
+  }
+  t.row("invariants across items 0..7", "holds",
+        all_items ? "holds" : "violated", logpc::bench::ok(all_items));
+  t.print();
+}
+
+void BM_BlockDigraph(benchmark::State& state) {
+  const auto res = bcast::plan_continuous(3, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast::block_digraph(*res.plan));
+  }
+}
+BENCHMARK(BM_BlockDigraph);
+
+void BM_PlanContinuous41(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast::plan_continuous(3, 11));
+  }
+}
+BENCHMARK(BM_PlanContinuous41);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

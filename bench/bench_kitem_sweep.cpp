@@ -1,0 +1,96 @@
+/// Experiments T31/T36 - the k-item broadcast bounds and algorithms:
+/// Theorem 3.1 lower bound, our single-sending construction (Theorem 3.6 /
+/// Corollary 3.1), the buffered optimum (Theorem 3.8), the greedy ablation,
+/// and the baselines the paper discusses (Bar-Noy/Kipnis' stated
+/// 2B(P)+k+O(L), serialized, pipelined trees).
+
+#include "bench_util.hpp"
+
+#include "baselines/bcast_baselines.hpp"
+#include "baselines/kitem_baselines.hpp"
+#include "bcast/kitem.hpp"
+#include "bcast/kitem_buffered.hpp"
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+void report() {
+  logpc::bench::section(
+      "k-item broadcast: ours vs bounds vs baselines (postal model)");
+  Table t({"P", "L", "k", "Thm3.1 lb", "ss lb", "ours(strict)", "slack",
+           "buffered", "greedy", "serialized", "pipe-binary", "BnK stated",
+           "valid"});
+  struct Case {
+    int P;
+    Time L;
+    int k;
+  };
+  for (const auto& c :
+       {Case{5, 1, 8}, Case{10, 3, 8}, Case{14, 3, 14}, Case{9, 2, 6},
+        Case{17, 4, 10}, Case{22, 2, 12}, Case{42, 3, 16}, Case{33, 1, 10},
+        Case{26, 5, 8}, Case{64, 6, 12}}) {
+    const auto bounds = bcast::kitem_bounds(c.P, c.L, c.k);
+    const auto ours = bcast::kitem_broadcast(c.P, c.L, c.k);
+    const auto buffered = bcast::kitem_buffered(c.P, c.L, c.k);
+    const Params params = Params::postal(c.P, c.L);
+    const Time greedy =
+        completion_time(bcast::kitem_greedy(c.P, c.L, c.k));
+    const Time serialized =
+        completion_time(baselines::serialized_broadcast(params, c.k));
+    const Time pipe = completion_time(baselines::pipelined_tree_broadcast(
+        baselines::binary_tree(params, c.P), c.k));
+    const bool valid =
+        validate::is_valid(ours.schedule) &&
+        validate::is_valid(buffered.schedule,
+                           {.buffered = true, .buffer_limit = 2}) &&
+        is_single_sending(ours.schedule, 0);
+    t.row(c.P, c.L, c.k, bounds.general_lower, bounds.single_sending_lower,
+          ours.completion, ours.slack, buffered.completion, greedy,
+          serialized, pipe, baselines::bnk_stated_time(c.P, c.L, c.k),
+          logpc::bench::ok(valid));
+  }
+  t.print();
+  std::cout << "shape checks: ours ~ B+L+k-1 (exactly, slack 0) and always\n"
+               "<= Thm 3.6's B+2L+k-2; buffered == ss lb everywhere (Thm\n"
+               "3.8); serialized ~ k*B and pipelined ~ depth+2k lose at\n"
+               "scale; BnK's stated 2B+k+O(L) sits between.\n";
+
+  logpc::bench::section("crossover: pipelined chain vs ours as k grows");
+  Table x({"k", "ours (P=29, L=3)", "pipelined chain", "winner"});
+  const Params params = Params::postal(29, 3);
+  for (const int k : {1, 4, 16, 64, 256}) {
+    const auto ours = bcast::kitem_broadcast(29, 3, k);
+    const Time chain = completion_time(baselines::pipelined_tree_broadcast(
+        baselines::linear_chain(params, 29), k));
+    x.row(k, ours.completion, chain,
+          ours.completion <= chain ? "ours" : "chain");
+  }
+  x.print();
+  std::cout << "(the chain pays (P-1)L once; ours pays B+L once - ours wins "
+               "at every k since B << (P-1)L)\n";
+}
+
+void BM_KItemBroadcast(benchmark::State& state) {
+  const auto P = static_cast<int>(state.range(0));
+  const auto k = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast::kitem_broadcast(P, 3, k));
+  }
+}
+BENCHMARK(BM_KItemBroadcast)->Args({10, 8})->Args({42, 16})->Args({124, 32});
+
+void BM_KItemGreedy(benchmark::State& state) {
+  const auto P = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast::kitem_greedy(P, 3, 8));
+  }
+}
+BENCHMARK(BM_KItemGreedy)->Arg(10)->Arg(42);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

@@ -1,0 +1,80 @@
+/// Experiment T22 - Theorem 2.2 and Fact 2.1: P(t; L, 0, 1) = f_t, and
+/// 1 + sum_{i<=t} f_i = f_{t+L}.  Also cross-checks the general-parameter
+/// DP reachable() against explicit tree construction.
+
+#include "bench_util.hpp"
+
+#include "bcast/tree.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+void report() {
+  logpc::bench::section("Theorem 2.2: P(t) = f_t (postal model)");
+  Table t({"t", "L=1", "L=2", "L=3", "L=4", "L=5", "L=8", "L=10"});
+  const Time Ls[] = {1, 2, 3, 4, 5, 8, 10};
+  for (Time step = 0; step <= 14; ++step) {
+    std::vector<std::string> cells;
+    cells.push_back(std::to_string(step));
+    Table row({"x"});
+    (void)row;
+    std::string c[7];
+    for (std::size_t i = 0; i < 7; ++i) {
+      const Fib fib(Ls[i]);
+      const Count via_fib = fib.f(step);
+      const Count via_dp = bcast::reachable(Params::postal(2, Ls[i]), step);
+      c[i] = std::to_string(via_fib) +
+             (via_fib == via_dp ? "" : "!=dp" + std::to_string(via_dp));
+    }
+    t.row(step, c[0], c[1], c[2], c[3], c[4], c[5], c[6]);
+  }
+  t.print();
+
+  logpc::bench::section("Fact 2.1: 1 + sum f_i = f_{t+L}");
+  Table f({"L", "checked range", "holds"});
+  for (Time L = 1; L <= 10; ++L) {
+    const Fib fib(L);
+    bool holds = true;
+    for (Time step = 0; step <= 40; ++step) {
+      holds = holds && sat_add(1, fib.sum(step)) == fib.f(step + L);
+    }
+    f.row(L, "t in [0, 40]", logpc::bench::ok(holds));
+  }
+  f.print();
+
+  logpc::bench::section("B(P) on general machines (DP vs explicit tree)");
+  Table g({"machine", "P", "B(P) closed-form DP", "tree makespan", "match"});
+  for (const Params params :
+       {Params{8, 6, 2, 4}, Params{128, 4, 1, 2}, Params{1000, 10, 3, 5},
+        Params{64, 2, 0, 3}}) {
+    const Time dp = bcast::B_of_P(params, params.P);
+    const Time tree =
+        bcast::BroadcastTree::optimal(params, params.P).makespan();
+    g.row(params.to_string(), params.P, dp, tree,
+          logpc::bench::ok(dp == tree));
+  }
+  g.print();
+}
+
+void BM_Reachable(benchmark::State& state) {
+  const Params params{2, 6, 2, 4};
+  const Time t = state.range(0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bcast::reachable(params, t));
+  }
+}
+BENCHMARK(BM_Reachable)->Arg(50)->Arg(200)->Arg(1000);
+
+void BM_FibSequence(benchmark::State& state) {
+  for (auto _ : state) {
+    Fib fib(5);
+    benchmark::DoNotOptimize(fib.f(state.range(0)));
+  }
+}
+BENCHMARK(BM_FibSequence)->Arg(64)->Arg(84);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

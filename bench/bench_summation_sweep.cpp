@@ -1,0 +1,82 @@
+/// Experiment L51 - Section 5: optimal summation capacity n(t) across
+/// machines and deadlines, against the reduction baselines; plus the
+/// inverse problem (min time to sum n operands).
+
+#include "bench_util.hpp"
+
+#include "baselines/reduce_baselines.hpp"
+#include "sum/executor.hpp"
+#include "sum/lazy.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+void report() {
+  logpc::bench::section("operand capacity n(t): optimal vs baselines");
+  for (const Params params :
+       {Params{64, 3, 0, 1}, Params{64, 8, 1, 4}, Params{256, 2, 0, 2}}) {
+    std::cout << params.to_string() << "\n";
+    Table t({"t", "optimal", "binomial", "binary", "chain", "sequential",
+             "procs used", "lazy-valid"});
+    for (const Time tt : {5, 10, 20, 40, 80}) {
+      const auto plan = sum::optimal_summation(params, tt);
+      t.row(tt, plan.total_operands,
+            baselines::binomial_summation(params, tt).total_operands,
+            baselines::binary_tree_summation(params, tt).total_operands,
+            baselines::chain_summation(params, tt).total_operands,
+            baselines::sequential_summation(params, tt).total_operands,
+            plan.procs.size(),
+            logpc::bench::ok(sum::is_valid_plan(plan)));
+    }
+    t.print();
+  }
+  std::cout << "shape: optimal >= binomial >= binary >> chain at moderate\n"
+               "t; all parallel schemes dwarf sequential once t clears the\n"
+               "first transfer L+1+2o.\n";
+
+  logpc::bench::section("inverse: min time to sum n operands");
+  Table inv({"n", "LogP(64,3,0,1)", "LogP(64,8,1,4)", "sequential t=n-1"});
+  for (const Count n : {10u, 100u, 1000u, 10000u, 100000u}) {
+    inv.row(n,
+            sum::min_time_for_operands(Params{64, 3, 0, 1}, n),
+            sum::min_time_for_operands(Params{64, 8, 1, 4}, n),
+            n - 1);
+  }
+  inv.print();
+
+  logpc::bench::section("speedup over one processor (n fixed by t)");
+  Table sp({"t", "n(t)", "sequential t for same n", "speedup"});
+  const Params params{64, 3, 0, 1};
+  for (const Time tt : {10, 20, 40}) {
+    const Count n = sum::max_operands(params, tt);
+    const auto seq = static_cast<double>(n - 1);
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1)
+       << seq / static_cast<double>(tt) << "x";
+    sp.row(tt, n, n - 1, os.str());
+  }
+  sp.print();
+}
+
+void BM_MaxOperands(benchmark::State& state) {
+  const Params params{static_cast<int>(state.range(0)), 3, 0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sum::max_operands(params, 60));
+  }
+}
+BENCHMARK(BM_MaxOperands)->Arg(64)->Arg(1024);
+
+void BM_MinTimeForOperands(benchmark::State& state) {
+  const Params params{256, 3, 0, 1};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sum::min_time_for_operands(params, static_cast<Count>(state.range(0))));
+  }
+}
+BENCHMARK(BM_MinTimeForOperands)->Arg(1000)->Arg(1000000);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+/// \file bench_util.hpp
+/// Shared scaffolding for the reproduction benches.  Each bench binary
+/// first prints the paper-vs-measured tables for its figure/claim, then
+/// runs its google-benchmark microbenchmarks.
+
+namespace logpc::bench {
+
+/// Fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(to_cell(cells)), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& r : rows_) {
+      for (std::size_t c = 0; c < r.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << "| " << std::setw(static_cast<int>(width[c]))
+           << (c < cells.size() ? cells[c] : "") << " ";
+      }
+      os << "|\n";
+    };
+    line(headers_);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << "|" << std::string(width[c] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+/// "yes"/"NO" marker for reproduction columns.
+inline std::string ok(bool v) { return v ? "yes" : "NO"; }
+
+}  // namespace logpc::bench
+
+/// Standard bench main: print the reproduction report, then run the
+/// microbenchmarks.  Define `void report();` before including via the
+/// LOGPC_BENCH_MAIN macro.
+#define LOGPC_BENCH_MAIN(report_fn)                          \
+  int main(int argc, char** argv) {                          \
+    report_fn();                                             \
+    ::benchmark::Initialize(&argc, argv);                    \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) \
+      return 1;                                              \
+    ::benchmark::RunSpecifiedBenchmarks();                   \
+    ::benchmark::Shutdown();                                 \
+    return 0;                                                \
+  }

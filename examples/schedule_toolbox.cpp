@@ -1,0 +1,160 @@
+/// Schedule toolbox: a small CLI over the serialization format -
+/// generate, validate, render, and inspect schedule files, so schedules
+/// can be shipped between tools (or hand-edited and re-audited).
+///
+///   ./schedule_toolbox gen <collective> [args...]   write a schedule to stdout
+///       collectives: bcast P L o g | kitem P L k | alltoall P L o g [k]
+///                    reduce P L o g
+///   ./schedule_toolbox check   < schedule.txt       run the validator
+///   ./schedule_toolbox render  < schedule.txt       reception table + timeline
+///   ./schedule_toolbox stats   < schedule.txt       aggregate statistics
+///   ./schedule_toolbox simulate < schedule.txt      replay on the engine
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "api/communicator.hpp"
+#include "sched/io.hpp"
+#include "sched/metrics.hpp"
+#include "sched/stats.hpp"
+#include "sim/engine.hpp"
+#include "validate/checker.hpp"
+#include "viz/table.hpp"
+#include "viz/timeline.hpp"
+
+namespace {
+
+using namespace logpc;
+
+int cmd_gen(int argc, char** argv) {
+  if (argc < 3) {
+    std::cerr << "gen: missing collective\n";
+    return 2;
+  }
+  const std::string what = argv[2];
+  auto arg = [&](int i, long def) {
+    return argc > i ? std::atol(argv[i]) : def;
+  };
+  if (what == "bcast" || what == "alltoall" || what == "reduce") {
+    const Params params{static_cast<int>(arg(3, 8)), arg(4, 6), arg(5, 2),
+                        arg(6, 4)};
+    const api::Communicator comm(params);
+    if (what == "bcast") {
+      write_text(std::cout, comm.bcast());
+    } else if (what == "alltoall") {
+      write_text(std::cout, comm.alltoall(static_cast<int>(arg(7, 1))));
+    } else {
+      write_text(std::cout, comm.reduce().schedule);
+    }
+    return 0;
+  }
+  if (what == "kitem") {
+    const auto r = bcast::kitem_broadcast(static_cast<int>(arg(3, 10)),
+                                          arg(4, 3),
+                                          static_cast<int>(arg(5, 4)));
+    write_text(std::cout, r.schedule);
+    return 0;
+  }
+  std::cerr << "gen: unknown collective '" << what << "'\n";
+  return 2;
+}
+
+int cmd_check(const Schedule& s) {
+  // Try strict first, then the two documented relaxations.
+  const auto strict = validate::check(s);
+  if (strict.ok()) {
+    std::cout << "OK (strict LogP rules, complete broadcast)\n";
+    return 0;
+  }
+  const auto relaxed = validate::check(
+      s, {.forbid_duplicate_receive = false,
+          .require_complete = false,
+          .allow_duplex_overhead = true});
+  if (relaxed.ok()) {
+    std::cout << "OK under relaxations (duplex overheads allowed, "
+                 "completeness/duplicates not required)\nstrict report:\n"
+              << strict.summary() << "\n";
+    return 0;
+  }
+  std::cout << "INVALID:\n" << relaxed.summary() << "\n";
+  return 1;
+}
+
+int cmd_simulate(const Schedule& s) {
+  // Replay each processor's sends in order, as early as items allow.
+  class Replay : public sim::Program {
+   public:
+    explicit Replay(std::vector<std::pair<ProcId, ItemId>> sends)
+        : sends_(std::move(sends)) {}
+    void on_item(sim::Context& ctx, ItemId) override {
+      while (next_ < sends_.size() && ctx.has(sends_[next_].second)) {
+        ctx.send(sends_[next_].first, sends_[next_].second);
+        ++next_;
+      }
+    }
+
+   private:
+    std::vector<std::pair<ProcId, ItemId>> sends_;
+    std::size_t next_ = 0;
+  };
+  sim::Engine engine(s.params(), s.num_items());
+  for (ProcId p = 0; p < s.params().P; ++p) {
+    std::vector<std::pair<ProcId, ItemId>> sends;
+    for (const auto& op : s.sends()) {
+      if (op.from == p) sends.emplace_back(op.to, op.item);
+    }
+    engine.set_program(p, std::make_unique<Replay>(std::move(sends)));
+  }
+  for (const auto& init : s.initials()) {
+    engine.place(init.item, init.proc, init.time);
+  }
+  const auto run = engine.run();
+  std::cout << "simulated " << run.messages << " messages; engine makespan "
+            << run.makespan << " vs schedule makespan " << s.makespan()
+            << (run.makespan <= s.makespan() ? " (as planned or better)\n"
+                                             : " (SLOWER - schedule has "
+                                               "slack the engine kept)\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: schedule_toolbox gen|check|render|stats|simulate\n";
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "gen") return cmd_gen(argc, argv);
+
+  Schedule s;
+  try {
+    s = logpc::read_text(std::cin);
+  } catch (const std::exception& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 2;
+  }
+  if (cmd == "check") return cmd_check(s);
+  if (cmd == "render") {
+    std::cout << logpc::viz::reception_table(s) << "\n"
+              << logpc::viz::render_timeline(s);
+    return 0;
+  }
+  if (cmd == "stats") {
+    const auto st = logpc::schedule_stats(s);
+    std::cout << "makespan        " << st.makespan << "\n"
+              << "messages        " << st.messages << "\n"
+              << "total overhead  " << st.total_overhead << "\n"
+              << "busy fraction   avg " << st.avg_busy_fraction << ", max "
+              << st.max_busy_fraction << "\n"
+              << "peak in flight  " << st.peak_in_flight << "\n"
+              << "max sends/proc  " << st.max_sends_per_proc << "\n"
+              << "max recvs/proc  " << st.max_recvs_per_proc << "\n";
+    return 0;
+  }
+  if (cmd == "simulate") return cmd_simulate(s);
+  std::cerr << "unknown command '" << cmd << "'\n";
+  return 2;
+}

@@ -1,0 +1,73 @@
+/// Streaming feed: continuous broadcast as a market-data-style fanout.  A
+/// producer emits one update per cycle; every consumer must see every
+/// update with bounded, provably-minimal staleness (Section 3.1-3.3).
+///
+///   ./streaming_feed [L] [subscribers] [updates]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "search/continuous_search.hpp"
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+int main(int argc, char** argv) {
+  using namespace logpc;
+
+  Time L = 3;
+  int subscribers = 20;
+  int updates = 12;
+  if (argc >= 2) L = std::atol(argv[1]);
+  if (argc >= 3) subscribers = std::atoi(argv[2]);
+  if (argc >= 4) updates = std::atoi(argv[3]);
+
+  std::cout << "streaming fanout: 1 producer -> " << subscribers
+            << " subscribers, latency L = " << L << ", one update/cycle\n\n";
+
+  // Find the best block-cyclic plan for this subscriber count: optimal
+  // staleness L + B(subscribers) when a strict plan exists, one extra
+  // cycle otherwise (Theorems 3.3-3.5).
+  const auto res = search::best_continuous_plan(L, subscribers);
+  if (res.status != bcast::SolveStatus::kSolved) {
+    std::cerr << "no block-cyclic plan found\n";
+    return 1;
+  }
+  const auto& plan = *res.plan;
+  const Time optimal = bcast::B_of_P(Params::postal(subscribers, L),
+                                     subscribers) + L;
+  std::cout << "worst-case staleness: " << plan.delay() << " cycles"
+            << " (information-theoretic minimum " << optimal << ", slack "
+            << plan.delay() - optimal << ")\n";
+  std::cout << "role assignment: " << plan.blocks.size()
+            << " relay blocks + 1 receive-only subscriber\n";
+  for (const auto& b : plan.blocks) {
+    std::cout << "  block of " << b.r << " (tree delay " << b.d << "): P"
+              << b.members.front() << "..P" << b.members.back() << "\n";
+  }
+
+  // Unroll a finite window of the stream and audit it.
+  const Schedule s = bcast::emit_k_items(plan, updates);
+  const auto check = validate::check(s);
+  std::cout << "\n" << updates << "-update window: " << s.sends().size()
+            << " messages, last delivery at cycle " << completion_time(s)
+            << ", validator: " << check.summary() << "\n";
+
+  // Staleness per update is constant - the stream never falls behind.
+  bool steady = true;
+  for (const auto& c : item_completions(s)) {
+    steady = steady && c.delay() == plan.delay();
+  }
+  std::cout << "every update ages exactly " << plan.delay()
+            << " cycles before full fanout: " << (steady ? "yes" : "NO")
+            << "\n";
+
+  // Contrast: per-update optimal trees WITHOUT the block-cyclic rotation
+  // would need the producer's neighbours to receive two updates in one
+  // cycle - the interference the paper's Section 3.1 example explains.
+  std::cout << "\nthroughput: 1 update/cycle sustained (matching the\n"
+               "producer), vs 1 update per B(" << subscribers << ") = "
+            << optimal - L << " cycles if each update were broadcast in\n"
+               "isolation - a "
+            << optimal - L << "x throughput win from the rotation.\n";
+  return steady && check.ok() ? 0 : 1;
+}

@@ -1,0 +1,111 @@
+#include "api/communicator.hpp"
+
+#include <stdexcept>
+
+namespace logpc::api {
+
+Time scatter_time(const Params& params) {
+  params.require_valid();
+  if (params.P == 1) return 0;
+  return (params.P - 2) * params.g + params.transfer_time();
+}
+
+Communicator::Communicator(Params params) : params_(params) {
+  params.require_valid();
+}
+
+Params Communicator::postal_projection() const {
+  return Params::postal(params_.P, params_.transfer_time());
+}
+
+Schedule Communicator::bcast(ProcId root) const {
+  return bcast::optimal_single_item(params_, root);
+}
+
+Time Communicator::bcast_time() const {
+  return bcast::B_of_P(params_, params_.P);
+}
+
+bcast::KItemResult Communicator::bcast_k(int k) const {
+  const Params postal = postal_projection();
+  return bcast::kitem_broadcast(postal.P, postal.L, k);
+}
+
+bcast::BufferedKItemResult Communicator::bcast_k_buffered(int k) const {
+  const Params postal = postal_projection();
+  return bcast::kitem_buffered(postal.P, postal.L, k);
+}
+
+Schedule Communicator::scatter(ProcId root) const {
+  if (root < 0 || root >= params_.P) {
+    throw std::invalid_argument("Communicator::scatter: bad root");
+  }
+  // Item d (for destination d) leaves the root in destination order; any
+  // order is optimal since every message must cross the root's send port.
+  Schedule s(params_, params_.P);
+  for (ProcId d = 0; d < params_.P; ++d) s.add_initial(d, root, 0);
+  Time start = 0;
+  for (ProcId d = 0; d < params_.P; ++d) {
+    if (d == root) continue;
+    s.add_send(start, root, d, d);
+    start += params_.g;
+  }
+  s.sort();
+  return s;
+}
+
+bcast::ReductionPlan Communicator::reduce(ProcId root) const {
+  return bcast::optimal_reduction(params_, root);
+}
+
+Schedule Communicator::gather(ProcId root) const {
+  if (root < 0 || root >= params_.P) {
+    throw std::invalid_argument("Communicator::gather: bad root");
+  }
+  // The root receives P-1 messages at least g apart; stagger the senders
+  // so arrivals land exactly g apart (the scatter pattern reversed).
+  Schedule s(params_, params_.P);
+  for (ProcId p = 0; p < params_.P; ++p) s.add_initial(p, p, 0);
+  Time start = 0;
+  for (ProcId p = 0; p < params_.P; ++p) {
+    if (p == root) continue;
+    s.add_send(start, p, root, p);
+    start += params_.g;
+  }
+  s.sort();
+  return s;
+}
+
+sum::SummationPlan Communicator::reduce_operands(Count n) const {
+  return sum::optimal_summation(params_,
+                                sum::min_time_for_operands(params_, n));
+}
+
+Time Communicator::reduce_operands_time(Count n) const {
+  return sum::min_time_for_operands(params_, n);
+}
+
+Schedule Communicator::alltoall(int k) const {
+  return bcast::all_to_all_k(params_, k);
+}
+
+Time Communicator::alltoall_time(int k) const {
+  return bcast::all_to_all_lower_bound(params_, k);
+}
+
+Schedule Communicator::alltoall_personalized() const {
+  return bcast::all_to_all_personalized(params_);
+}
+
+bcast::CombiningSchedule Communicator::allreduce() const {
+  const Params postal = postal_projection();
+  const Time T = bcast::combining_time_for(postal.P, postal.L);
+  return bcast::combining_broadcast(T, postal.L);
+}
+
+Time Communicator::allreduce_time() const {
+  const Params postal = postal_projection();
+  return bcast::combining_time_for(postal.P, postal.L);
+}
+
+}  // namespace logpc::api

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <optional>
+
+#include "bcast/all_to_all.hpp"
+#include "bcast/combining.hpp"
+#include "bcast/kitem.hpp"
+#include "bcast/kitem_buffered.hpp"
+#include "bcast/reduction.hpp"
+#include "bcast/single_item.hpp"
+#include "sum/summation_tree.hpp"
+
+/// \file communicator.hpp
+/// The high-level entry point: an MPI-communicator-style facade that turns
+/// measured machine parameters into optimal collective schedules and exact
+/// cycle predictions.  This is what a runtime tuning layer would link
+/// against; everything it returns is constructed by the paper's algorithms
+/// and audited by validate::check in this library's tests.
+
+namespace logpc::api {
+
+/// Scatter/gather cost: the source must emit (receive) P-1 distinct
+/// messages serialized by g, the last landing after a full transfer.
+[[nodiscard]] Time scatter_time(const Params& params);
+
+/// A machine-bound planner for the paper's collectives.
+///
+/// All methods are const and deterministic; schedules use processor ids
+/// 0..P-1 with the root/source as stated.  Methods returning Time only are
+/// exact cycle counts of the corresponding schedule.
+class Communicator {
+ public:
+  explicit Communicator(Params params);
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] int size() const { return params_.P; }
+
+  // --- one-to-all -------------------------------------------------------
+  /// Optimal single-item broadcast (Theorem 2.1).
+  [[nodiscard]] Schedule bcast(ProcId root = 0) const;
+  [[nodiscard]] Time bcast_time() const;
+
+  /// Single-sending k-item broadcast in the postal projection of this
+  /// machine (effective hop latency L + 2o; Section 3).  Returns the
+  /// block-cyclic construction with its exact completion.
+  [[nodiscard]] bcast::KItemResult bcast_k(int k) const;
+
+  /// The modified-model (buffered) k-item broadcast (Theorem 3.8).
+  [[nodiscard]] bcast::BufferedKItemResult bcast_k_buffered(int k) const;
+
+  /// One distinct message from the root to every processor.
+  [[nodiscard]] Schedule scatter(ProcId root = 0) const;
+  [[nodiscard]] Time scatter_time() const { return api::scatter_time(params_); }
+
+  // --- all-to-one -------------------------------------------------------
+  /// Optimal message reduction (reversed broadcast, Section 4.2).
+  [[nodiscard]] bcast::ReductionPlan reduce(ProcId root = 0) const;
+  [[nodiscard]] Time reduce_time() const { return bcast_time(); }
+
+  /// One distinct message from every processor to the root.
+  [[nodiscard]] Schedule gather(ProcId root = 0) const;
+  [[nodiscard]] Time gather_time() const { return api::scatter_time(params_); }
+
+  /// Summation of n input operands with unit-cost additions (Section 5);
+  /// requires g >= o + 1.
+  [[nodiscard]] sum::SummationPlan reduce_operands(Count n) const;
+  [[nodiscard]] Time reduce_operands_time(Count n) const;
+
+  // --- all-to-all -------------------------------------------------------
+  /// Optimal all-to-all broadcast, k items per processor (Section 4.1).
+  [[nodiscard]] Schedule alltoall(int k = 1) const;
+  [[nodiscard]] Time alltoall_time(int k = 1) const;
+
+  /// Optimal all-to-all personalized communication (same rotation).
+  [[nodiscard]] Schedule alltoall_personalized() const;
+
+  /// All-reduce via combining broadcast (Theorem 4.1), postal projection.
+  /// Completion equals reduce_time in the postal metric - half of
+  /// reduce-then-broadcast.  The returned schedule runs on P' = f_T >= P
+  /// ring slots; when P is not a Fibonacci size, map the first P slots to
+  /// real processors and pad the rest with the operator identity.
+  [[nodiscard]] bcast::CombiningSchedule allreduce() const;
+  [[nodiscard]] Time allreduce_time() const;
+
+ private:
+  Params params_;
+  /// Postal projection for the Section 3/4.2 algorithms: g normalized to 1
+  /// cycle-groups, overheads folded into the latency (L' = L + 2o).
+  [[nodiscard]] Params postal_projection() const;
+};
+
+}  // namespace logpc::api

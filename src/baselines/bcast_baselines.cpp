@@ -1,0 +1,63 @@
+#include "baselines/bcast_baselines.hpp"
+
+#include <deque>
+#include <stdexcept>
+
+namespace logpc::baselines {
+
+namespace {
+
+void require_P(int P) {
+  if (P < 1) throw std::invalid_argument("baseline tree: P >= 1");
+}
+
+}  // namespace
+
+BroadcastTree binomial_tree(const Params& params, int P) {
+  require_P(P);
+  std::vector<int> parents(static_cast<std::size_t>(P), -1);
+  // Each queue entry is a subtree root responsible for `size` processors
+  // (itself included).  It repeatedly peels off the upper half to a fresh
+  // node; node indices are assigned in send order, so earlier sends get
+  // earlier sibling ranks under from_parents.
+  int next = 1;
+  std::deque<std::pair<int, int>> work;  // (root index, size)
+  work.emplace_back(0, P);
+  while (!work.empty()) {
+    auto [root, size] = work.front();
+    work.pop_front();
+    while (size > 1) {
+      const int half = size / 2;
+      const int child = next++;
+      parents[static_cast<std::size_t>(child)] = root;
+      if (half > 1) work.emplace_back(child, half);
+      size -= half;
+    }
+  }
+  return BroadcastTree::from_parents(params, parents);
+}
+
+BroadcastTree binary_tree(const Params& params, int P) {
+  require_P(P);
+  std::vector<int> parents(static_cast<std::size_t>(P), -1);
+  for (int i = 1; i < P; ++i) {
+    parents[static_cast<std::size_t>(i)] = (i - 1) / 2;
+  }
+  return BroadcastTree::from_parents(params, parents);
+}
+
+BroadcastTree linear_chain(const Params& params, int P) {
+  require_P(P);
+  std::vector<int> parents(static_cast<std::size_t>(P), -1);
+  for (int i = 1; i < P; ++i) parents[static_cast<std::size_t>(i)] = i - 1;
+  return BroadcastTree::from_parents(params, parents);
+}
+
+BroadcastTree flat_tree(const Params& params, int P) {
+  require_P(P);
+  std::vector<int> parents(static_cast<std::size_t>(P), -1);
+  for (int i = 1; i < P; ++i) parents[static_cast<std::size_t>(i)] = 0;
+  return BroadcastTree::from_parents(params, parents);
+}
+
+}  // namespace logpc::baselines

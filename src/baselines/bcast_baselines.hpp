@@ -1,0 +1,35 @@
+#pragma once
+
+#include "bcast/tree.hpp"
+
+/// \file bcast_baselines.hpp
+/// Broadcast trees downstream systems commonly use, as comparators for the
+/// paper's optimal tree.  Each returns a labelled BroadcastTree on the same
+/// timing rules, so completion times are directly comparable via
+/// tree.makespan() and executable via tree.to_schedule().
+
+namespace logpc::baselines {
+
+using bcast::BroadcastTree;
+
+/// Binomial / recursive-halving broadcast (the classic MPI_Bcast tree):
+/// the root hands the upper half of the remaining range to a new
+/// representative each send, recursing in each half.  Optimal when
+/// g = L = 1, o = 0; increasingly worse than B(P) as latency grows.
+[[nodiscard]] BroadcastTree binomial_tree(const Params& params, int P);
+
+/// Complete binary tree: node i's children are 2i+1 and 2i+2.  Fixed
+/// fan-out 2 regardless of L/g, so it wastes send slots at high latency and
+/// serializes too much at low latency.
+[[nodiscard]] BroadcastTree binary_tree(const Params& params, int P);
+
+/// Linear relay chain 0 -> 1 -> ... -> P-1: pathological for single-item
+/// broadcast, the classic strawman (and the best shape for pipelining many
+/// items at g = 1).
+[[nodiscard]] BroadcastTree linear_chain(const Params& params, int P);
+
+/// Flat tree: the root sends to all P-1 others itself, serialized by g.
+/// Good for tiny P or huge L; terrible otherwise.
+[[nodiscard]] BroadcastTree flat_tree(const Params& params, int P);
+
+}  // namespace logpc::baselines

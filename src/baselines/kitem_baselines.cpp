@@ -1,0 +1,61 @@
+#include "baselines/kitem_baselines.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace logpc::baselines {
+
+Schedule serialized_broadcast(const Params& params, int k) {
+  params.require_valid();
+  if (k < 1) throw std::invalid_argument("serialized_broadcast: k >= 1");
+  const auto tree = bcast::BroadcastTree::optimal(params, params.P);
+  const Time B = tree.makespan();
+  Schedule out(params, k);
+  std::vector<ProcId> procs(static_cast<std::size_t>(params.P));
+  std::iota(procs.begin(), procs.end(), ProcId{0});
+  for (ItemId i = 0; i < k; ++i) {
+    out.add_initial(i, 0, 0);
+    tree.emit(out, i, static_cast<Time>(i) * B, procs);
+  }
+  out.sort();
+  return out;
+}
+
+Schedule pipelined_tree_broadcast(const bcast::BroadcastTree& tree, int k) {
+  if (k < 1) {
+    throw std::invalid_argument("pipelined_tree_broadcast: k >= 1");
+  }
+  const Params& params = tree.params();
+  if (tree.size() > params.P) {
+    throw std::invalid_argument(
+        "pipelined_tree_broadcast: tree larger than machine");
+  }
+  Time max_degree = 1;
+  for (const auto& node : tree.nodes()) {
+    max_degree = std::max(max_degree,
+                          static_cast<Time>(node.children.size()));
+  }
+  // Item period: a node must finish its sends for item i (max_degree slots
+  // of g) before starting item i+1's.
+  const Time period = max_degree * params.g;
+  Schedule out(params, k);
+  std::vector<ProcId> procs(static_cast<std::size_t>(tree.size()));
+  std::iota(procs.begin(), procs.end(), ProcId{0});
+  for (ItemId i = 0; i < k; ++i) {
+    out.add_initial(i, 0, 0);
+    tree.emit(out, i, static_cast<Time>(i) * period, procs);
+  }
+  out.sort();
+  return out;
+}
+
+Time bnk_stated_time(int P, Time L, int k, Time c_L) {
+  if (P < 2 || L < 1 || k < 1) {
+    throw std::invalid_argument("bnk_stated_time: bad arguments");
+  }
+  const Fib fib(L);
+  return 2 * fib.B_of_P(static_cast<Count>(P)) + k + c_L * L;
+}
+
+}  // namespace logpc::baselines

@@ -1,0 +1,31 @@
+#pragma once
+
+#include "bcast/tree.hpp"
+
+/// \file kitem_baselines.hpp
+/// k-item broadcast comparators for the postal model.
+
+namespace logpc::baselines {
+
+/// Strawman: broadcast item i along the optimal tree only after item i-1
+/// has finished everywhere.  Completion = k * B(P).
+[[nodiscard]] Schedule serialized_broadcast(const Params& params, int k);
+
+/// Classic pipelined fixed-tree broadcast: every item flows down the same
+/// tree, consecutive items spaced by the tree's maximum out-degree (each
+/// node needs that many sends per item).  Completion =
+/// makespan + (k-1) * max_degree.  With a chain this is the classic
+/// pipeline (great for large k); with a binomial/optimal-shape tree it
+/// trades a shorter tree for a bigger root bottleneck.
+[[nodiscard]] Schedule pipelined_tree_broadcast(
+    const bcast::BroadcastTree& tree, int k);
+
+/// The running time Section 3 quotes for the Bar-Noy/Kipnis multiple-item
+/// algorithm [6]: 2B(P) + k + O(L).  We do not re-implement their
+/// algorithm (it is sub-optimal except L = 1 and its details live in their
+/// paper); this returns the stated formula with the O(L) term taken as
+/// c_L * L for benchmarking "shape" comparisons.  Documented as a stated
+/// comparator, not a measured one.
+[[nodiscard]] Time bnk_stated_time(int P, Time L, int k, Time c_L = 1);
+
+}  // namespace logpc::baselines

@@ -1,0 +1,59 @@
+#include "baselines/reduce_baselines.hpp"
+
+#include <functional>
+
+#include "baselines/bcast_baselines.hpp"
+
+namespace logpc::baselines {
+
+namespace {
+
+using TreeFactory =
+    std::function<bcast::BroadcastTree(const Params&, int)>;
+
+// Largest tree (by processor count, up to params.P) from `factory` whose
+// makespan fits in t, converted to a summation plan.  Tree makespan is
+// monotone in P for these regular shapes, so binary search applies.
+sum::SummationPlan best_fitting(const Params& params, Time t,
+                                const TreeFactory& factory) {
+  const Params rev = sum::reversal_params(params);
+  int lo = 1;
+  int hi = params.P;
+  while (lo < hi) {
+    const int mid = lo + (hi - lo + 1) / 2;
+    if (factory(rev, mid).makespan() <= t) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return sum::plan_from_tree(params, factory(rev, lo), t);
+}
+
+}  // namespace
+
+sum::SummationPlan binary_tree_summation(const Params& params, Time t) {
+  return best_fitting(params, t, [](const Params& rev, int P) {
+    return binary_tree(rev, P);
+  });
+}
+
+sum::SummationPlan binomial_summation(const Params& params, Time t) {
+  return best_fitting(params, t, [](const Params& rev, int P) {
+    return binomial_tree(rev, P);
+  });
+}
+
+sum::SummationPlan sequential_summation(const Params& params, Time t) {
+  const Params rev = sum::reversal_params(params);
+  return sum::plan_from_tree(params, bcast::BroadcastTree::optimal(rev, 1),
+                             t);
+}
+
+sum::SummationPlan chain_summation(const Params& params, Time t) {
+  return best_fitting(params, t, [](const Params& rev, int P) {
+    return linear_chain(rev, P);
+  });
+}
+
+}  // namespace logpc::baselines

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "sum/summation_tree.hpp"
+
+/// \file reduce_baselines.hpp
+/// Summation/reduction comparators: the same lazy-reversal machinery as
+/// sum::optimal_summation but driven by conventional reduction trees, so
+/// operand counts n(t) are directly comparable.
+
+namespace logpc::baselines {
+
+/// Summation over a complete binary reduction tree using as many processors
+/// (up to params.P) as finish within t.
+[[nodiscard]] sum::SummationPlan binary_tree_summation(const Params& params,
+                                                       Time t);
+
+/// Summation over a binomial (recursive-halving) reduction tree using as
+/// many processors (up to params.P) as finish within t.
+[[nodiscard]] sum::SummationPlan binomial_summation(const Params& params,
+                                                    Time t);
+
+/// Single-processor summation: no communication, n = t + 1 operands.
+[[nodiscard]] sum::SummationPlan sequential_summation(const Params& params,
+                                                      Time t);
+
+/// Linear-chain (pipeline) reduction using as many processors (up to
+/// params.P) as finish within t.
+[[nodiscard]] sum::SummationPlan chain_summation(const Params& params, Time t);
+
+}  // namespace logpc::baselines

@@ -1,0 +1,43 @@
+#pragma once
+
+#include "sched/schedule.hpp"
+
+/// \file all_to_all.hpp
+/// Section 4.1: optimal all-to-all broadcast.
+///
+/// Every processor i owns item i and must deliver it to all others.  The
+/// paper's schedule: at times 0, g, 2g, ..., (P-2)g processor i sends its
+/// item to processors i+1, i+2, ..., i+P-1 (mod P).  Every processor then
+/// receives messages at L+2o, L+2o+g, ..., L+2o+(P-2)g, matching the lower
+/// bound L + 2o + (P-2)g exactly.  The same rotation works k times over for
+/// k items per processor, matching L + 2o + (k(P-1)-1)g, and also solves
+/// all-to-all *personalized* communication (distinct item per destination).
+
+namespace logpc::bcast {
+
+/// Lower bound on all-to-all broadcast with k items per processor: a
+/// processor must receive k(P-1) items, the first no earlier than L + 2o,
+/// subsequent ones at least g apart.
+[[nodiscard]] Time all_to_all_lower_bound(const Params& params, int k = 1);
+
+/// Optimal all-to-all broadcast, one item per processor (item i starts at
+/// processor i).  Completion = all_to_all_lower_bound(params).
+[[nodiscard]] Schedule all_to_all(const Params& params);
+
+/// Optimal all-to-all broadcast with k items per processor.  Item ids are
+/// p*k + j for item j of processor p.  Completion =
+/// all_to_all_lower_bound(params, k).
+[[nodiscard]] Schedule all_to_all_k(const Params& params, int k);
+
+/// All-to-all personalized communication: processor s holds a distinct item
+/// for every destination d (item id s*P + d) and only d needs it.  Same
+/// rotation schedule, same completion time; validate with
+/// require_complete=false and check personalized_complete instead.
+[[nodiscard]] Schedule all_to_all_personalized(const Params& params);
+
+/// True iff every destination d received item s*P + d from every s != d (the
+/// goal of personalized all-to-all; the broadcast completeness check does
+/// not apply since each item has exactly one intended recipient).
+[[nodiscard]] bool personalized_complete(const Schedule& s);
+
+}  // namespace logpc::bcast

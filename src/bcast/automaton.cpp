@@ -1,0 +1,138 @@
+#include "bcast/automaton.hpp"
+
+#include <stdexcept>
+
+namespace logpc::bcast {
+
+namespace {
+
+// Non-negative (x mod m).
+int posmod(Time x, int m) {
+  const auto r = static_cast<int>(x % m);
+  return r < 0 ? r + m : r;
+}
+
+// Residue of position p holding the role with delay `delta`.
+int residue(Time p, Time delta, int r) { return posmod(p - delta, r); }
+
+void require_ctx(const WordContext& ctx) {
+  if (ctx.delays.empty() || ctx.r < 1 || ctx.d < 0) {
+    throw std::invalid_argument("WordContext: invalid parameters");
+  }
+  if (ctx.r > 31) {
+    throw std::invalid_argument("WordContext: r too large");
+  }
+}
+
+// DFS over positions 1..r-1 assigning letters with distinct residues.
+// `counts` is nullptr for unrestricted enumeration, otherwise the exact
+// multiset to consume.  `all` collects every word when non-null; otherwise
+// the search stops at the first hit stored in `first`.
+bool dfs(const WordContext& ctx, int p, unsigned used_residues, Word& prefix,
+         std::vector<int>* counts, std::vector<Word>* all, Word* first) {
+  if (p == ctx.r) {
+    if (all != nullptr) {
+      all->push_back(prefix);
+      return false;  // keep enumerating
+    }
+    *first = prefix;
+    return true;
+  }
+  for (int l = 0; l < static_cast<int>(ctx.delays.size()); ++l) {
+    if (counts != nullptr && (*counts)[static_cast<std::size_t>(l)] == 0) {
+      continue;
+    }
+    const int res =
+        residue(p, ctx.delays[static_cast<std::size_t>(l)], ctx.r);
+    if ((used_residues >> res) & 1u) continue;
+    prefix.push_back(l);
+    if (counts != nullptr) --(*counts)[static_cast<std::size_t>(l)];
+    const bool done = dfs(ctx, p + 1, used_residues | (1u << res), prefix,
+                          counts, all, first);
+    if (counts != nullptr) ++(*counts)[static_cast<std::size_t>(l)];
+    prefix.pop_back();
+    if (done) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+WordContext WordContext::standard(Time t, Time L, int r, Time d) {
+  WordContext ctx;
+  ctx.r = r;
+  ctx.d = d;
+  for (Time l = 0; l < L; ++l) ctx.delays.push_back(t - l);
+  return ctx;
+}
+
+std::string word_to_string(const Word& w) {
+  std::string s;
+  s.reserve(w.size());
+  for (const int l : w) {
+    s.push_back(l >= 0 && l < 26 ? static_cast<char>('a' + l) : '?');
+  }
+  return s;
+}
+
+bool word_is_legal(const WordContext& ctx, const Word& w) {
+  require_ctx(ctx);
+  if (static_cast<int>(w.size()) != ctx.r - 1) return false;
+  unsigned used = 1u << residue(0, ctx.d, ctx.r);
+  for (std::size_t p = 0; p < w.size(); ++p) {
+    const int l = w[p];
+    if (l < 0 || l >= static_cast<int>(ctx.delays.size())) return false;
+    const int res = residue(static_cast<Time>(p) + 1,
+                            ctx.delays[static_cast<std::size_t>(l)], ctx.r);
+    if ((used >> res) & 1u) return false;
+    used |= 1u << res;
+  }
+  return true;
+}
+
+std::vector<Word> enumerate_legal_words(const WordContext& ctx) {
+  require_ctx(ctx);
+  std::vector<Word> all;
+  Word prefix;
+  Word unused;
+  dfs(ctx, 1, 1u << residue(0, ctx.d, ctx.r), prefix, nullptr, &all, &unused);
+  return all;
+}
+
+std::optional<Word> arrange_letters(const WordContext& ctx,
+                                    std::vector<int> counts) {
+  require_ctx(ctx);
+  if (counts.size() != ctx.delays.size()) {
+    throw std::invalid_argument(
+        "arrange_letters: counts size must match delays");
+  }
+  int total = 0;
+  for (const int c : counts) {
+    if (c < 0) throw std::invalid_argument("arrange_letters: negative count");
+    total += c;
+  }
+  if (total != ctx.r - 1) return std::nullopt;
+  Word prefix;
+  Word first;
+  if (dfs(ctx, 1, 1u << residue(0, ctx.d, ctx.r), prefix, &counts, nullptr,
+          &first)) {
+    return first;
+  }
+  return std::nullopt;
+}
+
+Word lemma31_word(Time L, int j, int m) {
+  if (L < 2 || j < 0 || m < 0) {
+    throw std::invalid_argument("lemma31_word: L >= 2, j, m >= 0");
+  }
+  Word w;
+  for (Time i = 0; i < L - 2; ++i) w.push_back(0);      // a^(L-2)
+  for (int i = 0; i < j; ++i) {                          // (ca)^j
+    w.push_back(2);
+    w.push_back(0);
+  }
+  for (int i = 0; i < m; ++i) w.push_back(1);            // b^m
+  return w;
+}
+
+}  // namespace logpc::bcast

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logp/time.hpp"
+
+/// \file automaton.hpp
+/// Legal receive words for block-cyclic continuous broadcast (Section 3.2).
+///
+/// Fix the postal model with latency L and a t-step optimal broadcast tree.
+/// Under relative addressing, letter l (0 = 'a', 1 = 'b', ...) names the
+/// leaf role at delay delays[l]; in the paper's setting the L letters are
+/// the delays t, t-1, ..., t-L+1 (a = the item whose broadcast terminates
+/// this step).  Receiving letter l at step s means receiving the item
+/// s - L - delays[l].
+///
+/// A block of r processors serves an internal tree node of delay d (and
+/// out-degree r).  Each member's reception pattern has period r: position 0
+/// is the internal reception (delay d), positions 1..r-1 are the letters of
+/// the block's word.  The member receives, at position p of cycle c, the
+/// item (anchor + c*r + p) - L - delta_p where delta_p is the position's
+/// role delay.  Two positions ever yield the same item iff their residues
+/// (p - delta_p) mod r coincide - so the paper's correctness criterion
+/// ("no processor receives an item twice"), which Section 3.2 encodes as a
+/// path automaton, is exactly:
+///
+///     the r values (p - delta_p) mod r, p = 0..r-1, are pairwise distinct.
+///
+/// (For the paper's running example - L=3, t=7, the H5 block - this
+/// criterion reproduces its legal word set {acab, abca, cccc, abbb}
+/// verbatim; see the tests.)  Distinct residues also make the r residues a
+/// complete system mod r, so every member receives *every* item exactly
+/// once - correctness and coverage in one condition.
+
+namespace logpc::bcast {
+
+/// A receive word: letter indices into a WordContext's delay table.
+/// Length r-1 for a block of size r.
+using Word = std::vector<int>;
+
+/// Renders a word as lower-case letters ("acab").  Letters beyond 'z' are
+/// rendered as '?' (never happens for L <= 26).
+[[nodiscard]] std::string word_to_string(const Word& w);
+
+/// Parameters fixing the legality criterion for one block.
+struct WordContext {
+  std::vector<Time> delays;  ///< delays[l] = leaf delay named by letter l
+  int r = 1;                 ///< block size = internal node out-degree
+  Time d = 0;                ///< internal node delay (position-0 role)
+
+  /// The paper's standard alphabet: L letters, letter l at delay t - l.
+  static WordContext standard(Time t, Time L, int r, Time d);
+};
+
+/// True iff `w` (length r-1) gives pairwise-distinct residues together with
+/// the internal position.
+[[nodiscard]] bool word_is_legal(const WordContext& ctx, const Word& w);
+
+/// All legal words for the context, in lexicographic order.  Exponential in
+/// r - intended for tests, figures and small-instance search.
+[[nodiscard]] std::vector<Word> enumerate_legal_words(const WordContext& ctx);
+
+/// Finds a legal arrangement of exactly the given letter multiset
+/// (counts[l] copies of letter l, summing to r-1), or nullopt.
+[[nodiscard]] std::optional<Word> arrange_letters(const WordContext& ctx,
+                                                  std::vector<int> counts);
+
+/// Lemma 3.1's first word family, a^(L-2) (ca)^j b^m, in the paper's
+/// letter naming (a = the item terminating this step).  Returns the word
+/// of length (L-2) + 2j + m; the lemma asserts it is legal for the block
+/// whose size makes the length come out to r - 1.  Requires L >= 2,
+/// j, m >= 0.  (The lemma's remaining families b^(L-3) c*, etc., are
+/// covered operationally by the solver; this one is the form the paper's
+/// inductive composition leans on.)
+[[nodiscard]] Word lemma31_word(Time L, int j, int m);
+
+}  // namespace logpc::bcast

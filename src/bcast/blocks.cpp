@@ -1,0 +1,102 @@
+#include "bcast/blocks.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace logpc::bcast {
+
+namespace {
+
+int posmod(Time x, int m) {
+  const auto r = static_cast<int>(x % m);
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace
+
+int BlockDigraph::in_weight(int v) const {
+  int w = 0;
+  for (const auto& e : edges) {
+    if (e.to == v) w += e.weight;
+  }
+  return w;
+}
+
+int BlockDigraph::out_weight(int v) const {
+  int w = 0;
+  for (const auto& e : edges) {
+    if (e.from == v) w += e.weight;
+  }
+  return w;
+}
+
+BlockDigraph block_digraph(const ContinuousPlan& plan, ItemId item) {
+  if (item < 0) throw std::invalid_argument("block_digraph: item >= 0");
+  BlockDigraph g;
+  const int n = static_cast<int>(plan.blocks.size());
+  g.receive_only_vertex = n;
+  g.source_vertex = n + 1;
+  for (const auto& b : plan.blocks) g.labels.push_back(b.r);
+  g.labels.push_back(0);   // receive-only
+  g.labels.push_back(-1);  // source
+
+  // Map each processor to its vertex, and find the item's internal holders
+  // (the processors whose reception of `item` is active).
+  std::vector<int> vertex_of(static_cast<std::size_t>(plan.params.P), -1);
+  std::vector<bool> active_receiver(static_cast<std::size_t>(plan.params.P),
+                                    false);
+  for (int b = 0; b < n; ++b) {
+    const auto& block = plan.blocks[static_cast<std::size_t>(b)];
+    for (const ProcId p : block.members) {
+      vertex_of[static_cast<std::size_t>(p)] = b;
+    }
+    active_receiver[static_cast<std::size_t>(
+        block.members[static_cast<std::size_t>(posmod(item, block.r))])] =
+        true;
+  }
+  vertex_of[static_cast<std::size_t>(plan.receive_only)] =
+      g.receive_only_vertex;
+  vertex_of[static_cast<std::size_t>(plan.source)] = g.source_vertex;
+
+  // Re-derive the item's transmissions from the plan and aggregate by
+  // (from-vertex, to-vertex, active).
+  const Schedule sched = emit_k_items(plan, item + 1);
+  std::map<std::tuple<int, int, bool>, int> agg;
+  for (const auto& op : sched.sends()) {
+    if (op.item != item) continue;
+    const int fv = vertex_of[static_cast<std::size_t>(op.from)];
+    const int tv = vertex_of[static_cast<std::size_t>(op.to)];
+    const bool active = active_receiver[static_cast<std::size_t>(op.to)];
+    ++agg[{fv, tv, active}];
+  }
+  for (const auto& [key, weight] : agg) {
+    const auto& [fv, tv, active] = key;
+    g.edges.push_back(BlockDigraph::Edge{fv, tv, weight, active});
+  }
+  return g;
+}
+
+bool digraph_invariants_hold(const BlockDigraph& g) {
+  for (int v = 0; v < static_cast<int>(g.labels.size()); ++v) {
+    const int label = g.labels[static_cast<std::size_t>(v)];
+    if (label > 0) {
+      if (g.in_weight(v) != label) return false;
+      if (g.out_weight(v) != label) return false;
+    } else if (label == 0) {
+      if (g.in_weight(v) != 1 || g.out_weight(v) != 0) return false;
+    } else {
+      if (g.in_weight(v) != 0 || g.out_weight(v) != 1) return false;
+    }
+  }
+  // Exactly one active transmission into each block (its internal copy) and
+  // one out of the source.
+  int source_active = 0;
+  for (const auto& e : g.edges) {
+    if (e.from == g.source_vertex && e.active) source_active += e.weight;
+  }
+  // With no blocks (P - 1 = 1) the source feeds the receive-only processor
+  // directly and the active/inactive distinction is vacuous.
+  return g.labels.size() <= 2 || source_active == 1;
+}
+
+}  // namespace logpc::bcast

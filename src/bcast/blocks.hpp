@@ -1,0 +1,50 @@
+#pragma once
+
+#include <vector>
+
+#include "bcast/continuous.hpp"
+
+/// \file blocks.hpp
+/// Section 3.4's block transmission digraph (Figure 3): how one item flows
+/// *between blocks* under a block-cyclic plan.
+///
+/// Vertices are the blocks (labelled by their size r), plus a vertex
+/// labelled 0 for the receive-only processor and one for the source.  A
+/// thick ("active") edge carries the copy that the receiving block's
+/// current internal holder will forward; normal edges carry inactive
+/// copies, weighted by multiplicity.  The paper's invariants: the weights
+/// into a vertex labelled r > 0 sum to r, as do the weights out of it; the
+/// receive-only vertex has in-weight 1 and no out-edges; the source emits
+/// exactly one (active) transmission, into the block owning the tree root.
+
+namespace logpc::bcast {
+
+struct BlockDigraph {
+  /// Vertex v < blocks.size() is plan block v; then the receive-only
+  /// vertex; then the source.
+  struct Edge {
+    int from = 0;
+    int to = 0;
+    int weight = 0;
+    bool active = false;
+  };
+
+  std::vector<int> labels;  ///< block size r; 0 for receive-only; -1 source
+  std::vector<Edge> edges;
+  int receive_only_vertex = 0;
+  int source_vertex = 0;
+
+  [[nodiscard]] int in_weight(int v) const;
+  [[nodiscard]] int out_weight(int v) const;
+};
+
+/// Builds the digraph for a given steady-state item.  The inter-block edge
+/// multiset depends on the item's residues, so `item` selects which
+/// representative to draw (Figure 3 draws one).
+[[nodiscard]] BlockDigraph block_digraph(const ContinuousPlan& plan,
+                                         ItemId item = 0);
+
+/// Checks the paper's stated invariants on the digraph.
+[[nodiscard]] bool digraph_invariants_hold(const BlockDigraph& g);
+
+}  // namespace logpc::bcast

@@ -1,0 +1,46 @@
+#include "bcast/combining.hpp"
+
+#include <stdexcept>
+
+namespace logpc::bcast {
+
+Schedule CombiningSchedule::timing_view() const {
+  Schedule s(params, 1);
+  for (ProcId p = 0; p < params.P; ++p) s.add_initial(0, p, 0);
+  for (const auto& op : sends) s.add_send(op);
+  s.sort();
+  return s;
+}
+
+CombiningSchedule combining_broadcast(Time T, Time L) {
+  if (L < 1) throw std::invalid_argument("combining_broadcast: L >= 1");
+  if (T < 0) throw std::invalid_argument("combining_broadcast: T >= 0");
+  const Fib fib(L);
+  const Count P = fib.f(T);
+  if (P > Count{1} << 22) {
+    throw std::invalid_argument("combining_broadcast: f_T too large");
+  }
+  CombiningSchedule cs;
+  cs.params = Params::postal(static_cast<int>(P), L);
+  cs.T = T;
+  // Steps j = 0 .. T-L: processor i sends its current value to
+  // i + f_{j+L-1} (mod P).  (For j = 0 the offset is f_{L-1} = 1.)
+  for (Time j = 0; j + L <= T; ++j) {
+    const Count offset = fib.f(j + L - 1) % P;
+    for (ProcId i = 0; i < cs.params.P; ++i) {
+      const auto to = static_cast<ProcId>(
+          (static_cast<Count>(i) + offset) % P);
+      if (to == i) continue;  // P == 1 degenerate case
+      cs.sends.push_back(SendOp{j, i, to, 0, kNever});
+    }
+  }
+  return cs;
+}
+
+Time combining_time_for(int P, Time L) {
+  if (P < 1) throw std::invalid_argument("combining_time_for: P >= 1");
+  const Fib fib(L);
+  return fib.B_of_P(static_cast<Count>(P));
+}
+
+}  // namespace logpc::bcast

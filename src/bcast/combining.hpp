@@ -1,0 +1,95 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "logp/fib.hpp"
+#include "sched/schedule.hpp"
+
+/// \file combining.hpp
+/// Section 4.2: the combining-broadcast problem (all-reduce).
+///
+/// Every processor i holds a value x_i; all processors must learn
+/// x_0 + ... + x_{P-1} (any associative, commutative '+').  The paper shows
+/// all-to-all broadcast *with combining* takes no longer than all-to-one
+/// reduction: fix T and P = P(T; L, 0, 1) = f_T; at every step
+/// j = 0, 1, ..., T-L processor i sends its current value to processor
+/// i + f_{j+L-1} (mod P).  A value sent at j arrives at j+L and is combined
+/// into the destination's current value before the destination's own send
+/// at j+L.  Theorem 4.1: at time j processor i holds the cyclic window sum
+/// x[i-f_j+1 : i]; at time T that window is all P values.
+///
+/// Stated in the postal model (g = 1, o = 0) with zero-cost combining.
+
+namespace logpc::bcast {
+
+/// The full combining-broadcast plan for latency L and deadline T.
+struct CombiningSchedule {
+  Params params;  ///< postal machine with P = f_T processors
+  Time T = 0;     ///< completion deadline; also the number of steps
+  /// All sends: item is unused (always 0) - every message carries the
+  /// sender's current partial value, not a distinct item.
+  std::vector<SendOp> sends;
+
+  /// A timing-only Schedule view (every processor "holds item 0" from the
+  /// start) so the standard checker can audit gaps, latency and capacity.
+  [[nodiscard]] Schedule timing_view() const;
+};
+
+/// Builds the Theorem 4.1 schedule for deadline T (requires T >= L so at
+/// least one exchange completes, unless f_T == 1 where no sends happen).
+[[nodiscard]] CombiningSchedule combining_broadcast(Time T, Time L);
+
+/// Smallest deadline T whose combining broadcast covers at least P
+/// processors (run combining_broadcast at this T on the first f_T >= P
+/// processors; extra slots can be padded with identity values).
+[[nodiscard]] Time combining_time_for(int P, Time L);
+
+/// Replays `cs` on concrete values with a (possibly non-commutative)
+/// combine operator, applied as op(incoming, current) so windows always
+/// extend leftwards along the processor ring.  Returns each processor's
+/// final value.
+template <typename V>
+std::vector<V> execute_combining(
+    const CombiningSchedule& cs, std::vector<V> values,
+    const std::function<V(const V&, const V&)>& op) {
+  const auto P = static_cast<std::size_t>(cs.params.P);
+  if (values.size() != P) {
+    throw std::invalid_argument("execute_combining: wrong value count");
+  }
+  // Group sends by start time; replay chronologically.  At each step, all
+  // sends read the *current* values (messages snapshot the sender's value
+  // at send time), then arrivals from L cycles earlier are folded in.
+  std::vector<SendOp> sends = cs.sends;
+  std::stable_sort(sends.begin(), sends.end(),
+                   [](const SendOp& a, const SendOp& b) {
+                     return a.start < b.start;
+                   });
+  struct InFlight {
+    Time arrival;
+    std::size_t to;
+    V value;
+  };
+  std::vector<InFlight> wire;
+  std::size_t next = 0;
+  for (Time t = 0; t <= cs.T; ++t) {
+    // Deliver and combine everything arriving now (before this step's
+    // sends snapshot values - the paper combines "instantaneously ...
+    // before transmission").
+    for (auto& m : wire) {
+      if (m.arrival == t) values[m.to] = op(m.value, values[m.to]);
+    }
+    std::erase_if(wire, [t](const InFlight& m) { return m.arrival <= t; });
+    while (next < sends.size() && sends[next].start == t) {
+      const SendOp& op_send = sends[next++];
+      wire.push_back(InFlight{op_send.start + cs.params.L,
+                              static_cast<std::size_t>(op_send.to),
+                              values[static_cast<std::size_t>(op_send.from)]});
+    }
+  }
+  return values;
+}
+
+}  // namespace logpc::bcast

@@ -1,0 +1,268 @@
+#include "bcast/continuous.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace logpc::bcast {
+
+namespace {
+
+int posmod(Time x, int m) {
+  const auto r = static_cast<int>(x % m);
+  return r < 0 ? r + m : r;
+}
+
+}  // namespace
+
+ContinuousResult plan_from_tree(const BroadcastTree& tree,
+                                std::uint64_t budget, int max_wait) {
+  const Params& tp = tree.params();
+  if (!tp.is_postal()) {
+    throw std::invalid_argument(
+        "plan_from_tree: continuous broadcast is a postal-model scheme");
+  }
+  const int m = tree.size();
+
+  ContinuousResult result;
+  ContinuousPlan plan;
+  plan.params = Params::postal(m + 1, tp.L);
+  plan.source = 0;
+  plan.tree = tree;
+
+  // Letters = distinct leaf delays; blocks = internal nodes.
+  std::map<Time, int> leaf_counts;  // delay -> per-step supply
+  std::vector<BlockSpec> specs;
+  std::vector<int> node_of_spec;
+  for (int v = 0; v < m; ++v) {
+    const auto& node = tree.node(v);
+    if (node.children.empty()) {
+      ++leaf_counts[node.label];
+    } else {
+      specs.push_back(BlockSpec{static_cast<int>(node.children.size()),
+                                node.label});
+      node_of_spec.push_back(v);
+    }
+  }
+  std::vector<int> supplies;
+  for (const auto& [delay, count] : leaf_counts) {
+    plan.letter_delays.push_back(delay);
+    supplies.push_back(count);
+  }
+
+  plan.max_wait = max_wait;
+  auto solve = assign_words(plan.letter_delays, specs, supplies, max_wait,
+                            budget);
+  result.status = solve.status;
+  result.nodes_explored = solve.nodes_explored;
+  if (solve.status != SolveStatus::kSolved) return result;
+
+  // Assign processors: source = 0, block members next, receive-only last.
+  ProcId next = 1;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ContinuousBlock block;
+    block.tree_node = node_of_spec[i];
+    block.r = specs[i].r;
+    block.d = specs[i].d;
+    block.word = solve.assignment->words[i];
+    for (int j = 0; j < block.r; ++j) block.members.push_back(next++);
+    plan.blocks.push_back(std::move(block));
+  }
+  plan.receive_only = next++;
+  if (next != plan.params.P) {
+    throw std::logic_error("plan_from_tree: processor count mismatch");
+  }
+  plan.receive_only_letter = solve.assignment->receive_only_letter;
+  result.plan = std::move(plan);
+  return result;
+}
+
+ContinuousResult plan_continuous(Time L, Time t, std::uint64_t budget) {
+  if (L < 1 || t < 0) {
+    throw std::invalid_argument("plan_continuous: bad L/t");
+  }
+  const Fib fib(L);
+  const Count m_count = fib.f(t);
+  if (m_count > (Count{1} << 20)) {
+    throw std::invalid_argument("plan_continuous: P(t) too large");
+  }
+  const int m = static_cast<int>(m_count);
+  return plan_from_tree(BroadcastTree::optimal(Params::postal(m, L), m),
+                        budget);
+}
+
+Schedule emit_k_items(const ContinuousPlan& plan, int k) {
+  if (k < 1) throw std::invalid_argument("emit_k_items: k >= 1");
+  const Time L = plan.params.L;
+  Schedule out(plan.params, k);
+  for (ItemId i = 0; i < k; ++i) {
+    out.add_initial(i, plan.source, i);  // generated every g = 1 cycles
+  }
+
+  // Block index serving each internal tree node, and leaf lists per letter.
+  std::vector<int> block_of_node(static_cast<std::size_t>(plan.tree.size()),
+                                 -1);
+  for (std::size_t b = 0; b < plan.blocks.size(); ++b) {
+    block_of_node[static_cast<std::size_t>(plan.blocks[b].tree_node)] =
+        static_cast<int>(b);
+  }
+  const auto n_letters = static_cast<int>(plan.letter_delays.size());
+  std::vector<std::vector<int>> leaves_by_letter(
+      static_cast<std::size_t>(n_letters));
+  for (int v = 0; v < plan.tree.size(); ++v) {
+    const auto& node = plan.tree.node(v);
+    if (!node.children.empty()) continue;
+    const auto it = std::find(plan.letter_delays.begin(),
+                              plan.letter_delays.end(), node.label);
+    if (it == plan.letter_delays.end()) {
+      throw std::logic_error("emit_k_items: leaf delay has no letter");
+    }
+    leaves_by_letter[static_cast<std::size_t>(
+                         it - plan.letter_delays.begin())]
+        .push_back(v);
+  }
+
+  // The processor holding internal node v's role for item i; the source
+  // plays the (virtual) parent of the root.
+  auto holder = [&](int v, ItemId i) -> ProcId {
+    const int b = block_of_node[static_cast<std::size_t>(v)];
+    if (b < 0) throw std::logic_error("emit_k_items: leaf has no holder");
+    const auto& block = plan.blocks[static_cast<std::size_t>(b)];
+    return block.members[static_cast<std::size_t>(posmod(i, block.r))];
+  };
+  auto sender_of = [&](int v, ItemId i) -> ProcId {
+    const int parent = plan.tree.node(v).parent;
+    return parent < 0 ? plan.source : holder(parent, i);
+  };
+
+  // Collect receptions; buffered word positions (wait > 0, Theorem 3.8)
+  // receive their arrival up to `wait` steps later, so final receive times
+  // are resolved per processor afterwards.
+  struct Reception {
+    Time arrival;   // earliest receivable step (= send start + L)
+    int wait;       // steady-state buffering; 0 = strict
+    bool internal;  // active item: received exactly at arrival
+    ProcId from;
+    ItemId item;
+  };
+  std::vector<std::vector<Reception>> per_proc(
+      static_cast<std::size_t>(plan.params.P));
+
+  // Walk every arrival step.  Arrivals of item i happen during
+  // [i + L, i + L + makespan]; the final step is (k-1) + L + makespan.
+  const Time last = static_cast<Time>(k) - 1 + L + plan.tree.makespan();
+  for (Time s = L; s <= last; ++s) {
+    // Internal receptions: block b's phase-0 member takes item s - L - d.
+    for (const auto& block : plan.blocks) {
+      const Time i = s - L - block.d;
+      if (i < 0 || i >= k) continue;
+      const auto item = static_cast<ItemId>(i);
+      const ProcId to = block.members[static_cast<std::size_t>(
+          posmod(i, block.r))];
+      per_proc[static_cast<std::size_t>(to)].push_back(Reception{
+          s, 0, true, sender_of(block.tree_node, item), item});
+    }
+    // Letter receptions: consumers are block members whose word positions
+    // name the letter (in any wait variant: a wait-w consumer's receive
+    // slot is w steps after the arrival), plus the receive-only processor;
+    // producers are the leaves at the letter's delay in the arriving
+    // item's tree.
+    for (int l = 0; l < n_letters; ++l) {
+      const Time i = s - L - plan.letter_delays[static_cast<std::size_t>(l)];
+      if (i < 0 || i >= k) continue;
+      const auto item = static_cast<ItemId>(i);
+      std::vector<std::pair<ProcId, int>> consumers;  // (proc, wait)
+      for (const auto& block : plan.blocks) {
+        for (int p = 1; p < block.r; ++p) {
+          const int ext = block.word[static_cast<std::size_t>(p - 1)];
+          if (ext % n_letters != l) continue;
+          const int w = ext / n_letters;
+          consumers.emplace_back(
+              block.members[static_cast<std::size_t>(
+                  posmod(s + w - L - block.d - p, block.r))],
+              w);
+        }
+      }
+      if (plan.receive_only_letter == l) {
+        consumers.emplace_back(plan.receive_only, 0);
+      }
+      const auto& leaves = leaves_by_letter[static_cast<std::size_t>(l)];
+      if (consumers.size() != leaves.size()) {
+        throw std::logic_error("emit_k_items: supply/demand mismatch");
+      }
+      std::sort(consumers.begin(), consumers.end());
+      for (std::size_t x = 0; x < leaves.size(); ++x) {
+        const ProcId from = sender_of(leaves[x], item);
+        if (from == consumers[x].first) {
+          throw std::logic_error("emit_k_items: self-send");
+        }
+        per_proc[static_cast<std::size_t>(consumers[x].first)].push_back(
+            Reception{s, consumers[x].second, false, from, item});
+      }
+    }
+  }
+
+  // Resolve receive times per processor: internal (active) receptions are
+  // fixed at their arrival; buffered letters take the earliest free slot at
+  // or after theirs.  Earliest-fit in arrival order cannot do worse than
+  // the steady-state pattern, and compresses the drain at the end (the
+  // paper's Figure 5 shows exactly this: delayed items, boxed, slotting
+  // into gaps).
+  for (ProcId to = 0; to < plan.params.P; ++to) {
+    auto& receptions = per_proc[static_cast<std::size_t>(to)];
+    std::sort(receptions.begin(), receptions.end(),
+              [](const Reception& a, const Reception& b) {
+                if (a.arrival != b.arrival) return a.arrival < b.arrival;
+                if (a.internal != b.internal) return a.internal;
+                return std::tie(a.wait, a.item) < std::tie(b.wait, b.item);
+              });
+    std::set<Time> occupied;
+    for (const auto& rec : receptions) {
+      if (rec.internal) {
+        if (!occupied.insert(rec.arrival).second) {
+          throw std::logic_error("emit_k_items: active reception conflict");
+        }
+      }
+    }
+    for (const auto& rec : receptions) {
+      Time recv = rec.arrival;
+      if (!rec.internal) {
+        while (occupied.contains(recv)) ++recv;
+        occupied.insert(recv);
+      }
+      SendOp op{rec.arrival - L, rec.from, to, rec.item, kNever};
+      if (recv != rec.arrival) op.recv_start = recv;
+      out.add_send(op);
+    }
+  }
+  out.sort();
+  return out;
+}
+
+std::vector<std::vector<Time>> reception_pattern(const ContinuousPlan& plan) {
+  std::vector<std::vector<Time>> rows(
+      static_cast<std::size_t>(plan.params.P));
+  rows[static_cast<std::size_t>(plan.source)] = {-1};
+  for (const auto& block : plan.blocks) {
+    for (int j = 0; j < block.r; ++j) {
+      // rows[proc][x] = role delay received at steps s with s = x (mod r).
+      // Member j's phase-p reception happens at s = L + d + j + p (mod r).
+      std::vector<Time> row(static_cast<std::size_t>(block.r));
+      for (int p = 0; p < block.r; ++p) {
+        const int x = posmod(plan.params.L + block.d + j + p, block.r);
+        row[static_cast<std::size_t>(x)] =
+            p == 0 ? block.d
+                   : plan.letter_delays[static_cast<std::size_t>(
+                         block.word[static_cast<std::size_t>(p - 1)])];
+      }
+      rows[static_cast<std::size_t>(
+          block.members[static_cast<std::size_t>(j)])] = std::move(row);
+    }
+  }
+  rows[static_cast<std::size_t>(plan.receive_only)] = {
+      plan.letter_delays[static_cast<std::size_t>(plan.receive_only_letter)]};
+  return rows;
+}
+
+}  // namespace logpc::bcast

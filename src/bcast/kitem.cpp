@@ -1,0 +1,185 @@
+#include "bcast/kitem.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sched/metrics.hpp"
+#include "search/continuous_search.hpp"
+
+namespace logpc::bcast {
+
+namespace {
+
+// Greedy single-sending scheduler.  Oldest items first: every step, each
+// processor holding the oldest unfinished item offers it to a processor
+// that lacks it and has a free receive slot; leftover senders move on to
+// younger items.  The source injects item i at step i and never repeats
+// (Theorem 3.2 says optimal schedules must lead with distinct items);
+// injection targets rotate, and receivers are chosen most-starved-first,
+// both to avoid the low-index hub bottleneck a naive greedy develops.
+class GreedyScheduler {
+ public:
+  GreedyScheduler(int P, Time L, int k)
+      : P_(P), L_(L), k_(k), sched_(Params::postal(P, L), k) {
+    has_.assign(static_cast<std::size_t>(P),
+                std::vector<bool>(static_cast<std::size_t>(k), false));
+    pending_.assign(static_cast<std::size_t>(P),
+                    std::vector<bool>(static_cast<std::size_t>(k), false));
+    missing_.assign(static_cast<std::size_t>(k), P - 1);
+    last_recv_.assign(static_cast<std::size_t>(P), -1);
+    for (ItemId i = 0; i < k; ++i) {
+      sched_.add_initial(i, 0, 0);
+      has_[0][static_cast<std::size_t>(i)] = true;
+    }
+  }
+
+  Schedule run() {
+    const KItemBounds bounds = kitem_bounds(P_, L_, k_);
+    // Generous cap: greedy must stay well under 2x the proven upper bound;
+    // exceeding the cap is a scheduler bug, not a tight instance.
+    const Time cap = 2 * bounds.single_sending_upper + 4 * L_ + 8;
+    Time s = 0;
+    int items_done = 0;
+    while (items_done < k_ && s <= cap) {
+      deliver(s);
+      items_done = static_cast<int>(std::count(
+          missing_.begin(), missing_.end(), 0));
+      if (items_done == k_) break;
+      assign_sends(s);
+      ++s;
+    }
+    if (items_done < k_) {
+      throw std::logic_error("kitem_greedy: failed to converge");
+    }
+    sched_.sort();
+    return std::move(sched_);
+  }
+
+ private:
+  int P_;
+  Time L_;
+  int k_;
+  Schedule sched_;
+  std::vector<std::vector<bool>> has_;      // [proc][item] delivered
+  std::vector<std::vector<bool>> pending_;  // [proc][item] in flight to proc
+  std::vector<int> missing_;                // per item: #procs lacking it
+  std::vector<Time> last_recv_;             // most recent arrival per proc
+  // arrivals_[s % (L+1)] holds messages landing at step s.
+  std::vector<std::vector<std::pair<ProcId, ItemId>>> ring_ =
+      std::vector<std::vector<std::pair<ProcId, ItemId>>>(
+          static_cast<std::size_t>(L_) + 1);
+  std::vector<std::vector<std::pair<ProcId, ItemId>>>& ring() {
+    if (ring_.size() != static_cast<std::size_t>(L_) + 1) {
+      ring_.assign(static_cast<std::size_t>(L_) + 1, {});
+    }
+    return ring_;
+  }
+
+  void deliver(Time s) {
+    auto& slot = ring()[static_cast<std::size_t>(s % (L_ + 1))];
+    for (const auto& [to, item] : slot) {
+      has_[static_cast<std::size_t>(to)][static_cast<std::size_t>(item)] =
+          true;
+      pending_[static_cast<std::size_t>(to)][static_cast<std::size_t>(item)] =
+          false;
+      --missing_[static_cast<std::size_t>(item)];
+    }
+    slot.clear();
+  }
+
+  void assign_sends(Time s) {
+    std::vector<bool> sender_used(static_cast<std::size_t>(P_), false);
+    std::vector<bool> receiver_used(static_cast<std::size_t>(P_), false);
+    // The source is dedicated to injecting item s (single-sending); the
+    // injection root rotates so no single processor becomes the hub.
+    sender_used[0] = true;
+    if (s < k_) {
+      const auto item = static_cast<ItemId>(s);
+      ProcId to = static_cast<ProcId>(1 + s % (P_ - 1));
+      if (receiver_used[static_cast<std::size_t>(to)]) {
+        to = pick_receiver(item, receiver_used);
+      }
+      if (to == kNoProc) {
+        throw std::logic_error("kitem_greedy: no receiver for injection");
+      }
+      commit(s, 0, to, item, receiver_used);
+    }
+    for (ItemId item = 0; item < k_; ++item) {
+      if (missing_[static_cast<std::size_t>(item)] == 0) continue;
+      for (ProcId from = 1; from < P_; ++from) {
+        if (sender_used[static_cast<std::size_t>(from)]) continue;
+        if (!has_[static_cast<std::size_t>(from)]
+                 [static_cast<std::size_t>(item)]) {
+          continue;
+        }
+        const ProcId to = pick_receiver(item, receiver_used);
+        if (to == kNoProc) break;  // item fully covered this step
+        sender_used[static_cast<std::size_t>(from)] = true;
+        commit(s, from, to, item, receiver_used);
+      }
+    }
+  }
+
+  // Most-starved processor (oldest last reception) that lacks `item`, has
+  // no copy in flight, and is not already receiving this step's batch.
+  ProcId pick_receiver(ItemId item, const std::vector<bool>& receiver_used) {
+    ProcId best = kNoProc;
+    for (ProcId p = 1; p < P_; ++p) {
+      if (receiver_used[static_cast<std::size_t>(p)]) continue;
+      if (has_[static_cast<std::size_t>(p)][static_cast<std::size_t>(item)]) {
+        continue;
+      }
+      if (pending_[static_cast<std::size_t>(p)]
+                  [static_cast<std::size_t>(item)]) {
+        continue;
+      }
+      if (best == kNoProc || last_recv_[static_cast<std::size_t>(p)] <
+                                 last_recv_[static_cast<std::size_t>(best)]) {
+        best = p;
+      }
+    }
+    return best;
+  }
+
+  void commit(Time s, ProcId from, ProcId to, ItemId item,
+              std::vector<bool>& receiver_used) {
+    receiver_used[static_cast<std::size_t>(to)] = true;
+    pending_[static_cast<std::size_t>(to)][static_cast<std::size_t>(item)] =
+        true;
+    last_recv_[static_cast<std::size_t>(to)] = s + L_;
+    ring()[static_cast<std::size_t>((s + L_) % (L_ + 1))].emplace_back(to,
+                                                                       item);
+    sched_.add_send(s, from, to, item);
+  }
+};
+
+}  // namespace
+
+Schedule kitem_greedy(int P, Time L, int k) {
+  if (P < 2) throw std::invalid_argument("kitem_greedy: P >= 2");
+  if (L < 1) throw std::invalid_argument("kitem_greedy: L >= 1");
+  if (k < 1) throw std::invalid_argument("kitem_greedy: k >= 1");
+  return GreedyScheduler(P, L, k).run();
+}
+
+KItemResult kitem_broadcast(int P, Time L, int k) {
+  KItemResult result;
+  result.bounds = kitem_bounds(P, L, k);
+  auto cont = search::best_continuous_plan(L, P - 1);
+  if (cont.status == SolveStatus::kSolved) {
+    result.schedule = emit_k_items(*cont.plan, k);
+    result.method = KItemMethod::kContinuousBlockCyclic;
+    result.completion = completion_time(result.schedule);
+    result.slack =
+        static_cast<int>(cont.plan->delay() - (result.bounds.B + L));
+    return result;
+  }
+  result.schedule = kitem_greedy(P, L, k);
+  result.method = KItemMethod::kGreedy;
+  result.completion = completion_time(result.schedule);
+  result.slack = static_cast<int>(result.completion -
+                                  result.bounds.single_sending_lower);
+  return result;
+}
+
+}  // namespace logpc::bcast

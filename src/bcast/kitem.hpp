@@ -1,0 +1,47 @@
+#pragma once
+
+#include "bcast/continuous.hpp"
+#include "bcast/kitem_bounds.hpp"
+#include "sched/schedule.hpp"
+
+/// \file kitem.hpp
+/// Section 3.4: broadcasting k items from one source, single-sending, in
+/// the postal model.
+///
+/// Two constructions:
+///  * Block-cyclic (preferred): solve a continuous plan for the P-1
+///    receivers - at the optimal delay when possible (Corollary 3.1), else
+///    with the smallest achievable slack sigma via the Theorem 3.5 pruning
+///    search - and unroll it: completion B(P-1) + L + sigma + k - 1.
+///    sigma = 0 is the exact single-sending optimum; sigma <= L - 1 stays
+///    within the Theorem 3.6 guarantee (empirically sigma <= 1 suffices).
+///  * Greedy fallback/ablation: a deterministic scheduler realizing the
+///    paper's three-phase shape (initial transmission at step i, greedy
+///    tree growth, greedy endgame) with no optimality guarantee.
+
+namespace logpc::bcast {
+
+/// Which construction produced a k-item schedule.
+enum class KItemMethod {
+  kContinuousBlockCyclic,  ///< B(P-1) + L + slack + k - 1
+  kGreedy,                 ///< fallback, no guarantee
+};
+
+struct KItemResult {
+  Schedule schedule;
+  KItemMethod method = KItemMethod::kGreedy;
+  KItemBounds bounds;
+  Time completion = 0;  ///< == completion_time(schedule)
+  int slack = 0;        ///< extra delay over the optimal L + B(P-1) per item
+};
+
+/// Single-sending broadcast of items 0..k-1 (all available at the source,
+/// processor 0, from cycle 0) to all P processors.  Picks the best
+/// applicable construction.
+[[nodiscard]] KItemResult kitem_broadcast(int P, Time L, int k);
+
+/// The greedy scheduler alone (ablations / non-exact P).  Single-sending:
+/// the source transmits item i exactly once, at step i.
+[[nodiscard]] Schedule kitem_greedy(int P, Time L, int k);
+
+}  // namespace logpc::bcast

@@ -1,0 +1,29 @@
+#include "bcast/kitem_bounds.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace logpc::bcast {
+
+KItemBounds kitem_bounds(int P, Time L, int k) {
+  if (P < 2) throw std::invalid_argument("kitem_bounds: P >= 2");
+  if (L < 1) throw std::invalid_argument("kitem_bounds: L >= 1");
+  if (k < 1) throw std::invalid_argument("kitem_bounds: k >= 1");
+  const Fib fib(L);
+  KItemBounds b;
+  b.P = P;
+  b.L = L;
+  b.k = k;
+  b.B = fib.B_of_P(static_cast<Count>(P) - 1);
+  b.k_star = fib.k_star(static_cast<Count>(P));
+  b.general_lower =
+      std::max(b.B + L,
+               b.B + L + (static_cast<Time>(k) - 1) -
+                   static_cast<Time>(b.k_star));
+  b.single_sending_lower = b.B + L + static_cast<Time>(k) - 1;
+  b.single_sending_upper = b.B + 2 * L + static_cast<Time>(k) - 2;
+  b.continuous_upper = b.single_sending_lower;
+  return b;
+}
+
+}  // namespace logpc::bcast

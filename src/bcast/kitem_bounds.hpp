@@ -1,0 +1,41 @@
+#pragma once
+
+#include "logp/fib.hpp"
+#include "logp/params.hpp"
+
+/// \file kitem_bounds.hpp
+/// Section 3's lower and upper bounds for broadcasting k items from one
+/// source in the postal model (g = 1, o = 0).
+
+namespace logpc::bcast {
+
+/// All the Section 3 bounds for one (P, L, k) instance.
+struct KItemBounds {
+  int P = 2;
+  Time L = 1;
+  int k = 1;
+  Time B = 0;        ///< B(P-1): single-item broadcast time to P-1 receivers
+  Count k_star = 0;  ///< k* of Theorem 3.1 (k* <= L)
+
+  /// Theorem 3.1: any algorithm needs >= B(P-1) + L + (k-1) - k* steps
+  /// (never below the single-item bound B(P-1) + L).
+  Time general_lower = 0;
+
+  /// Any single-sending schedule needs >= B(P-1) + L + k - 1 steps (Section
+  /// 3.4): the last item leaves the source at k-1 or later, then needs
+  /// L + B(P-1) more.
+  Time single_sending_lower = 0;
+
+  /// Theorem 3.6: a single-sending schedule achieving B(P-1) + 2L + k - 2
+  /// exists for all k, L, P.
+  Time single_sending_upper = 0;
+
+  /// Corollary 3.1 / Theorem 3.8: L + B(P-1) + k - 1, achieved by the
+  /// optimal continuous phase (exact P) or by the buffered model.
+  Time continuous_upper = 0;
+};
+
+/// Computes every bound.  Requires P >= 2, L >= 1, k >= 1.
+[[nodiscard]] KItemBounds kitem_bounds(int P, Time L, int k);
+
+}  // namespace logpc::bcast

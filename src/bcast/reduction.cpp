@@ -1,0 +1,55 @@
+#include "bcast/reduction.hpp"
+
+namespace logpc::bcast {
+
+std::vector<std::vector<ProcId>> ReductionPlan::arrival_order() const {
+  std::vector<std::vector<std::pair<Time, ProcId>>> incoming(
+      static_cast<std::size_t>(params.P));
+  for (const auto& op : schedule.sends()) {
+    incoming[static_cast<std::size_t>(op.to)].emplace_back(
+        schedule.available_at(op), op.from);
+  }
+  std::vector<std::vector<ProcId>> order(static_cast<std::size_t>(params.P));
+  for (std::size_t p = 0; p < incoming.size(); ++p) {
+    std::sort(incoming[p].begin(), incoming[p].end());
+    for (const auto& [at, from] : incoming[p]) order[p].push_back(from);
+  }
+  return order;
+}
+
+ReductionPlan optimal_reduction(const Params& params, ProcId root) {
+  params.require_valid();
+  if (root < 0 || root >= params.P) {
+    throw std::invalid_argument("optimal_reduction: bad root");
+  }
+  const auto tree = BroadcastTree::optimal(params, params.P);
+  const Time B = tree.makespan();
+
+  ReductionPlan plan;
+  plan.params = params;
+  plan.root = root;
+  plan.completion = B;
+  plan.schedule = Schedule(params, 1);
+  // Node index -> processor: node 0 is the root; others fill in index
+  // order, skipping the root's id (mirror of BroadcastTree::to_schedule).
+  std::vector<ProcId> procs(static_cast<std::size_t>(tree.size()));
+  procs[0] = root;
+  ProcId next = 0;
+  for (std::size_t i = 1; i < procs.size(); ++i) {
+    if (next == root) ++next;
+    procs[i] = next++;
+  }
+  for (ProcId p = 0; p < params.P; ++p) plan.schedule.add_initial(0, p, 0);
+  // The broadcast message parent->child with send start tau becomes the
+  // reduction message child->parent with send start B - label(child):
+  // its value lands at the parent at B - tau.
+  for (int i = 1; i < tree.size(); ++i) {
+    const auto& node = tree.node(i);
+    plan.schedule.add_send(B - node.label, procs[static_cast<std::size_t>(i)],
+                           procs[static_cast<std::size_t>(node.parent)], 0);
+  }
+  plan.schedule.sort();
+  return plan;
+}
+
+}  // namespace logpc::bcast

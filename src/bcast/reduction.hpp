@@ -1,0 +1,68 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "bcast/tree.hpp"
+
+/// \file reduction.hpp
+/// All-to-one reduction (Section 4.2, first paragraph): "Reduction can be
+/// viewed as 'all-to-one' broadcast ... and is thus solved optimally by
+/// simply reversing the directions of messages in optimal broadcast."
+///
+/// Reversal of a valid LogP schedule is valid: send and receive overheads
+/// swap roles, gaps are symmetric, and every message still spends exactly L
+/// on the wire.  A broadcast completing at B(P) therefore yields a
+/// reduction completing at B(P): node informed at label d in the broadcast
+/// *sends its partial value* at B(P) - d - (L + 2o) so it lands at
+/// B(P) - d; the root's last arrival lands at B(P).
+///
+/// This is pure message reduction (combining is free, as in Section 4.2);
+/// for reductions whose combining consumes cycles use sum::optimal_summation,
+/// which charges one cycle per addition (the L+1 reversal).
+
+namespace logpc::bcast {
+
+/// A reduction plan: who sends their partial value where, and when.
+struct ReductionPlan {
+  Params params;
+  ProcId root = 0;
+  Schedule schedule;   ///< all transmissions (single "item" 0)
+  Time completion = 0; ///< == B(P; L, o, g)
+
+  /// Arrival order at each processor (sender ids ordered by arrival time):
+  /// the fold order execute_reduction applies.
+  [[nodiscard]] std::vector<std::vector<ProcId>> arrival_order() const;
+};
+
+/// Builds the optimal reduction to `root`: the time reversal of the
+/// optimal single-item broadcast.  Completion = B(P; L, o, g).
+[[nodiscard]] ReductionPlan optimal_reduction(const Params& params,
+                                              ProcId root = 0);
+
+/// Replays the plan on concrete values with an associative, commutative
+/// combine operator (the Section 4.2 setting).  values[p] is processor p's
+/// initial value; returns the root's final value.
+template <typename V>
+V execute_reduction(const ReductionPlan& plan, std::vector<V> values,
+                    const std::function<V(const V&, const V&)>& op) {
+  if (values.size() != static_cast<std::size_t>(plan.params.P)) {
+    throw std::invalid_argument("execute_reduction: wrong value count");
+  }
+  // Process transmissions in send-start order; a processor's value is
+  // final when it sends (its own receptions all precede its send).
+  std::vector<SendOp> sends = plan.schedule.sends();
+  std::stable_sort(sends.begin(), sends.end(),
+                   [](const SendOp& a, const SendOp& b) {
+                     return a.start < b.start;
+                   });
+  for (const auto& m : sends) {
+    auto& dst = values[static_cast<std::size_t>(m.to)];
+    dst = op(dst, values[static_cast<std::size_t>(m.from)]);
+  }
+  return values[static_cast<std::size_t>(plan.root)];
+}
+
+}  // namespace logpc::bcast

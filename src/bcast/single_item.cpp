@@ -1,0 +1,41 @@
+#include "bcast/single_item.hpp"
+
+namespace logpc::bcast {
+
+namespace {
+
+class TreeNodeProgram : public sim::Program {
+ public:
+  explicit TreeNodeProgram(std::vector<ProcId> children)
+      : children_(std::move(children)) {}
+
+  void on_item(sim::Context& ctx, ItemId item) override {
+    for (const ProcId child : children_) ctx.send(child, item);
+  }
+
+ private:
+  std::vector<ProcId> children_;
+};
+
+}  // namespace
+
+Schedule optimal_single_item(const Params& params, ProcId source) {
+  if (source < 0 || source >= params.P) {
+    throw std::invalid_argument("optimal_single_item: bad source");
+  }
+  return BroadcastTree::optimal(params, params.P).to_schedule(source);
+}
+
+std::unique_ptr<sim::Program> make_tree_program(const BroadcastTree& tree,
+                                                int node) {
+  if (node < 0 || node >= tree.size()) {
+    throw std::invalid_argument("make_tree_program: bad node");
+  }
+  std::vector<ProcId> children;
+  for (const int c : tree.node(node).children) {
+    children.push_back(static_cast<ProcId>(c));
+  }
+  return std::make_unique<TreeNodeProgram>(std::move(children));
+}
+
+}  // namespace logpc::bcast

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <memory>
+
+#include "bcast/tree.hpp"
+#include "sim/program.hpp"
+
+/// \file single_item.hpp
+/// Section 2: optimal single-item broadcast.  Theorem 2.1: broadcasting
+/// along the tree B(P) of the P smallest-labelled universal-tree nodes is
+/// optimal, and its completion time is B(P; L, o, g).
+
+namespace logpc::bcast {
+
+/// The optimal single-item broadcast of Theorem 2.1 as a ready-to-run
+/// schedule: `source` holds the item at cycle 0 and every processor holds it
+/// by cycle B(P; L, o, g).
+[[nodiscard]] Schedule optimal_single_item(const Params& params,
+                                           ProcId source = 0);
+
+/// A reactive simulator program realizing the same broadcast: processor
+/// `self` plays tree node `self` (after the source/node-0 swap used by
+/// BroadcastTree::to_schedule) and forwards the item to its children the
+/// moment it is informed.  Install on every processor.
+[[nodiscard]] std::unique_ptr<sim::Program> make_tree_program(
+    const BroadcastTree& tree, int node);
+
+}  // namespace logpc::bcast

@@ -1,0 +1,178 @@
+#include "bcast/three_phase.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "sched/metrics.hpp"
+#include "search/continuous_search.hpp"
+
+namespace logpc::bcast {
+
+namespace {
+
+// Endgame list scheduler: spreads every item to the `receivers` using the
+// spare send slots of already-informed processors, most-starved receiver
+// first, oldest item first.
+class Endgame {
+ public:
+  Endgame(const Params& params, int k, const Schedule& base, int senders)
+      : params_(params), k_(k), senders_(senders) {
+    const auto sP = static_cast<std::size_t>(params.P);
+    const auto sk = static_cast<std::size_t>(k);
+    avail_.assign(sP, std::vector<Time>(sk, kNever));
+    pending_.assign(sP, std::vector<bool>(sk, false));
+    send_busy_.resize(sP);
+    recv_busy_.resize(sP);
+    last_recv_.assign(sP, -1);
+    for (ItemId i = 0; i < k; ++i) avail_[0][static_cast<std::size_t>(i)] = 0;
+    for (const auto& op : base.sends()) {
+      send_busy_[static_cast<std::size_t>(op.from)].insert(op.start);
+      recv_busy_[static_cast<std::size_t>(op.to)].insert(base.recv_start(op));
+      auto& a = avail_[static_cast<std::size_t>(op.to)]
+                      [static_cast<std::size_t>(op.item)];
+      a = std::min(a, base.available_at(op));
+    }
+  }
+
+  // Runs to completion; appends the endgame sends to `out`.
+  void run(Schedule& out, Time cap) {
+    int missing = (params_.P - 1 - senders_) * k_;
+    std::vector<std::vector<std::pair<ProcId, ItemId>>> ring(
+        static_cast<std::size_t>(params_.L) + 1);
+    for (Time s = 0; missing > 0; ++s) {
+      if (s > cap) {
+        throw std::logic_error("three_phase: endgame failed to converge");
+      }
+      for (const auto& [to, item] : ring[static_cast<std::size_t>(
+               s % (params_.L + 1))]) {
+        avail_[static_cast<std::size_t>(to)][static_cast<std::size_t>(item)] =
+            s;
+        pending_[static_cast<std::size_t>(to)]
+                [static_cast<std::size_t>(item)] = false;
+        --missing;
+      }
+      ring[static_cast<std::size_t>(s % (params_.L + 1))].clear();
+      if (missing == 0) break;
+      std::vector<bool> sender_used(static_cast<std::size_t>(params_.P),
+                                    false);
+      std::vector<bool> receiver_used(static_cast<std::size_t>(params_.P),
+                                      false);
+      for (ItemId item = 0; item < k_; ++item) {
+        for (;;) {
+          const ProcId to = pick_receiver(item, s, receiver_used);
+          if (to == kNoProc) break;
+          const ProcId from = pick_sender(item, s, sender_used);
+          if (from == kNoProc) break;
+          sender_used[static_cast<std::size_t>(from)] = true;
+          receiver_used[static_cast<std::size_t>(to)] = true;
+          pending_[static_cast<std::size_t>(to)]
+                  [static_cast<std::size_t>(item)] = true;
+          recv_busy_[static_cast<std::size_t>(to)].insert(s + params_.L);
+          send_busy_[static_cast<std::size_t>(from)].insert(s);
+          last_recv_[static_cast<std::size_t>(to)] = s + params_.L;
+          ring[static_cast<std::size_t>((s + params_.L) % (params_.L + 1))]
+              .emplace_back(to, item);
+          out.add_send(s, from, to, item);
+        }
+      }
+    }
+  }
+
+ private:
+  Params params_;
+  int k_;
+  int senders_;
+  std::vector<std::vector<Time>> avail_;
+  std::vector<std::vector<bool>> pending_;
+  std::vector<std::set<Time>> send_busy_;
+  std::vector<std::set<Time>> recv_busy_;
+  std::vector<Time> last_recv_;
+
+  // Most-starved endgame receiver lacking `item` with a free arrival slot.
+  ProcId pick_receiver(ItemId item, Time s,
+                       const std::vector<bool>& receiver_used) const {
+    ProcId best = kNoProc;
+    for (ProcId q = static_cast<ProcId>(senders_) + 1; q < params_.P; ++q) {
+      if (receiver_used[static_cast<std::size_t>(q)]) continue;
+      if (avail_[static_cast<std::size_t>(q)][static_cast<std::size_t>(
+              item)] != kNever) {
+        continue;
+      }
+      if (pending_[static_cast<std::size_t>(q)]
+                  [static_cast<std::size_t>(item)]) {
+        continue;
+      }
+      if (recv_busy_[static_cast<std::size_t>(q)].contains(s + params_.L)) {
+        continue;
+      }
+      if (best == kNoProc || last_recv_[static_cast<std::size_t>(q)] <
+                                 last_recv_[static_cast<std::size_t>(best)]) {
+        best = q;
+      }
+    }
+    return best;
+  }
+
+  // Any informed processor (never the single-sending source) with a free
+  // send slot; prefer endgame receivers (their slots are otherwise idle).
+  ProcId pick_sender(ItemId item, Time s,
+                     const std::vector<bool>& sender_used) const {
+    ProcId fallback = kNoProc;
+    for (ProcId p = 1; p < params_.P; ++p) {
+      if (sender_used[static_cast<std::size_t>(p)]) continue;
+      const Time have =
+          avail_[static_cast<std::size_t>(p)][static_cast<std::size_t>(item)];
+      if (have == kNever || have > s) continue;
+      if (send_busy_[static_cast<std::size_t>(p)].contains(s)) continue;
+      if (p > static_cast<ProcId>(senders_)) return p;  // idle receiver
+      if (fallback == kNoProc) fallback = p;
+    }
+    return fallback;
+  }
+};
+
+}  // namespace
+
+ThreePhaseResult kitem_three_phase(int P, Time L, int k) {
+  if (P < 2) throw std::invalid_argument("kitem_three_phase: P >= 2");
+  if (L < 1) throw std::invalid_argument("kitem_three_phase: L >= 1");
+  if (k < 1) throw std::invalid_argument("kitem_three_phase: k >= 1");
+
+  ThreePhaseResult result;
+  result.bounds = kitem_bounds(P, L, k);
+  const int m = P - 1;
+  const Fib fib(L);
+  const Time t = result.bounds.B;
+  const Time depth = std::max<Time>(0, t - L);
+  const int senders =
+      static_cast<int>(std::min<Count>(fib.f(depth), static_cast<Count>(m)));
+
+  // Tree phase: the block-cyclic pipeline over the (t-L)-step tree covers
+  // the senders with per-item delay L + depth (+ tiny slack on the odd
+  // infeasible shapes).
+  const auto plan = search::best_continuous_plan(L, senders);
+  if (plan.status != SolveStatus::kSolved) {
+    throw std::logic_error("kitem_three_phase: tree phase unsolvable");
+  }
+  const Schedule base = emit_k_items(*plan.plan, k);
+
+  // Assemble on the full machine: all items at the source at cycle 0.
+  Schedule out(Params::postal(P, L), k);
+  for (ItemId i = 0; i < k; ++i) out.add_initial(i, 0, 0);
+  for (const auto& op : base.sends()) out.add_send(op);
+
+  Endgame endgame(out.params(), k, out, senders);
+  const Time cap = 4 * result.bounds.single_sending_upper + 8 * L + 16;
+  endgame.run(out, cap);
+  out.sort();
+
+  result.schedule = std::move(out);
+  result.completion = completion_time(result.schedule);
+  result.senders = senders;
+  result.receivers = m - senders;
+  return result;
+}
+
+}  // namespace logpc::bcast

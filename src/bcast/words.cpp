@@ -1,0 +1,165 @@
+#include "bcast/words.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace logpc::bcast {
+
+namespace {
+
+int posmod(Time x, int m) {
+  const auto r = static_cast<int>(x % m);
+  return r < 0 ? r + m : r;
+}
+
+class Solver {
+ public:
+  Solver(std::vector<Time> delays, int n_base,
+         std::vector<std::size_t> order,
+         const std::vector<BlockSpec>& blocks, std::vector<int> supplies,
+         std::uint64_t budget)
+      : delays_(std::move(delays)),
+        n_base_(n_base),
+        order_(std::move(order)),
+        blocks_(blocks),
+        supplies_(std::move(supplies)),
+        budget_(budget),
+        words_(blocks.size()) {}
+
+  SolveResult run() {
+    SolveResult result;
+    const bool found = solve_block(0);
+    result.nodes_explored = nodes_;
+    if (found) {
+      result.status = SolveStatus::kSolved;
+      WordAssignment wa;
+      wa.words = std::move(words_);
+      // Exactly one unit of supply remains for the receive-only processor.
+      const auto it = std::find_if(supplies_.begin(), supplies_.end(),
+                                   [](int c) { return c > 0; });
+      wa.receive_only_letter =
+          static_cast<int>(std::distance(supplies_.begin(), it));
+      result.assignment = std::move(wa);
+    } else {
+      result.status = exhausted_ ? SolveStatus::kBudgetExhausted
+                                 : SolveStatus::kInfeasible;
+    }
+    return result;
+  }
+
+ private:
+  std::vector<Time> delays_;  // extended: delays of (base letter, wait)
+  int n_base_;                // base alphabet size; supplies_ indexed by base
+  std::vector<std::size_t> order_;  // block indices, most-constrained first
+  const std::vector<BlockSpec>& blocks_;
+  std::vector<int> supplies_;
+  std::uint64_t budget_;
+  std::uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+  std::vector<Word> words_;
+
+  bool tick() {
+    if (++nodes_ > budget_) {
+      exhausted_ = true;
+      return false;
+    }
+    return true;
+  }
+
+  bool solve_block(std::size_t oi) {
+    if (oi == order_.size()) return true;
+    const std::size_t bi = order_[oi];
+    const BlockSpec& b = blocks_[bi];
+    Word word;
+    word.reserve(static_cast<std::size_t>(b.r) - 1);
+    const unsigned used = 1u << posmod(-b.d, b.r);
+    return solve_position(oi, b, 1, used, word);
+  }
+
+  bool solve_position(std::size_t oi, const BlockSpec& b, int p,
+                      unsigned used, Word& word) {
+    if (exhausted_) return false;
+    if (p == b.r) {
+      words_[order_[oi]] = word;
+      if (solve_block(oi + 1)) return true;
+      return false;
+    }
+    // Try letters in order of descending remaining supply (balance
+    // consumption); ties by letter index for determinism.
+    std::vector<int> letters(delays_.size());
+    std::iota(letters.begin(), letters.end(), 0);
+    std::stable_sort(letters.begin(), letters.end(), [&](int a, int c) {
+      // Prefer plentiful base letters; among equals, smaller waits first.
+      return supplies_[static_cast<std::size_t>(a % n_base_)] >
+             supplies_[static_cast<std::size_t>(c % n_base_)];
+    });
+    for (const int l : letters) {
+      auto& supply = supplies_[static_cast<std::size_t>(l % n_base_)];
+      if (supply == 0) continue;
+      const int res =
+          posmod(p - delays_[static_cast<std::size_t>(l)], b.r);
+      if ((used >> res) & 1u) continue;
+      if (!tick()) return false;
+      --supply;
+      word.push_back(l);
+      if (solve_position(oi, b, p + 1, used | (1u << res), word)) {
+        return true;
+      }
+      word.pop_back();
+      ++supply;
+      if (exhausted_) return false;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+SolveResult assign_words(const std::vector<Time>& letter_delays,
+                         const std::vector<BlockSpec>& blocks,
+                         std::vector<int> supplies, int max_wait,
+                         std::uint64_t budget) {
+  if (letter_delays.empty()) {
+    throw std::invalid_argument("assign_words: need at least one letter");
+  }
+  if (max_wait < 0) {
+    throw std::invalid_argument("assign_words: max_wait >= 0");
+  }
+  if (supplies.size() != letter_delays.size()) {
+    throw std::invalid_argument(
+        "assign_words: supplies size must match letters");
+  }
+  int total_supply = 0;
+  for (const int c : supplies) {
+    if (c < 0) throw std::invalid_argument("assign_words: negative supply");
+    total_supply += c;
+  }
+  int total_demand = 1;  // receive-only processor
+  for (const auto& b : blocks) {
+    if (b.r < 1 || b.r > 31 || b.d < 0) {
+      throw std::invalid_argument("assign_words: bad block spec");
+    }
+    total_demand += b.r - 1;
+  }
+  if (total_supply != total_demand) {
+    return SolveResult{SolveStatus::kInfeasible, std::nullopt, 0};
+  }
+  // Most-constrained-first: larger blocks have longer words and tighter
+  // residue constraints.
+  std::vector<std::size_t> order(blocks.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b2) {
+                     return blocks[a].r > blocks[b2].r;
+                   });
+  std::vector<Time> extended = letter_delays;
+  for (int w = 1; w <= max_wait; ++w) {
+    for (const Time d : letter_delays) extended.push_back(d + w);
+  }
+  return Solver(std::move(extended), static_cast<int>(letter_delays.size()),
+                std::move(order), blocks, std::move(supplies), budget)
+      .run();
+}
+
+}  // namespace logpc::bcast

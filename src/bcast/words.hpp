@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bcast/automaton.hpp"
+
+/// \file words.hpp
+/// Global word assignment for block-cyclic continuous broadcast.
+///
+/// One word per block must be chosen so that (a) every word is legal for
+/// its block (automaton.hpp) and (b) the words together consume, at every
+/// time step, exactly the per-step leaf multiset of the broadcast tree
+/// (Section 3.2's first restriction), with one leaf left over for the
+/// receive-only processor.  The paper solves this by hand via the word
+/// forms of Lemma 3.1; we solve it by budgeted backtracking, which finds
+/// the same solutions and also *proves* infeasibility on small instances
+/// (e.g. L = 2, Theorem 3.4, and the paper's L = 4, t = 8 remark) when the
+/// search space is exhausted.
+
+namespace logpc::bcast {
+
+/// One block to be assigned a word: the internal tree node's out-degree
+/// (block size) and delay.
+struct BlockSpec {
+  int r = 1;
+  Time d = 0;
+};
+
+/// A complete assignment: words aligned with the input block list, plus the
+/// letter the receive-only processor consumes every step.
+struct WordAssignment {
+  std::vector<Word> words;
+  int receive_only_letter = 0;
+};
+
+/// Outcome of the search: found, proved infeasible (search space exhausted),
+/// or budget ran out first.
+enum class SolveStatus { kSolved, kInfeasible, kBudgetExhausted };
+
+struct SolveResult {
+  SolveStatus status = SolveStatus::kInfeasible;
+  std::optional<WordAssignment> assignment;  ///< set iff kSolved
+  std::uint64_t nodes_explored = 0;
+};
+
+/// Searches for a word assignment.
+///
+/// Waits (Section 3.5 / Theorem 3.8): with max_wait > 0, each word position
+/// may also use a *buffered* variant of a letter - the arrival sits in the
+/// receive buffer for w extra steps before being received, which shifts the
+/// position's effective role delay to delays[l] + w.  Buffered variants
+/// expand the alphabet: extended letter id e = l + w * letter_count
+/// (0 <= w <= max_wait).  Supplies remain per *base* letter; the
+/// receive-only processor always consumes at wait 0.
+///
+/// \param letter_delays  delay named by each base letter (the paper's
+///                       standard alphabet is t, t-1, ..., t-L+1; pruned
+///                       trees for the Theorem 3.5 construction may use
+///                       others)
+/// \param blocks         one entry per internal tree node
+/// \param supplies       per-step leaf count per base letter, consumed
+///                       exactly, with one unit left for the receive-only
+///                       processor
+/// \param max_wait       maximum buffering wait per reception (0 = strict
+///                       model)
+/// \param budget         maximum DFS nodes before giving up
+[[nodiscard]] SolveResult assign_words(const std::vector<Time>& letter_delays,
+                                       const std::vector<BlockSpec>& blocks,
+                                       std::vector<int> supplies,
+                                       int max_wait = 0,
+                                       std::uint64_t budget = 20'000'000);
+
+}  // namespace logpc::bcast

@@ -1,0 +1,26 @@
+#include "logp/params.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace logpc {
+
+void Params::require_valid() const {
+  if (!valid()) {
+    throw std::invalid_argument("invalid LogP parameters: " + to_string());
+  }
+}
+
+std::string Params::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Params& p) {
+  return os << "LogP(P=" << p.P << ", L=" << p.L << ", o=" << p.o
+            << ", g=" << p.g << ")";
+}
+
+}  // namespace logpc

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "logp/time.hpp"
+
+/// \file params.hpp
+/// The four LogP machine parameters and the timing rules derived from them.
+
+namespace logpc {
+
+/// The LogP machine description (Culler et al., PPoPP 1993), as used by the
+/// SPAA'93 broadcast/summation paper:
+///
+///  * `P` — number of processor/memory pairs,
+///  * `L` — latency: every message spends exactly `L` cycles in the network
+///    (the paper's synchronous timing assumption: "each message incurs the
+///    full latency of L"),
+///  * `o` — overhead: a processor is busy for `o` cycles on each send and on
+///    each receive,
+///  * `g` — gap: at least `g` cycles between successive sends (and between
+///    successive receives) at the same processor.
+///
+/// The network capacity constraint — at most ceil(L/g) messages in transit
+/// from or to any processor — is checked by the validator and simulator.
+struct Params {
+  int P = 1;
+  Time L = 1;
+  Time o = 0;
+  Time g = 1;
+
+  /// The postal model of Bar-Noy & Kipnis: g = 1, o = 0.  Sections 3 of the
+  /// paper (k-item and continuous broadcast) are analysed in this model.
+  static constexpr Params postal(int P, Time L) { return Params{P, L, 0, 1}; }
+
+  /// True iff the parameters describe a legal machine (P >= 1, L >= 1,
+  /// o >= 0, g >= 1).  The paper additionally normalises g <= L for the
+  /// capacity bound to be meaningful; we do not require that.
+  [[nodiscard]] bool valid() const {
+    return P >= 1 && L >= 1 && o >= 0 && g >= 1;
+  }
+
+  /// Throws std::invalid_argument when !valid().
+  void require_valid() const;
+
+  /// Network capacity per endpoint: ceil(L/g) messages may be in transit
+  /// from any one processor, or to any one processor, at any time.
+  [[nodiscard]] long capacity() const {
+    return static_cast<long>((L + g - 1) / g);
+  }
+
+  /// True iff this is a postal-model instance (g == 1, o == 0), where the
+  /// closed-form Fibonacci results of Section 2 apply directly.
+  [[nodiscard]] bool is_postal() const { return g == 1 && o == 0; }
+
+  /// Cycles from the *start* of a send to the datum being available at the
+  /// receiver: o (send overhead) + L (wire) + o (receive overhead).
+  [[nodiscard]] Time transfer_time() const { return L + 2 * o; }
+
+  /// Label of the i-th child (i >= 0) of a universal-broadcast-tree node
+  /// labelled `parent`: the parent starts its i-th send g*i cycles after
+  /// becoming informed and the datum lands transfer_time() later.
+  [[nodiscard]] Time child_label(Time parent, int i) const {
+    return parent + static_cast<Time>(i) * g + transfer_time();
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Params&, const Params&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Params& p);
+
+}  // namespace logpc

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+/// \file time.hpp
+/// Fundamental scalar types shared by every subsystem.
+///
+/// All times in this library are integer processor cycles, as in the LogP
+/// paper: L, o and g are "measured in units of processor cycles" and every
+/// schedule event happens at an integral cycle.
+
+namespace logpc {
+
+/// A point in (or duration of) simulated time, in processor cycles.
+using Time = std::int64_t;
+
+/// Index of a processor, 0-based.  The paper numbers processors 1..P; we use
+/// 0..P-1 throughout and note the offset where it matters for figures.
+using ProcId = std::int32_t;
+
+/// Index of a broadcast item (0-based: item 0 is the paper's item 1 / "a").
+using ItemId = std::int32_t;
+
+/// Sentinel for "never" / "not yet scheduled".
+inline constexpr Time kNever = std::numeric_limits<Time>::max();
+
+/// Sentinel for "no processor".
+inline constexpr ProcId kNoProc = -1;
+
+}  // namespace logpc

@@ -1,0 +1,173 @@
+#include "sched/builder.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace logpc {
+
+namespace {
+
+// Inserts t into a sorted vector.
+void insert_sorted(std::vector<Time>& v, Time t) {
+  v.insert(std::upper_bound(v.begin(), v.end(), t), t);
+}
+
+// True iff half-open intervals [a, a+len) and [b, b+len2) overlap.
+bool overlaps(Time a, Time alen, Time b, Time blen) {
+  return a < b + blen && b < a + alen;
+}
+
+}  // namespace
+
+ScheduleBuilder::ScheduleBuilder(Params params, int num_items)
+    : sched_(params, num_items) {
+  params.require_valid();
+  if (num_items < 1) throw std::invalid_argument("builder: num_items >= 1");
+  const auto P = static_cast<std::size_t>(params.P);
+  send_starts_.resize(P);
+  recv_starts_.resize(P);
+  avail_.assign(P, std::vector<Time>(static_cast<std::size_t>(num_items),
+                                     kNever));
+}
+
+void ScheduleBuilder::check_proc(ProcId p, const char* what) const {
+  if (p < 0 || p >= params().P) {
+    throw std::logic_error(std::string("builder: bad processor for ") + what +
+                           ": " + std::to_string(p));
+  }
+}
+
+void ScheduleBuilder::check_item(ItemId i) const {
+  if (i < 0 || i >= sched_.num_items()) {
+    throw std::logic_error("builder: bad item " + std::to_string(i));
+  }
+}
+
+void ScheduleBuilder::place(ItemId item, ProcId proc, Time time) {
+  check_proc(proc, "place");
+  check_item(item);
+  sched_.add_initial(item, proc, time);
+  Time& a = avail_[static_cast<std::size_t>(proc)][static_cast<std::size_t>(item)];
+  a = std::min(a, time);
+}
+
+Time ScheduleBuilder::available(ProcId proc, ItemId item) const {
+  return avail_[static_cast<std::size_t>(proc)][static_cast<std::size_t>(item)];
+}
+
+bool ScheduleBuilder::can_recv_at(ProcId proc, Time recv_start) const {
+  const auto& recvs = recv_starts_[static_cast<std::size_t>(proc)];
+  const Time g = params().g;
+  const Time o = params().o;
+  for (const Time r : recvs) {
+    if (recv_start > r - g && recv_start < r + g) return false;
+  }
+  if (o > 0) {
+    for (const Time s : send_starts_[static_cast<std::size_t>(proc)]) {
+      if (overlaps(s, o, recv_start, o)) return false;
+    }
+  }
+  return true;
+}
+
+bool ScheduleBuilder::send_slot_free(ProcId proc, Time start) const {
+  const Time g = params().g;
+  const Time o = params().o;
+  for (const Time s : send_starts_[static_cast<std::size_t>(proc)]) {
+    if (start > s - g && start < s + g) return false;
+  }
+  if (o > 0) {
+    for (const Time r : recv_starts_[static_cast<std::size_t>(proc)]) {
+      if (overlaps(start, o, r, o)) return false;
+    }
+  }
+  return true;
+}
+
+Time ScheduleBuilder::earliest_send_start(ProcId from, Time not_before) const {
+  check_proc(from, "earliest_send_start");
+  Time t = not_before;
+  // Conflicts only push the start later; each committed event can bump t at
+  // most once per pass, so iterate to a fixpoint.
+  for (;;) {
+    bool moved = false;
+    const Time g = params().g;
+    const Time o = params().o;
+    for (const Time s : send_starts_[static_cast<std::size_t>(from)]) {
+      if (t > s - g && t < s + g) {
+        t = s + g;
+        moved = true;
+      }
+    }
+    if (o > 0) {
+      for (const Time r : recv_starts_[static_cast<std::size_t>(from)]) {
+        if (overlaps(t, o, r, o)) {
+          t = r + o;
+          moved = true;
+        }
+      }
+    }
+    if (!moved) return t;
+  }
+}
+
+Time ScheduleBuilder::send_at(Time start, ProcId from, ProcId to, ItemId item) {
+  check_proc(from, "send_at(from)");
+  check_proc(to, "send_at(to)");
+  check_item(item);
+  if (from == to) throw std::logic_error("builder: send to self");
+  const Time have = available(from, item);
+  if (have == kNever || have > start) {
+    throw std::logic_error("builder: P" + std::to_string(from) +
+                           " does not hold item " + std::to_string(item) +
+                           " at t=" + std::to_string(start));
+  }
+  if (!send_slot_free(from, start)) {
+    throw std::logic_error("builder: send slot conflict at P" +
+                           std::to_string(from) + " t=" +
+                           std::to_string(start));
+  }
+  const Time recv = start + params().o + params().L;
+  if (!can_recv_at(to, recv)) {
+    throw std::logic_error("builder: receive conflict at P" +
+                           std::to_string(to) + " t=" + std::to_string(recv));
+  }
+  sched_.add_send(SendOp{start, from, to, item, kNever});
+  insert_sorted(send_starts_[static_cast<std::size_t>(from)], start);
+  insert_sorted(recv_starts_[static_cast<std::size_t>(to)], recv);
+  const Time at = recv + params().o;
+  Time& a = avail_[static_cast<std::size_t>(to)][static_cast<std::size_t>(item)];
+  a = std::min(a, at);
+  return at;
+}
+
+Time ScheduleBuilder::send_earliest(ProcId from, ProcId to, ItemId item,
+                                    Time not_before) {
+  check_proc(from, "send_earliest(from)");
+  check_item(item);
+  const Time have = available(from, item);
+  if (have == kNever) {
+    throw std::logic_error("builder: P" + std::to_string(from) +
+                           " never holds item " + std::to_string(item));
+  }
+  Time t = earliest_send_start(from, std::max(not_before, have));
+  // The sender slot is legal at t; advance until the receiver can take the
+  // arrival too.  Advancing re-checks the sender.
+  while (!can_recv_at(to, t + params().o + params().L)) {
+    t = earliest_send_start(from, t + 1);
+  }
+  return send_at(t, from, to, item);
+}
+
+int ScheduleBuilder::sends_from(ProcId proc) const {
+  check_proc(proc, "sends_from");
+  return static_cast<int>(send_starts_[static_cast<std::size_t>(proc)].size());
+}
+
+Schedule ScheduleBuilder::take() {
+  sched_.sort();
+  return std::move(sched_);
+}
+
+}  // namespace logpc

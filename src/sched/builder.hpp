@@ -1,0 +1,75 @@
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+/// \file builder.hpp
+/// Incremental, constraint-aware schedule construction.
+///
+/// The builder tracks, per processor, every send start and receive start
+/// committed so far, plus the availability of each item, and can answer
+/// "when is the earliest legal cycle processor p can start a send?" — the
+/// primitive behind the paper's guiding idea that "all informed processors
+/// should send the datum to uninformed processors as early and as
+/// frequently as possible".
+///
+/// The builder enforces the *strict* model: receives happen exactly at
+/// message arrival.  Buffered schedules (Theorem 3.8) are assembled directly
+/// on Schedule with explicit recv_start values.
+
+namespace logpc {
+
+class ScheduleBuilder {
+ public:
+  ScheduleBuilder(Params params, int num_items);
+
+  [[nodiscard]] const Params& params() const { return sched_.params(); }
+
+  /// Declares `item` available at `proc` from `time` (a source or generated
+  /// item).
+  void place(ItemId item, ProcId proc, Time time = 0);
+
+  /// First cycle `proc` holds `item`, or kNever.
+  [[nodiscard]] Time available(ProcId proc, ItemId item) const;
+
+  /// True iff `proc` may legally begin receive overhead at `recv_start`
+  /// given the receives/sends committed so far (gap g between receive
+  /// starts; overhead intervals must not overlap when o > 0).
+  [[nodiscard]] bool can_recv_at(ProcId proc, Time recv_start) const;
+
+  /// Earliest t >= not_before at which `from` may begin a send: respects the
+  /// send gap g and (when o > 0) avoids overlapping its receive overheads.
+  [[nodiscard]] Time earliest_send_start(ProcId from, Time not_before) const;
+
+  /// Commits a send of `item` from `from` to `to` starting exactly at
+  /// `start`.  Throws std::logic_error if the sender does not hold the item,
+  /// the sender slot is illegal, or the receiver cannot accept the arrival —
+  /// construction bugs surface at build time, not validation time.
+  /// Returns the availability time at the receiver.
+  Time send_at(Time start, ProcId from, ProcId to, ItemId item);
+
+  /// Commits a send at the earliest legal start >= not_before such that the
+  /// receiver can also accept it (scanning forward in g-steps for the
+  /// receiver).  Returns availability time at the receiver.
+  Time send_earliest(ProcId from, ProcId to, ItemId item, Time not_before = 0);
+
+  /// Number of sends committed so far by `proc`.
+  [[nodiscard]] int sends_from(ProcId proc) const;
+
+  /// Finalizes: sorts sends and returns the schedule (builder left empty).
+  Schedule take();
+
+ private:
+  Schedule sched_;
+  // Per-processor committed send starts / receive starts, kept sorted.
+  std::vector<std::vector<Time>> send_starts_;
+  std::vector<std::vector<Time>> recv_starts_;
+  std::vector<std::vector<Time>> avail_;  // [proc][item]
+
+  [[nodiscard]] bool send_slot_free(ProcId proc, Time start) const;
+  void check_proc(ProcId p, const char* what) const;
+  void check_item(ItemId i) const;
+};
+
+}  // namespace logpc

@@ -1,0 +1,88 @@
+#include "sched/metrics.hpp"
+
+#include <algorithm>
+
+namespace logpc {
+
+std::vector<std::vector<Time>> availability_matrix(const Schedule& s) {
+  std::vector<std::vector<Time>> avail(
+      static_cast<std::size_t>(s.num_items()),
+      std::vector<Time>(static_cast<std::size_t>(s.params().P), kNever));
+  auto slot = [&](ItemId item, ProcId proc) -> Time& {
+    return avail[static_cast<std::size_t>(item)][static_cast<std::size_t>(proc)];
+  };
+  for (const auto& init : s.initials()) {
+    Time& t = slot(init.item, init.proc);
+    t = std::min(t, init.time);
+  }
+  for (const auto& op : s.sends()) {
+    Time& t = slot(op.item, op.to);
+    t = std::min(t, s.available_at(op));
+  }
+  return avail;
+}
+
+std::vector<ItemCompletion> item_completions(const Schedule& s) {
+  const auto avail = availability_matrix(s);
+  std::vector<ItemCompletion> out;
+  out.reserve(avail.size());
+  for (std::size_t item = 0; item < avail.size(); ++item) {
+    ItemCompletion c;
+    c.item = static_cast<ItemId>(item);
+    c.completed = 0;
+    for (const Time t : avail[item]) {
+      c.generated = std::min(c.generated, t);
+      c.completed = (t == kNever) ? kNever : std::max(c.completed, t);
+      if (c.completed == kNever) break;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+Time completion_time(const Schedule& s) {
+  Time worst = 0;
+  for (const auto& c : item_completions(s)) {
+    if (c.completed == kNever) return kNever;
+    worst = std::max(worst, c.completed);
+  }
+  return worst;
+}
+
+Time max_delay(const Schedule& s) {
+  Time worst = 0;
+  for (const auto& c : item_completions(s)) {
+    if (c.completed == kNever) return kNever;
+    worst = std::max(worst, c.delay());
+  }
+  return worst;
+}
+
+std::vector<int> receive_counts(const Schedule& s, ItemId item) {
+  std::vector<int> counts(static_cast<std::size_t>(s.params().P), 0);
+  for (const auto& op : s.sends()) {
+    if (op.item == item) ++counts[static_cast<std::size_t>(op.to)];
+  }
+  return counts;
+}
+
+std::vector<int> send_counts(const Schedule& s) {
+  std::vector<int> counts(static_cast<std::size_t>(s.params().P), 0);
+  for (const auto& op : s.sends()) {
+    ++counts[static_cast<std::size_t>(op.from)];
+  }
+  return counts;
+}
+
+bool is_single_sending(const Schedule& s, ProcId source) {
+  std::vector<int> per_item(static_cast<std::size_t>(s.num_items()), 0);
+  for (const auto& op : s.sends()) {
+    if (op.from == source &&
+        ++per_item[static_cast<std::size_t>(op.item)] > 1) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace logpc

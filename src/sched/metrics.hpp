@@ -1,0 +1,51 @@
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+/// \file metrics.hpp
+/// Derived quantities the paper's theorems are stated in terms of: per-item
+/// completion times and delays, overall makespan, availability matrices.
+
+namespace logpc {
+
+/// availability[item][proc] = first cycle `proc` holds `item` (kNever if it
+/// never does).  One pass over the schedule.
+[[nodiscard]] std::vector<std::vector<Time>> availability_matrix(
+    const Schedule& s);
+
+/// Timing summary of one item's broadcast.
+struct ItemCompletion {
+  ItemId item = 0;
+  Time generated = kNever;  ///< earliest availability anywhere (its creation)
+  Time completed = kNever;  ///< cycle by which every processor holds it
+  /// The paper's *delay* of an item (Section 3.1): completed - generated.
+  [[nodiscard]] Time delay() const {
+    return completed == kNever ? kNever : completed - generated;
+  }
+};
+
+/// Per-item completion data; an item no processor ever misses has
+/// completed != kNever.
+[[nodiscard]] std::vector<ItemCompletion> item_completions(const Schedule& s);
+
+/// Cycle by which every processor holds every item; kNever if some item
+/// never reaches some processor.
+[[nodiscard]] Time completion_time(const Schedule& s);
+
+/// Maximum item delay (the objective of continuous broadcast); kNever if
+/// any item is incomplete.
+[[nodiscard]] Time max_delay(const Schedule& s);
+
+/// Number of transmissions of `item` received per processor.
+[[nodiscard]] std::vector<int> receive_counts(const Schedule& s, ItemId item);
+
+/// Number of sends issued by each processor (any item).
+[[nodiscard]] std::vector<int> send_counts(const Schedule& s);
+
+/// True iff the designated source processor transmits each item at most
+/// once (the "single-sending" property of Section 3.4).
+[[nodiscard]] bool is_single_sending(const Schedule& s, ProcId source);
+
+}  // namespace logpc

@@ -1,0 +1,50 @@
+#pragma once
+
+#include <compare>
+
+#include "logp/time.hpp"
+
+/// \file ops.hpp
+/// Primitive schedule operations.  The only communication primitive in LogP
+/// is point-to-point message transmission, so a communication schedule is a
+/// list of timed sends; receive timing is derived (or, in the buffered model
+/// of Theorem 3.8, explicitly chosen).
+
+namespace logpc {
+
+/// One point-to-point transmission of one item.
+///
+/// Timing (strict LogP, synchronous assumption of the paper):
+///   [start, start+o)           sender busy with send overhead
+///   [start+o, start+o+L)       message on the wire
+///   [start+o+L, start+2o+L)    receiver busy with receive overhead
+///   start + L + 2o             item available at receiver
+///
+/// In the modified model of Section 3.5 the message enters the receiver's
+/// buffer at start+o+L and the receiver may begin the receive overhead at
+/// any recv_start >= start+o+L; set `recv_start` to that time.  Leaving it
+/// at kNever means "receive immediately on arrival" (strict model).
+struct SendOp {
+  Time start = 0;
+  ProcId from = kNoProc;
+  ProcId to = kNoProc;
+  ItemId item = 0;
+  Time recv_start = kNever;  ///< kNever = start + o + L (no buffering delay)
+
+  friend auto operator<=>(const SendOp&, const SendOp&) = default;
+};
+
+/// When an item first exists somewhere without being received: the initial
+/// placement of broadcast sources or summation operands, or an item
+/// *generated* at a source mid-run (continuous broadcast generates item i at
+/// time i*g).
+struct InitialPlacement {
+  ItemId item = 0;
+  ProcId proc = kNoProc;
+  Time time = 0;  ///< cycle at which the item becomes available at `proc`
+
+  friend auto operator<=>(const InitialPlacement&,
+                          const InitialPlacement&) = default;
+};
+
+}  // namespace logpc

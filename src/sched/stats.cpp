@@ -1,0 +1,64 @@
+#include "sched/stats.hpp"
+
+#include <algorithm>
+
+namespace logpc {
+
+std::vector<std::pair<int, int>> traffic_per_proc(const Schedule& s) {
+  std::vector<std::pair<int, int>> counts(
+      static_cast<std::size_t>(s.params().P), {0, 0});
+  for (const auto& op : s.sends()) {
+    ++counts[static_cast<std::size_t>(op.from)].first;
+    ++counts[static_cast<std::size_t>(op.to)].second;
+  }
+  return counts;
+}
+
+ScheduleStats schedule_stats(const Schedule& s) {
+  ScheduleStats st;
+  st.makespan = s.makespan();
+  st.messages = s.sends().size();
+
+  const auto traffic = traffic_per_proc(s);
+  for (const auto& [sends, recvs] : traffic) {
+    st.max_sends_per_proc = std::max(st.max_sends_per_proc, sends);
+    st.max_recvs_per_proc = std::max(st.max_recvs_per_proc, recvs);
+  }
+
+  const Time o = s.params().o;
+  const int P = s.params().P;
+  double busy_sum = 0.0;
+  if (st.makespan > 0) {
+    for (const auto& [sends, recvs] : traffic) {
+      const Time busy = o * (sends + recvs);
+      st.total_overhead += busy;
+      const double frac =
+          static_cast<double>(busy) / static_cast<double>(st.makespan);
+      busy_sum += frac;
+      st.max_busy_fraction = std::max(st.max_busy_fraction, frac);
+    }
+    st.avg_busy_fraction = busy_sum / P;
+  }
+
+  // Peak in flight: sweep wire intervals [start+o, start+o+L).
+  std::vector<std::pair<Time, int>> events;
+  events.reserve(2 * s.sends().size());
+  for (const auto& op : s.sends()) {
+    events.emplace_back(op.start + o, +1);
+    events.emplace_back(op.start + o + s.params().L, -1);
+  }
+  std::sort(events.begin(), events.end());
+  int depth = 0;
+  for (const auto& [t, d] : events) {
+    depth += d;
+    st.peak_in_flight = std::max(st.peak_in_flight, depth);
+  }
+
+  for (const auto& op : s.sends()) {
+    const int dist = ((op.to - op.from) % P + P) % P;
+    ++st.distance_histogram[dist];
+  }
+  return st;
+}
+
+}  // namespace logpc

@@ -1,0 +1,38 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+/// \file stats.hpp
+/// Aggregate schedule statistics: utilization, load balance, and traffic
+/// shape.  Used by the benches and examples to characterize schedules
+/// beyond their completion time.
+
+namespace logpc {
+
+struct ScheduleStats {
+  Time makespan = 0;           ///< last availability event
+  std::size_t messages = 0;    ///< total transmissions
+  Time total_overhead = 0;     ///< processor cycles spent in o-windows
+  double avg_busy_fraction = 0.0;  ///< mean per-processor busy/makespan
+  double max_busy_fraction = 0.0;  ///< the busiest processor's fraction
+  int max_sends_per_proc = 0;
+  int max_recvs_per_proc = 0;
+  /// messages in flight, sampled at every event boundary: worst case
+  /// network occupancy.
+  int peak_in_flight = 0;
+  /// per send-distance (to - from mod P) message counts: the traffic
+  /// pattern's shape (e.g. all-to-all rotations show a flat histogram).
+  std::map<int, std::size_t> distance_histogram;
+};
+
+/// Computes the statistics in one pass.  Empty schedules yield zeros.
+[[nodiscard]] ScheduleStats schedule_stats(const Schedule& s);
+
+/// Convenience: per-processor (sends, receives) counts.
+[[nodiscard]] std::vector<std::pair<int, int>> traffic_per_proc(
+    const Schedule& s);
+
+}  // namespace logpc

@@ -1,0 +1,221 @@
+#include "search/bcast_search.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "bcast/kitem_bounds.hpp"
+#include "logp/fib.hpp"
+
+namespace logpc::search {
+
+namespace {
+
+// One processor's view: which items it has, and for each item the arrival
+// step of an in-flight copy (0 = none).  All messages take exactly L, so
+// two copies of one item in flight to one processor would be wasteful and
+// are never generated.
+struct ProcState {
+  unsigned has = 0;
+  std::vector<Time> arrival;  // per item; 0 = none
+};
+
+class Searcher {
+ public:
+  Searcher(int P, Time L, int k, Time T, const SearchLimits& limits)
+      : P_(P), L_(L), k_(k), T_(T), limits_(limits), fib_(L) {}
+
+  std::optional<bool> run() {
+    std::vector<ProcState> procs(static_cast<std::size_t>(P_));
+    for (auto& ps : procs) {
+      ps.arrival.assign(static_cast<std::size_t>(k_), 0);
+    }
+    procs[0].has = (k_ >= 32) ? ~0u : ((1u << k_) - 1u);
+    const bool ok = dfs(0, procs);
+    if (exhausted_) return std::nullopt;
+    return ok;
+  }
+
+  /// The sends of the successful schedule (valid after run() == true).
+  [[nodiscard]] const std::vector<SendOp>& witness() const { return trail_; }
+
+ private:
+  int P_;
+  Time L_;
+  int k_;
+  Time T_;
+  SearchLimits limits_;
+  Fib fib_;
+  std::uint64_t nodes_ = 0;
+  bool exhausted_ = false;
+  std::unordered_set<std::string> failed_;  // (step, canonical state)
+  std::vector<SendOp> trail_;  // sends on the current DFS path
+
+  bool all_done(const std::vector<ProcState>& procs) const {
+    const unsigned full = (k_ >= 32) ? ~0u : ((1u << k_) - 1u);
+    return std::all_of(procs.begin(), procs.end(), [full](const ProcState& p) {
+      return (p.has & full) == full;
+    });
+  }
+
+  // Admissible pruning: even if every holder spreads an item optimally, the
+  // processors holding it by T are bounded by sum of f_(time left).
+  bool can_still_finish(Time s, const std::vector<ProcState>& procs) {
+    for (ItemId i = 0; i < k_; ++i) {
+      Count potential = 0;
+      for (const auto& ps : procs) {
+        if ((ps.has >> i) & 1u) {
+          potential = sat_add(potential, fib_.f(T_ - s));
+        } else if (ps.arrival[static_cast<std::size_t>(i)] != 0 &&
+                   ps.arrival[static_cast<std::size_t>(i)] <= T_) {
+          potential = sat_add(
+              potential, fib_.f(T_ - ps.arrival[static_cast<std::size_t>(i)]));
+        }
+      }
+      if (potential < static_cast<Count>(P_)) return false;
+    }
+    return true;
+  }
+
+  std::string canonical(Time s, const std::vector<ProcState>& procs) const {
+    std::vector<std::string> sigs;
+    sigs.reserve(procs.size() - 1);
+    std::string key;
+    key.push_back(static_cast<char>(s));
+    auto sig = [&](const ProcState& ps) {
+      std::string out;
+      out.push_back(static_cast<char>(ps.has & 0xff));
+      out.push_back(static_cast<char>((ps.has >> 8) & 0xff));
+      for (const Time a : ps.arrival) {
+        out.push_back(static_cast<char>(a == 0 ? 0 : a - s));
+      }
+      return out;
+    };
+    key += sig(procs[0]);
+    for (std::size_t p = 1; p < procs.size(); ++p) sigs.push_back(sig(procs[p]));
+    std::sort(sigs.begin(), sigs.end());
+    for (const auto& x : sigs) key += x;
+    return key;
+  }
+
+  bool dfs(Time s, std::vector<ProcState>& procs) {
+    if (all_done(procs)) return true;
+    if (s >= T_) return false;
+    if (++nodes_ > limits_.max_nodes) {
+      exhausted_ = true;
+      return false;
+    }
+    if (!can_still_finish(s, procs)) return false;
+    const std::string key = canonical(s, procs);
+    if (failed_.contains(key)) return false;
+
+    // Enumerate per-processor send choices (including idle), then advance.
+    std::vector<std::pair<ProcId, ItemId>> sends;  // (target, item) per proc
+    std::vector<bool> targeted(static_cast<std::size_t>(P_), false);
+    const bool ok = choose(0, s, procs, sends, targeted);
+    if (exhausted_) return false;
+    if (!ok) failed_.insert(key);
+    return ok;
+  }
+
+  // Recursively pick processor `p`'s action for step s.
+  bool choose(ProcId p, Time s, std::vector<ProcState>& procs,
+              std::vector<std::pair<ProcId, ItemId>>& sends,
+              std::vector<bool>& targeted) {
+    if (exhausted_) return false;
+    if (p == P_) return advance(s, procs, sends);
+    bool any_useful = false;
+    for (ItemId i = 0; i < k_ && !exhausted_; ++i) {
+      if (!((procs[static_cast<std::size_t>(p)].has >> i) & 1u)) continue;
+      for (ProcId q = 0; q < P_ && !exhausted_; ++q) {
+        if (q == p || targeted[static_cast<std::size_t>(q)]) continue;
+        auto& qs = procs[static_cast<std::size_t>(q)];
+        if ((qs.has >> i) & 1u) continue;
+        if (qs.arrival[static_cast<std::size_t>(i)] != 0) continue;
+        any_useful = true;
+        targeted[static_cast<std::size_t>(q)] = true;
+        qs.arrival[static_cast<std::size_t>(i)] = s + L_;
+        sends.emplace_back(q, i);
+        trail_.push_back(SendOp{s, p, q, i, kNever});
+        const bool done = choose(p + 1, s, procs, sends, targeted);
+        if (done) return true;  // keep the witness on the trail
+        trail_.pop_back();
+        sends.pop_back();
+        qs.arrival[static_cast<std::size_t>(i)] = 0;
+        targeted[static_cast<std::size_t>(q)] = false;
+      }
+    }
+    if (!any_useful) {
+      // Idling is only allowed when no useful send exists: receiving more
+      // never hurts in the postal model, so maximal assignments dominate.
+      return choose(p + 1, s, procs, sends, targeted);
+    }
+    return false;
+  }
+
+  bool advance(Time s, std::vector<ProcState>& procs,
+               const std::vector<std::pair<ProcId, ItemId>>& sends) {
+    // Materialize arrivals due at s + 1.
+    std::vector<std::pair<ProcId, ItemId>> landed;
+    for (ProcId q = 0; q < P_; ++q) {
+      auto& qs = procs[static_cast<std::size_t>(q)];
+      for (ItemId i = 0; i < k_; ++i) {
+        if (qs.arrival[static_cast<std::size_t>(i)] == s + 1) {
+          qs.arrival[static_cast<std::size_t>(i)] = 0;
+          qs.has |= 1u << i;
+          landed.emplace_back(q, i);
+        }
+      }
+    }
+    const bool ok = dfs(s + 1, procs);
+    for (const auto& [q, i] : landed) {
+      auto& qs = procs[static_cast<std::size_t>(q)];
+      qs.has &= ~(1u << i);
+      qs.arrival[static_cast<std::size_t>(i)] = s + 1;
+    }
+    (void)sends;
+    return ok;
+  }
+};
+
+}  // namespace
+
+std::optional<bool> feasible(int P, Time L, int k, Time T,
+                             const SearchLimits& limits) {
+  if (P < 1 || L < 1 || k < 1 || k > 16 || T < 0) {
+    throw std::invalid_argument("search::feasible: bad arguments");
+  }
+  if (P == 1) return true;
+  return Searcher(P, L, k, T, limits).run();
+}
+
+std::optional<Time> min_completion(int P, Time L, int k,
+                                   const SearchLimits& limits) {
+  if (P < 2) return Time{0};
+  const auto bounds = bcast::kitem_bounds(P, L, k);
+  for (Time T = bounds.general_lower; T <= limits.max_T; ++T) {
+    const auto f = feasible(P, L, k, T, limits);
+    if (!f.has_value()) return std::nullopt;
+    if (*f) return T;
+  }
+  return std::nullopt;
+}
+
+std::optional<Schedule> optimal_schedule(int P, Time L, int k,
+                                         const SearchLimits& limits) {
+  const auto T = min_completion(P, L, k, limits);
+  if (!T.has_value()) return std::nullopt;
+  Schedule s(Params::postal(std::max(P, 1), L), k);
+  for (ItemId i = 0; i < k; ++i) s.add_initial(i, 0, 0);
+  if (P < 2) return s;
+  Searcher searcher(P, L, k, *T, limits);
+  const auto ok = searcher.run();
+  if (!ok.has_value() || !*ok) return std::nullopt;  // budget race
+  for (const auto& op : searcher.witness()) s.add_send(op);
+  s.sort();
+  return s;
+}
+
+}  // namespace logpc::search

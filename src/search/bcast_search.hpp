@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "logp/time.hpp"
+#include "sched/schedule.hpp"
+
+/// \file bcast_search.hpp
+/// Exact optimal k-item broadcast times for tiny instances, by exhaustive
+/// state-space search over all postal-model schedules.  Used to *certify*
+/// the constructions: on every instance small enough to search, the
+/// library's schedules must match the true optimum (or the theorems'
+/// bounds, where the paper itself proves slack is unavoidable).
+
+namespace logpc::search {
+
+struct SearchLimits {
+  std::uint64_t max_nodes = 50'000'000;  ///< DFS node budget
+  Time max_T = 64;                       ///< give up beyond this horizon
+};
+
+/// Decides whether all k items (initially at processor 0) can reach all P
+/// processors by time T in the postal model with latency L.  Exact;
+/// nullopt if the node budget was exhausted before deciding.
+[[nodiscard]] std::optional<bool> feasible(int P, Time L, int k, Time T,
+                                           const SearchLimits& limits = {});
+
+/// The exact minimum completion time, found by scanning T upward from the
+/// Theorem 3.1 lower bound.  nullopt if any decision ran out of budget.
+[[nodiscard]] std::optional<Time> min_completion(
+    int P, Time L, int k, const SearchLimits& limits = {});
+
+/// A certified-optimal schedule: min_completion's witness, extracted from
+/// the successful search path.  nullopt on budget exhaustion.  The result
+/// may be multi-sending (the Theorem 3.2 endgame) - the only construction
+/// in this library that is optimal over *all* schedules, not just
+/// single-sending ones.
+[[nodiscard]] std::optional<Schedule> optimal_schedule(
+    int P, Time L, int k, const SearchLimits& limits = {});
+
+}  // namespace logpc::search

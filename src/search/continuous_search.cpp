@@ -1,0 +1,178 @@
+#include "search/continuous_search.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace logpc::search {
+
+namespace {
+
+using bcast::BroadcastTree;
+using bcast::ContinuousResult;
+using bcast::SolveStatus;
+
+// One class of interchangeable internal nodes of the base tree: same delay,
+// hence same out-degree and same number of trailing leaf children.
+struct NodeClass {
+  Time delay = 0;
+  int trailing_leaves = 0;        // per node: prunable children
+  std::vector<int> node_indices;  // base-tree nodes in this class
+};
+
+class PruningSearch {
+ public:
+  PruningSearch(const BroadcastTree& base, int target_nodes,
+                std::size_t max_candidates, std::uint64_t word_budget)
+      : base_(base),
+        need_remove_(base.size() - target_nodes),
+        max_candidates_(max_candidates),
+        word_budget_(word_budget) {}
+
+  ContinuousResult run() {
+    if (need_remove_ < 0) {
+      throw std::invalid_argument("plan_with_slack: target larger than base");
+    }
+    collect_classes();
+    removals_.assign(static_cast<std::size_t>(base_.size()), 0);
+    result_.status = SolveStatus::kInfeasible;
+    dfs(0, need_remove_);
+    return std::move(result_);
+  }
+
+ private:
+  const BroadcastTree& base_;
+  int need_remove_;
+  std::size_t max_candidates_;
+  std::uint64_t word_budget_;
+  std::vector<NodeClass> classes_;
+  std::vector<int> removals_;  // per base node: trailing leaves to cut
+  std::size_t candidates_tried_ = 0;
+  ContinuousResult result_;
+
+  void collect_classes() {
+    const Time tL = base_.params().L;
+    const Time horizon = base_.makespan();
+    std::map<Time, NodeClass> by_delay;
+    for (int v = 0; v < base_.size(); ++v) {
+      const auto& node = base_.node(v);
+      if (node.children.empty()) continue;
+      int trailing = 0;
+      for (auto it = node.children.rbegin(); it != node.children.rend();
+           ++it) {
+        if (!base_.node(*it).children.empty()) break;
+        ++trailing;
+      }
+      auto& cls = by_delay[node.label];
+      cls.delay = node.label;
+      cls.trailing_leaves = trailing;
+      cls.node_indices.push_back(v);
+    }
+    (void)tL;
+    (void)horizon;
+    // Big blocks first: the paper prunes high-degree nodes preferentially.
+    for (auto& [delay, cls] : by_delay) classes_.push_back(std::move(cls));
+    std::sort(classes_.begin(), classes_.end(),
+              [](const NodeClass& a, const NodeClass& b) {
+                return a.delay < b.delay;  // low delay = high degree first
+              });
+  }
+
+  // Assign removals to class `ci` onward; nodes within a class are
+  // interchangeable, so removal vectors are non-increasing within a class.
+  bool dfs(std::size_t ci, int remaining) {
+    if (candidates_tried_ >= max_candidates_) return false;
+    if (ci == classes_.size()) {
+      if (remaining != 0) return false;
+      return try_candidate();
+    }
+    const auto& cls = classes_[ci];
+    return assign_in_class(ci, 0, cls.trailing_leaves, remaining);
+  }
+
+  bool assign_in_class(std::size_t ci, std::size_t ni, int max_removal,
+                       int remaining) {
+    if (candidates_tried_ >= max_candidates_) return false;
+    const auto& cls = classes_[ci];
+    if (ni == cls.node_indices.size()) return dfs(ci + 1, remaining);
+    const int node = cls.node_indices[ni];
+    // Try removing more first (the paper's recipe removes aggressively from
+    // the biggest blocks); cap by non-increasing order within the class.
+    for (int x = std::min(max_removal, remaining); x >= 0; --x) {
+      removals_[static_cast<std::size_t>(node)] = x;
+      if (assign_in_class(ci, ni + 1, x, remaining - x)) return true;
+    }
+    removals_[static_cast<std::size_t>(node)] = 0;
+    return false;
+  }
+
+  bool try_candidate() {
+    ++candidates_tried_;
+    // Build the pruned parents array in base-index order.
+    std::vector<bool> removed(static_cast<std::size_t>(base_.size()), false);
+    for (int v = 0; v < base_.size(); ++v) {
+      const int x = removals_[static_cast<std::size_t>(v)];
+      const auto& children = base_.node(v).children;
+      for (int j = 0; j < x; ++j) {
+        removed[static_cast<std::size_t>(
+            children[children.size() - 1 - static_cast<std::size_t>(j)])] =
+            true;
+      }
+    }
+    std::vector<int> new_index(static_cast<std::size_t>(base_.size()), -1);
+    std::vector<int> parents;
+    for (int v = 0; v < base_.size(); ++v) {
+      if (removed[static_cast<std::size_t>(v)]) continue;
+      new_index[static_cast<std::size_t>(v)] =
+          static_cast<int>(parents.size());
+      const int bp = base_.node(v).parent;
+      parents.push_back(bp < 0 ? -1
+                               : new_index[static_cast<std::size_t>(bp)]);
+    }
+    const BroadcastTree pruned =
+        BroadcastTree::from_parents(base_.params(), parents);
+    auto res = bcast::plan_from_tree(pruned, word_budget_);
+    result_.nodes_explored += res.nodes_explored;
+    if (res.status == SolveStatus::kSolved) {
+      result_.status = SolveStatus::kSolved;
+      result_.plan = std::move(res.plan);
+      return true;
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+ContinuousResult plan_with_slack(Time L, int m, int slack,
+                                 std::size_t max_candidates,
+                                 std::uint64_t word_budget) {
+  if (L < 1 || m < 1 || slack < 0) {
+    throw std::invalid_argument("plan_with_slack: bad arguments");
+  }
+  if (m > (1 << 18)) {
+    throw std::invalid_argument("plan_with_slack: m too large");
+  }
+  const Params tree_params = Params::postal(m, L);
+  const Time t = bcast::B_of_P(tree_params, m);
+  const Count base_size = bcast::reachable(tree_params, t + slack);
+  if (base_size > (Count{1} << 20)) {
+    throw std::invalid_argument("plan_with_slack: base tree too large");
+  }
+  const BroadcastTree base = BroadcastTree::optimal(
+      tree_params, static_cast<int>(base_size));
+  return PruningSearch(base, m, max_candidates, word_budget).run();
+}
+
+ContinuousResult best_continuous_plan(Time L, int m) {
+  auto res = plan_with_slack(L, m, 0);
+  if (res.status == SolveStatus::kSolved) return res;
+  for (int slack = 1; slack <= static_cast<int>(L); ++slack) {
+    auto pruned = plan_with_slack(L, m, slack);
+    if (pruned.status == SolveStatus::kSolved) return pruned;
+  }
+  return res;
+}
+
+}  // namespace logpc::search

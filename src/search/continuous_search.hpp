@@ -1,0 +1,39 @@
+#pragma once
+
+#include "bcast/continuous.hpp"
+
+/// \file continuous_search.hpp
+/// The Theorem 3.5 construction, generalized: when the optimal B(m)-step
+/// tree on m receivers admits no block-cyclic assignment (always for L = 2
+/// with t >= 4 - Theorem 3.4; the isolated L = 4, t = 8 case the paper
+/// notes; and many non-exact m), allow `slack` extra steps of delay and
+/// search over *pruned* (B(m)+slack)-step trees on the same m receivers.
+///
+/// The paper prunes the P(t+1) tree by removing leaves from selected nodes
+/// ("both leaves from a fraction f of the nodes with 3 children ... the
+/// leaf with larger delay from a fraction g of the nodes with a single
+/// child") until block sizes and letters admit block-cyclic words.  We
+/// search the same space - trailing-leaf removals per internal node class -
+/// and hand each candidate tree to the word solver.
+
+namespace logpc::search {
+
+/// Attempts a block-cyclic continuous plan with delay L + B(m) + slack on
+/// m receivers (+ source).  Tries candidate prunings of the (B(m)+slack)-
+/// step universal tree (removing only trailing leaf children, so sends
+/// stay consecutive) until the word solver succeeds.
+///
+/// \param max_candidates  pruning shapes to try before giving up
+[[nodiscard]] bcast::ContinuousResult plan_with_slack(
+    Time L, int m, int slack = 1, std::size_t max_candidates = 20'000,
+    std::uint64_t word_budget = 2'000'000);
+
+/// The best block-cyclic plan for m receivers: optimal delay first
+/// (Theorem 3.3), then slack 1, 2, ..., L (Theorem 3.5 and its
+/// generalization to non-exact m).  Slack <= L - 1 keeps the implied
+/// k-item completion B(m) + L + slack + k - 1 within the Theorem 3.6
+/// guarantee; slack L - 1 < sigma is never needed in practice but L is
+/// tried as a last resort.
+[[nodiscard]] bcast::ContinuousResult best_continuous_plan(Time L, int m);
+
+}  // namespace logpc::search

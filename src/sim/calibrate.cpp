@@ -1,0 +1,90 @@
+#include "sim/calibrate.hpp"
+
+#include <memory>
+#include <stdexcept>
+
+#include "sched/metrics.hpp"
+#include "sim/engine.hpp"
+
+namespace logpc::sim {
+
+namespace {
+
+// Sends every target the probe item as soon as it is held.
+class Burst : public Program {
+ public:
+  explicit Burst(std::vector<ProcId> targets) : targets_(std::move(targets)) {}
+  void on_item(Context& ctx, ItemId item) override {
+    for (const ProcId t : targets_) ctx.send(t, item);
+  }
+
+ private:
+  std::vector<ProcId> targets_;
+};
+
+// Forwards a specific item to a fixed target.
+class ForwardOne : public Program {
+ public:
+  ForwardOne(ItemId item, ProcId to) : item_(item), to_(to) {}
+  void on_item(Context& ctx, ItemId item) override {
+    if (item == item_) ctx.send(to_, item);
+  }
+
+ private:
+  ItemId item_;
+  ProcId to_;
+};
+
+// Measures the gap: one processor bursts two messages; their send starts
+// differ by exactly g.
+Time probe_gap(const Params& actual) {
+  Engine e(Params{3, actual.L, actual.o, actual.g}, 1);
+  e.set_program(0, std::make_unique<Burst>(std::vector<ProcId>{1, 2}));
+  e.place(0, 0, 0);
+  const auto run = e.run();
+  if (run.schedule.sends().size() != 2) {
+    throw std::logic_error("calibrate: gap probe lost a message");
+  }
+  return run.schedule.sends()[1].start - run.schedule.sends()[0].start;
+}
+
+// Measures the overhead: P1 is hit by an arrival whose receive overhead
+// occupies [r, r+o); an independent send request issued at exactly r can
+// only start at r+o.
+Time probe_overhead(const Params& actual) {
+  const Params params{3, actual.L, actual.o, actual.g};
+  Engine e(params, 2);
+  e.set_program(0, std::make_unique<Burst>(std::vector<ProcId>{1}));
+  e.set_program(1, std::make_unique<ForwardOne>(1, 2));
+  e.place(0, 0, 0);                               // arrival busies P1
+  const Time r = actual.o + actual.L;             // receive-overhead start
+  e.place(1, 1, r);                               // P1 wants to send now
+  const auto run = e.run();
+  for (const auto& op : run.schedule.sends()) {
+    if (op.from == 1) return op.start - r;
+  }
+  throw std::logic_error("calibrate: overhead probe lost the send");
+}
+
+// Measures o + L + o: a single ping's availability time.
+Time probe_transfer(const Params& actual) {
+  Engine e(Params{2, actual.L, actual.o, actual.g}, 1);
+  e.set_program(0, std::make_unique<Burst>(std::vector<ProcId>{1}));
+  e.place(0, 0, 0);
+  const auto run = e.run();
+  return completion_time(run.schedule);
+}
+
+}  // namespace
+
+MeasuredParams calibrate(const Params& actual) {
+  actual.require_valid();
+  MeasuredParams m;
+  m.P = actual.P;
+  m.g = probe_gap(actual);
+  m.o = probe_overhead(actual);
+  m.L = probe_transfer(actual) - 2 * m.o;
+  return m;
+}
+
+}  // namespace logpc::sim

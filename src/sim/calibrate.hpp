@@ -1,0 +1,32 @@
+#pragma once
+
+#include "logp/params.hpp"
+
+/// \file calibrate.hpp
+/// LogP parameter measurement by probing, the way the LogP methodology
+/// calibrates real machines - run against our own simulator as a
+/// semantic self-check (the measured parameters must equal the configured
+/// ones) and as executable documentation of what each parameter *means*
+/// operationally:
+///
+///   g  - spacing of back-to-back sends from one processor,
+///   o  - how long an arrival blocks a processor's next send,
+///   L  - round-trip residue once 2o is subtracted from a ping,
+///   P  - the processor count.
+
+namespace logpc::sim {
+
+struct MeasuredParams {
+  int P = 0;
+  Time L = 0;
+  Time o = 0;
+  Time g = 0;
+
+  [[nodiscard]] Params as_params() const { return Params{P, L, o, g}; }
+};
+
+/// Probes an Engine configured with `actual` and reports what the probes
+/// measure.  For a correct simulator, calibrate(x).as_params() == x.
+[[nodiscard]] MeasuredParams calibrate(const Params& actual);
+
+}  // namespace logpc::sim

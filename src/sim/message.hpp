@@ -1,0 +1,20 @@
+#pragma once
+
+#include "logp/time.hpp"
+
+/// \file message.hpp
+/// The point-to-point message — the only communication primitive LogP
+/// machines provide.
+
+namespace logpc::sim {
+
+/// A message in flight.
+struct Message {
+  ProcId from = kNoProc;
+  ProcId to = kNoProc;
+  ItemId item = 0;
+  Time send_start = 0;  ///< cycle the sender began the send overhead
+  Time arrival = 0;     ///< send_start + o + L: earliest receivable cycle
+};
+
+}  // namespace logpc::sim

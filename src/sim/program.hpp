@@ -1,0 +1,47 @@
+#pragma once
+
+#include "logp/params.hpp"
+#include "logp/time.hpp"
+
+/// \file program.hpp
+/// Reactive per-processor programs for the simulator.  A program never sees
+/// global state: it reacts to items becoming available locally and asks the
+/// engine to transmit — exactly the information a real LogP processor has.
+
+namespace logpc::sim {
+
+/// Engine services exposed to a program during a callback.
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  [[nodiscard]] virtual const Params& params() const = 0;
+  [[nodiscard]] virtual ProcId self() const = 0;
+  [[nodiscard]] virtual Time now() const = 0;
+
+  /// True iff this processor already holds `item`.
+  [[nodiscard]] virtual bool has(ItemId item) const = 0;
+
+  /// Queues a transmission of `item` to `to`.  The engine issues queued
+  /// sends in FIFO order, each at the earliest cycle that respects the send
+  /// gap g and (for o > 0) this processor's receive overheads — i.e. "as
+  /// early and as frequently as possible".
+  virtual void send(ProcId to, ItemId item) = 0;
+};
+
+/// Per-processor behaviour.  Subclass and override; one instance per
+/// processor (stateful programs are the norm).
+class Program {
+ public:
+  virtual ~Program() = default;
+
+  /// Called once at the processor's first event time (cycle 0, or the first
+  /// initial placement).
+  virtual void on_start(Context& /*ctx*/) {}
+
+  /// Called whenever an item becomes available locally, whether by initial
+  /// placement or by message reception, at ctx.now().
+  virtual void on_item(Context& /*ctx*/, ItemId /*item*/) {}
+};
+
+}  // namespace logpc::sim

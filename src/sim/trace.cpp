@@ -1,0 +1,36 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace logpc::sim {
+
+Trace Trace::from(const Schedule& s) {
+  Trace trace;
+  trace.per_proc.resize(static_cast<std::size_t>(s.params().P));
+  const Time o = s.params().o;
+  for (const auto& op : s.sends()) {
+    trace.per_proc[static_cast<std::size_t>(op.from)].push_back(Activity{
+        ActivityKind::kSendOverhead, op.start, op.start + o, op.item, op.to});
+    const Time r = s.recv_start(op);
+    trace.per_proc[static_cast<std::size_t>(op.to)].push_back(
+        Activity{ActivityKind::kRecvOverhead, r, r + o, op.item, op.from});
+  }
+  for (auto& acts : trace.per_proc) {
+    std::sort(acts.begin(), acts.end(),
+              [](const Activity& a, const Activity& b) {
+                return std::tie(a.begin, a.end) < std::tie(b.begin, b.end);
+              });
+  }
+  return trace;
+}
+
+Time Trace::busy_cycles(ProcId p) const {
+  Time total = 0;
+  for (const auto& a : per_proc[static_cast<std::size_t>(p)]) {
+    total += a.end - a.begin;
+  }
+  return total;
+}
+
+}  // namespace logpc::sim

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+/// \file trace.hpp
+/// Per-processor activity extraction: converts a Schedule into the busy
+/// intervals each processor experiences, the data behind the activity
+/// charts of Figure 1 (right) and Figure 6 (left).
+
+namespace logpc::sim {
+
+enum class ActivityKind {
+  kSendOverhead,  ///< o cycles committing a message to the network
+  kRecvOverhead,  ///< o cycles accepting a message from the network
+};
+
+/// One busy interval [begin, end) on one processor.
+struct Activity {
+  ActivityKind kind = ActivityKind::kSendOverhead;
+  Time begin = 0;
+  Time end = 0;
+  ItemId item = 0;
+  ProcId peer = kNoProc;  ///< the other endpoint of the transmission
+};
+
+/// All activities of a machine, indexed by processor, each sorted by begin.
+struct Trace {
+  std::vector<std::vector<Activity>> per_proc;
+
+  /// Extracts the trace implied by `s` under LogP timing.  For o == 0 the
+  /// overhead intervals are zero-length points (kept — renderers mark them
+  /// as instants).
+  static Trace from(const Schedule& s);
+
+  /// Total busy cycles of processor `p`.
+  [[nodiscard]] Time busy_cycles(ProcId p) const;
+};
+
+}  // namespace logpc::sim

@@ -1,0 +1,88 @@
+#include "sum/executor.hpp"
+
+#include <algorithm>
+
+namespace logpc::sum {
+
+std::vector<ProcLayout> operand_layout(const SummationPlan& plan) {
+  const Time o = plan.params.o;
+  std::vector<ProcLayout> layout;
+  layout.reserve(plan.procs.size());
+  for (const auto& pp : plan.procs) {
+    ProcLayout pl;
+    pl.proc = pp.proc;
+    const auto k = pp.recv_times.size();
+    if (k == 0) {
+      // S cycles of additions: S + 1 operands.
+      pl.chunk_sizes.push_back(static_cast<std::size_t>(pp.send_time) + 1);
+    } else {
+      // Before the first reception: R_0 addition cycles -> R_0 + 1 operands.
+      pl.chunk_sizes.push_back(
+          static_cast<std::size_t>(pp.recv_times[0]) + 1);
+      // Between receptions: the cycles from the end of reception j-1's
+      // o+1 window to the start of reception j, each one addition folding
+      // one further operand (no +1: the accumulator already exists).
+      for (std::size_t j = 1; j < k; ++j) {
+        pl.chunk_sizes.push_back(static_cast<std::size_t>(
+            pp.recv_times[j] - (pp.recv_times[j - 1] + o + 1)));
+      }
+      // After the last reception, up to the send.
+      pl.chunk_sizes.push_back(static_cast<std::size_t>(
+          pp.send_time - (pp.recv_times[k - 1] + o + 1)));
+    }
+    layout.push_back(std::move(pl));
+  }
+  return layout;
+}
+
+std::vector<std::pair<ProcId, std::size_t>> combination_order(
+    const SummationPlan& plan) {
+  using Entry = std::pair<ProcId, std::size_t>;
+  const auto layout = operand_layout(plan);
+  std::vector<std::size_t> index_of(static_cast<std::size_t>(plan.params.P),
+                                    SIZE_MAX);
+  for (std::size_t i = 0; i < plan.procs.size(); ++i) {
+    index_of[static_cast<std::size_t>(plan.procs[i].proc)] = i;
+  }
+  std::vector<std::size_t> order(plan.procs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return plan.procs[a].send_time < plan.procs[b].send_time;
+  });
+  std::vector<std::vector<Entry>> seq(plan.procs.size());
+  for (const std::size_t i : order) {
+    const auto& pp = plan.procs[i];
+    const auto& chunks = layout[i].chunk_sizes;
+    std::vector<Entry> s;
+    std::size_t pos = 0;
+    auto emit_chunk = [&](std::size_t count) {
+      for (std::size_t c = 0; c < count; ++c) s.emplace_back(pp.proc, pos++);
+    };
+    emit_chunk(chunks[0]);
+    for (std::size_t j = 0; j < pp.recv_from.size(); ++j) {
+      auto& child =
+          seq[index_of[static_cast<std::size_t>(pp.recv_from[j])]];
+      s.insert(s.end(), child.begin(), child.end());
+      emit_chunk(chunks[j + 1]);
+    }
+    seq[i] = std::move(s);
+  }
+  return seq[index_of[static_cast<std::size_t>(plan.root)]];
+}
+
+long long execute_iota_sum(const SummationPlan& plan) {
+  const auto layout = operand_layout(plan);
+  std::vector<std::vector<long long>> operands;
+  long long next = 0;
+  for (const auto& pl : layout) {
+    std::vector<long long> vals(pl.total());
+    for (auto& v : vals) v = next++;
+    operands.push_back(std::move(vals));
+  }
+  return execute_summation<long long>(
+      plan, operands, [](const long long& a, const long long& b) {
+        return a + b;
+      });
+}
+
+}  // namespace logpc::sum

@@ -1,0 +1,113 @@
+#pragma once
+
+#include <functional>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sum/summation_tree.hpp"
+
+/// \file executor.hpp
+/// Concrete execution of a summation plan on real operand values.
+///
+/// The combine operator must be associative; it need not be commutative -
+/// the plan induces a definite leaf order (combination_order) and the
+/// executor folds operands exactly in that order, which realizes the
+/// paper's footnote that the commutative-optimal algorithm handles
+/// non-commutative '+' after renumbering the operands.
+
+namespace logpc::sum {
+
+/// Chunked layout of one processor's local operands: chunk j is summed
+/// between reception j-1 and reception j (chunk 0 before the first
+/// reception, the last chunk after the final one).
+struct ProcLayout {
+  ProcId proc = kNoProc;
+  std::vector<std::size_t> chunk_sizes;  ///< recv_count + 1 entries
+
+  [[nodiscard]] std::size_t total() const {
+    return std::accumulate(chunk_sizes.begin(), chunk_sizes.end(),
+                           std::size_t{0});
+  }
+};
+
+/// Per-processor operand layout implied by the plan's timing: chunk sizes
+/// follow from the gaps between receptions (each reception costs o+1
+/// cycles; every other pre-send cycle is one input addition).
+[[nodiscard]] std::vector<ProcLayout> operand_layout(const SummationPlan& plan);
+
+/// The order in which input operands enter the final result, as
+/// (processor, local index) pairs.  Folding operands by this order with any
+/// associative op reproduces execute_summation's result.
+[[nodiscard]] std::vector<std::pair<ProcId, std::size_t>> combination_order(
+    const SummationPlan& plan);
+
+/// Executes the plan.  operands[i] holds the local operands of
+/// plan.procs[i].proc, sized to match operand_layout (throws otherwise).
+/// Returns the root's final value.
+template <typename V>
+V execute_summation(const SummationPlan& plan,
+                    const std::vector<std::vector<V>>& operands,
+                    const std::function<V(const V&, const V&)>& op) {
+  const auto layout = operand_layout(plan);
+  if (operands.size() != plan.procs.size()) {
+    throw std::invalid_argument("execute_summation: wrong processor count");
+  }
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    if (operands[i].size() != layout[i].total()) {
+      throw std::invalid_argument(
+          "execute_summation: operand count mismatch at plan index " +
+          std::to_string(i));
+    }
+  }
+  // Children always send strictly before their parents; process in
+  // send-time order so child values are ready when the parent folds them.
+  std::vector<std::size_t> order(plan.procs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return plan.procs[a].send_time < plan.procs[b].send_time;
+  });
+  std::vector<V> value(plan.procs.size());
+  std::vector<bool> done(plan.procs.size(), false);
+  // plan index by processor id for resolving recv_from.
+  std::vector<std::size_t> index_of(static_cast<std::size_t>(plan.params.P),
+                                    SIZE_MAX);
+  for (std::size_t i = 0; i < plan.procs.size(); ++i) {
+    index_of[static_cast<std::size_t>(plan.procs[i].proc)] = i;
+  }
+  for (const std::size_t i : order) {
+    const auto& pp = plan.procs[i];
+    const auto& chunks = layout[i].chunk_sizes;
+    const auto& ops = operands[i];
+    std::size_t pos = 0;
+    bool have = false;
+    V acc{};
+    auto fold_chunk = [&](std::size_t count) {
+      for (std::size_t c = 0; c < count; ++c) {
+        acc = have ? op(acc, ops[pos]) : ops[pos];
+        have = true;
+        ++pos;
+      }
+    };
+    fold_chunk(chunks[0]);
+    for (std::size_t j = 0; j < pp.recv_from.size(); ++j) {
+      const std::size_t child = index_of[static_cast<std::size_t>(
+          pp.recv_from[j])];
+      if (child == SIZE_MAX || !done[child]) {
+        throw std::logic_error("execute_summation: child value not ready");
+      }
+      acc = have ? op(acc, value[child]) : value[child];
+      have = true;
+      fold_chunk(chunks[j + 1]);
+    }
+    value[i] = acc;
+    done[i] = true;
+  }
+  return value[index_of[static_cast<std::size_t>(plan.root)]];
+}
+
+/// Convenience: sums the integers 0..n-1 laid out canonically; returns the
+/// root value.  Used by tests and the quickstart example.
+[[nodiscard]] long long execute_iota_sum(const SummationPlan& plan);
+
+}  // namespace logpc::sum

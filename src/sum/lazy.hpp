@@ -1,0 +1,29 @@
+#pragma once
+
+#include "sum/summation_tree.hpp"
+#include "validate/report.hpp"
+
+/// \file lazy.hpp
+/// Independent auditor for summation plans.
+///
+/// A plan is *lazy* (Section 5) when every processor packs its receptions
+/// as late as possible before its send: reception j of k starts at
+/// S - (o+1) - (k-j)g.  Lazy plans are exactly the ones whose reversal is a
+/// broadcast schedule, so the auditor both re-checks the LogP rules on the
+/// summation side and certifies the lazy property the optimality argument
+/// rests on.
+
+namespace logpc::sum {
+
+/// Validates the plan: message timing consistency (a child's send arrives
+/// exactly o+L before the parent's reception window), reception spacing g,
+/// no overlapping busy cycles, non-negative local operand counts, correct
+/// total, the lazy property, and that the root (and only the root) has
+/// send_to == kNoProc with send_time == t.  Reuses the Violation vocabulary
+/// of validate:: for reporting.
+[[nodiscard]] validate::CheckResult check_plan(const SummationPlan& plan);
+
+/// True iff check_plan(plan).ok().
+[[nodiscard]] bool is_valid_plan(const SummationPlan& plan);
+
+}  // namespace logpc::sum

@@ -1,0 +1,113 @@
+#include "sum/summation_tree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace logpc::sum {
+
+Schedule SummationPlan::timing_view() const {
+  Schedule s(params, 1);
+  for (ProcId p = 0; p < params.P; ++p) s.add_initial(0, p, 0);
+  for (const auto& pp : procs) {
+    if (pp.send_to == kNoProc) continue;
+    s.add_send(pp.send_time, pp.proc, pp.send_to, 0);
+  }
+  s.sort();
+  return s;
+}
+
+Params reversal_params(const Params& params) {
+  return Params{params.P, params.L + 1, params.o, params.g};
+}
+
+SummationPlan plan_from_tree(const Params& params, const BroadcastTree& tree,
+                             Time t) {
+  params.require_valid();
+  if (t < 0) throw std::invalid_argument("plan_from_tree: t >= 0");
+  if (params.g < params.o + 1) {
+    throw std::invalid_argument(
+        "summation: requires g >= o + 1 (a reception's o+1 cycles must fit "
+        "inside one gap)");
+  }
+  if (tree.params() != reversal_params(params)) {
+    throw std::invalid_argument(
+        "plan_from_tree: tree must be built on reversal_params(params)");
+  }
+  if (tree.makespan() > t) {
+    throw std::invalid_argument("plan_from_tree: tree makespan exceeds t");
+  }
+  if (tree.size() > params.P) {
+    throw std::invalid_argument("plan_from_tree: tree larger than machine");
+  }
+
+  SummationPlan plan;
+  plan.params = params;
+  plan.t = t;
+  plan.root = 0;
+  plan.reversed_tree = tree;
+  const int n_nodes = tree.size();
+  plan.procs.resize(static_cast<std::size_t>(n_nodes));
+
+  for (int i = 0; i < n_nodes; ++i) {
+    auto& pp = plan.procs[static_cast<std::size_t>(i)];
+    pp.proc = static_cast<ProcId>(i);
+    const auto& node = tree.node(i);
+    pp.send_time = t - node.label;
+    pp.send_to =
+        node.parent == -1 ? kNoProc : static_cast<ProcId>(node.parent);
+    // Receptions: the broadcast send to child rank r at (label + r*g)
+    // becomes, reversed, a reception whose o+1 cycles (overhead + one
+    // addition) finish exactly at send_time - r*g.  Chronological order
+    // puts the highest rank first.
+    const auto k = static_cast<Time>(node.children.size());
+    for (Time r = k - 1; r >= 0; --r) {
+      pp.recv_times.push_back((t - node.label) - r * params.g -
+                              (params.o + 1));
+      pp.recv_from.push_back(
+          static_cast<ProcId>(node.children[static_cast<std::size_t>(r)]));
+    }
+    plan.total_operands =
+        sat_add(plan.total_operands, pp.local_operands(params.o));
+  }
+  return plan;
+}
+
+SummationPlan optimal_summation(const Params& params, Time t) {
+  params.require_valid();
+  if (t < 0) throw std::invalid_argument("optimal_summation: t >= 0");
+  const Params rev = reversal_params(params);
+  // A node at label d contributes S - (o+1)k... net S - o = t - d - o
+  // operands beyond its reception cost, so nodes with d > t - o subtract
+  // from the total: restrict to labels <= t - o (the root, label 0, always
+  // participates - with t < o it still sums t + 1 operands alone).
+  const Time horizon = std::max<Time>(0, t - params.o);
+  const Count avail = bcast::reachable(rev, horizon);
+  const int n_nodes =
+      static_cast<int>(std::min<Count>(avail, static_cast<Count>(params.P)));
+  return plan_from_tree(params, BroadcastTree::optimal(rev, n_nodes), t);
+}
+
+Count max_operands(const Params& params, Time t) {
+  return optimal_summation(params, t).total_operands;
+}
+
+Time min_time_for_operands(const Params& params, Count n) {
+  if (n < 1) throw std::invalid_argument("min_time_for_operands: n >= 1");
+  Time lo = 0;
+  Time hi = 1;
+  while (max_operands(params, hi) < n) {
+    lo = hi;
+    hi *= 2;
+  }
+  while (lo < hi) {
+    const Time mid = lo + (hi - lo) / 2;
+    if (max_operands(params, mid) >= n) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace logpc::sum

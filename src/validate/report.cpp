@@ -1,0 +1,45 @@
+#include "validate/report.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace logpc::validate {
+
+std::string_view rule_name(Rule r) {
+  switch (r) {
+    case Rule::kBadProcessor: return "bad-processor";
+    case Rule::kBadItem: return "bad-item";
+    case Rule::kSelfSend: return "self-send";
+    case Rule::kItemNotHeld: return "item-not-held";
+    case Rule::kSendGap: return "send-gap";
+    case Rule::kRecvGap: return "recv-gap";
+    case Rule::kOverheadOverlap: return "overhead-overlap";
+    case Rule::kLatency: return "latency";
+    case Rule::kBufferOverflow: return "buffer-overflow";
+    case Rule::kDuplicateReceive: return "duplicate-receive";
+    case Rule::kCapacity: return "capacity";
+    case Rule::kIncomplete: return "incomplete";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, const Violation& v) {
+  return os << "[" << rule_name(v.rule) << "] " << v.detail;
+}
+
+std::string CheckResult::summary() const {
+  if (ok()) return "OK";
+  std::ostringstream os;
+  os << violations.size() << " violation(s):";
+  std::size_t shown = 0;
+  for (const auto& v : violations) {
+    os << "\n  " << v;
+    if (++shown == 20) {
+      os << "\n  ... (" << violations.size() - shown << " more)";
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace logpc::validate

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file report.hpp
+/// Violation reporting for the schedule checker.
+
+namespace logpc::validate {
+
+/// Which LogP rule (or problem goal) a schedule violated.
+enum class Rule {
+  kBadProcessor,     ///< processor id out of [0, P)
+  kBadItem,          ///< item id out of [0, num_items)
+  kSelfSend,         ///< from == to
+  kItemNotHeld,      ///< sender does not hold the item at send start
+  kSendGap,          ///< two sends from one processor closer than g
+  kRecvGap,          ///< two receives at one processor closer than g
+  kOverheadOverlap,  ///< overlapping o-cycle busy intervals (o > 0)
+  kLatency,          ///< recv_start != arrival (strict) or < arrival (buffered)
+  kBufferOverflow,   ///< more than buffer_limit items waiting (buffered model)
+  kDuplicateReceive, ///< a processor receives the same item twice
+  kCapacity,         ///< more than ceil(L/g) messages in flight from/to a proc
+  kIncomplete,       ///< some item never reaches some processor
+};
+
+[[nodiscard]] std::string_view rule_name(Rule r);
+
+/// One rule violation, with a human-readable locus.
+struct Violation {
+  Rule rule;
+  std::string detail;
+};
+
+std::ostream& operator<<(std::ostream& os, const Violation& v);
+
+/// Outcome of validate::check.
+struct CheckResult {
+  std::vector<Violation> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+
+  /// "OK" or a newline-joined list of violations (capped at 20).
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace logpc::validate

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "bcast/blocks.hpp"
+
+/// \file digraph.hpp
+/// Text rendering of block transmission digraphs (Figure 3).
+
+namespace logpc::viz {
+
+/// Renders each vertex with its label and out-edges, e.g.:
+///
+///   source        ==> [9] x1
+///   [9] (block 0) ==> [9] x1 (active), -> [5] x3, ...
+///   [0] (recv-only)
+///
+/// "==>" marks active transmissions, "->" inactive ones with weights.
+[[nodiscard]] std::string render_digraph(const bcast::BlockDigraph& g);
+
+}  // namespace logpc::viz

@@ -1,0 +1,50 @@
+#include "viz/dot.hpp"
+
+#include <sstream>
+
+namespace logpc::viz {
+
+std::string tree_to_dot(const bcast::BroadcastTree& tree,
+                        const std::string& name) {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=circle, fontsize=10];\n";
+  for (int i = 0; i < tree.size(); ++i) {
+    os << "  n" << i << " [label=\"P" << i << "\\n@" << tree.node(i).label
+       << "\"";
+    if (i == 0) os << ", style=bold";
+    os << "];\n";
+  }
+  for (int i = 1; i < tree.size(); ++i) {
+    os << "  n" << tree.node(i).parent << " -> n" << i << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string digraph_to_dot(const bcast::BlockDigraph& g,
+                           const std::string& name) {
+  std::ostringstream os;
+  os << "digraph " << name << " {\n";
+  os << "  node [shape=box, fontsize=10];\n";
+  for (int v = 0; v < static_cast<int>(g.labels.size()); ++v) {
+    const int label = g.labels[static_cast<std::size_t>(v)];
+    os << "  v" << v << " [label=\"";
+    if (label < 0) {
+      os << "source\", shape=diamond";
+    } else {
+      os << "[" << label << "]\"";
+    }
+    os << "];\n";
+  }
+  for (const auto& e : g.edges) {
+    os << "  v" << e.from << " -> v" << e.to << " [label=\"" << e.weight
+       << "\"";
+    if (e.active) os << ", style=bold";
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace logpc::viz

@@ -1,0 +1,24 @@
+#pragma once
+
+#include <string>
+
+#include "bcast/blocks.hpp"
+#include "bcast/tree.hpp"
+
+/// \file dot.hpp
+/// Graphviz DOT export for broadcast trees and block transmission
+/// digraphs, so the paper's figures can be rendered graphically
+/// (`dot -Tpdf`).
+
+namespace logpc::viz {
+
+/// The tree as a DOT digraph; node labels show "P<i>\n@<informed-at>".
+[[nodiscard]] std::string tree_to_dot(const bcast::BroadcastTree& tree,
+                                      const std::string& name = "bcast");
+
+/// The block digraph as DOT: blocks as boxes labelled [r], the
+/// receive-only vertex as [0], the source as a diamond; active edges bold.
+[[nodiscard]] std::string digraph_to_dot(const bcast::BlockDigraph& g,
+                                         const std::string& name = "blocks");
+
+}  // namespace logpc::viz

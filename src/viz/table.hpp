@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+/// \file table.hpp
+/// Reception tables: rows = processors, columns = cycles, entries = the
+/// 1-based item number becoming available (Figures 2, 4 and 5).
+
+namespace logpc::viz {
+
+/// Renders the reception table of `s`.  Buffered receives (recv_start later
+/// than arrival, Figure 5's delayed items) are bracketed, e.g. "[7]".
+/// Initial placements are shown in parentheses on the owning processor.
+[[nodiscard]] std::string reception_table(const Schedule& s);
+
+}  // namespace logpc::viz

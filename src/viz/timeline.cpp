@@ -1,0 +1,40 @@
+#include "viz/timeline.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace logpc::viz {
+
+std::string render_timeline(const Schedule& s) {
+  const Time span = s.makespan() + 1;
+  const auto trace = sim::Trace::from(s);
+  std::ostringstream os;
+  // Header: mark every 5th cycle.
+  os << "      ";
+  for (Time t = 0; t < span; ++t) {
+    os << (t % 5 == 0 ? '|' : ' ');
+  }
+  os << "\n";
+  for (ProcId p = 0; p < s.params().P; ++p) {
+    std::string row(static_cast<std::size_t>(span), '.');
+    for (const auto& a : trace.per_proc[static_cast<std::size_t>(p)]) {
+      const char busy =
+          a.kind == sim::ActivityKind::kSendOverhead ? 's' : 'r';
+      const char instant =
+          a.kind == sim::ActivityKind::kSendOverhead ? '*' : 'v';
+      if (a.begin == a.end) {
+        if (a.begin < span) row[static_cast<std::size_t>(a.begin)] = instant;
+      } else {
+        for (Time t = a.begin; t < a.end && t < span; ++t) {
+          row[static_cast<std::size_t>(t)] = busy;
+        }
+      }
+    }
+    os << "P" << p << (p < 10 ? "    " : "   ") << row << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace logpc::viz

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+/// \file timeline.hpp
+/// Per-processor activity charts over time (Figure 1 right, Figure 6 left).
+
+namespace logpc::viz {
+
+/// Renders one row per processor, one column per cycle:
+///   's' = busy with send overhead, 'r' = receive overhead, '*' = a
+///   zero-overhead send instant, 'v' = a zero-overhead receive instant,
+///   '.' = idle.  A header row marks every 5th cycle.
+[[nodiscard]] std::string render_timeline(const Schedule& s);
+
+}  // namespace logpc::viz

@@ -1,0 +1,42 @@
+#include "viz/tree_render.hpp"
+
+#include <sstream>
+
+namespace logpc::viz {
+
+namespace {
+
+void render_node(const bcast::BroadcastTree& tree, int node,
+                 const std::string& prefix, bool last, std::ostringstream& os) {
+  const auto& n = tree.node(node);
+  if (n.parent == -1) {
+    os << n.label << "\n";
+  } else {
+    os << prefix << (last ? "`- " : "+- ") << n.label << "\n";
+  }
+  const std::string child_prefix =
+      n.parent == -1 ? std::string{} : prefix + (last ? "   " : "|  ");
+  for (std::size_t i = 0; i < n.children.size(); ++i) {
+    render_node(tree, n.children[i], child_prefix,
+                i + 1 == n.children.size(), os);
+  }
+}
+
+}  // namespace
+
+std::string render_tree(const bcast::BroadcastTree& tree) {
+  std::ostringstream os;
+  render_node(tree, 0, "", true, os);
+  return os.str();
+}
+
+std::string degree_summary(const bcast::BroadcastTree& tree) {
+  std::ostringstream os;
+  os << "degrees:";
+  for (const auto& [degree, count] : tree.degree_histogram()) {
+    os << " " << count << "x" << degree;
+  }
+  return os.str();
+}
+
+}  // namespace logpc::viz

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "bcast/tree.hpp"
+
+/// \file tree_render.hpp
+/// ASCII rendering of broadcast trees (Figure 1 left, Figure 2 top-left).
+
+namespace logpc::viz {
+
+/// Renders the tree with one node per line, indented by depth, showing each
+/// node's informed-at label, e.g.:
+///
+///   0
+///   +- 10
+///   |  +- 20
+///   |  +- 24
+///   +- 14
+///   ...
+[[nodiscard]] std::string render_tree(const bcast::BroadcastTree& tree);
+
+/// One-line degree summary, e.g. "degrees: 5x0 1x1 1x2 1x5" (count x degree).
+[[nodiscard]] std::string degree_summary(const bcast::BroadcastTree& tree);
+
+}  // namespace logpc::viz

@@ -1,0 +1,102 @@
+#include "baselines/bcast_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc::baselines {
+namespace {
+
+TEST(BcastBaselines, BinomialMatchesLogNRoundsAtUnitParams) {
+  // With L = g = 1, o = 0 the binomial tree doubles holders every step:
+  // makespan = ceil(log2 P) - and equals the optimal B(P).
+  const Fib fib(1);
+  for (int P = 1; P <= 64; ++P) {
+    const auto tree = binomial_tree(Params::postal(P, 1), P);
+    EXPECT_EQ(tree.makespan(), fib.B_of_P(static_cast<Count>(P))) << P;
+  }
+}
+
+TEST(BcastBaselines, BinaryTreeShape) {
+  const auto tree = binary_tree(Params::postal(7, 1), 7);
+  EXPECT_EQ(tree.node(0).children.size(), 2u);
+  EXPECT_EQ(tree.node(1).children.size(), 2u);
+  EXPECT_EQ(tree.node(3).children.size(), 0u);
+  // Node 2 is informed after node 1 (second send of the root).
+  EXPECT_GT(tree.node(2).label, tree.node(1).label);
+}
+
+TEST(BcastBaselines, LinearChainCostsPMinus1Hops) {
+  const Params params = Params::postal(6, 4);
+  EXPECT_EQ(linear_chain(params, 6).makespan(), 5 * 4);
+}
+
+TEST(BcastBaselines, FlatTreeSerializedByGap) {
+  const Params params{6, 6, 2, 4};
+  // Last send starts at 4g = 16, lands at 16 + 10.
+  EXPECT_EQ(flat_tree(params, 6).makespan(), 26);
+}
+
+TEST(BcastBaselines, AllBaselinesProduceValidSchedules) {
+  for (const Params params :
+       {Params::postal(12, 3), Params{10, 6, 2, 4}, Params{9, 2, 0, 3}}) {
+    for (const auto& tree :
+         {binomial_tree(params, params.P), binary_tree(params, params.P),
+          linear_chain(params, params.P), flat_tree(params, params.P)}) {
+      const Schedule s = tree.to_schedule();
+      const auto check = validate::check(s);
+      EXPECT_TRUE(check.ok()) << params.to_string() << "\n"
+                              << check.summary();
+      EXPECT_EQ(completion_time(s), tree.makespan());
+    }
+  }
+}
+
+TEST(BcastBaselines, HighLatencyFavorsWiderTrees) {
+  // At high L/g the binomial tree (fan-out by halving) loses badly to the
+  // optimal tree, and even to the flat tree for small P: the classic
+  // motivation for LogP-aware collectives.
+  const Params params{8, 20, 1, 1};
+  const Time opt = bcast::B_of_P(params, 8);
+  EXPECT_GT(binomial_tree(params, 8).makespan(), opt);
+  EXPECT_LE(flat_tree(params, 8).makespan(),
+            binomial_tree(params, 8).makespan());
+}
+
+TEST(BcastBaselines, SingleNodeTreesAreTrivial) {
+  const Params params = Params::postal(4, 2);
+  EXPECT_EQ(binomial_tree(params, 1).makespan(), 0);
+  EXPECT_EQ(binary_tree(params, 1).makespan(), 0);
+  EXPECT_EQ(linear_chain(params, 1).makespan(), 0);
+  EXPECT_EQ(flat_tree(params, 1).makespan(), 0);
+}
+
+TEST(BcastBaselines, RejectBadP) {
+  const Params params = Params::postal(4, 2);
+  EXPECT_THROW(binomial_tree(params, 0), std::invalid_argument);
+  EXPECT_THROW(binary_tree(params, -1), std::invalid_argument);
+}
+
+TEST(BcastBaselines, MakespanMonotoneInP) {
+  // The reduction baselines binary-search on this property.
+  for (const Params params : {Params::postal(2, 3), Params{2, 5, 1, 2}}) {
+    Time prev_binom = 0;
+    Time prev_bin = 0;
+    Time prev_chain = 0;
+    for (int P = 1; P <= 130; ++P) {
+      const Time b1 = binomial_tree(params, P).makespan();
+      const Time b2 = binary_tree(params, P).makespan();
+      const Time b3 = linear_chain(params, P).makespan();
+      EXPECT_GE(b1, prev_binom) << P;
+      EXPECT_GE(b2, prev_bin) << P;
+      EXPECT_GE(b3, prev_chain) << P;
+      prev_binom = b1;
+      prev_bin = b2;
+      prev_chain = b3;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace logpc::baselines

@@ -1,0 +1,87 @@
+#include "baselines/kitem_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bcast_baselines.hpp"
+#include "bcast/kitem_bounds.hpp"
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc::baselines {
+namespace {
+
+TEST(KItemBaselines, SerializedCostsKTimesB) {
+  const Params params = Params::postal(9, 3);
+  const int k = 4;
+  const Schedule s = serialized_broadcast(params, k);
+  EXPECT_TRUE(validate::is_valid(s)) << validate::check(s).summary();
+  EXPECT_EQ(completion_time(s),
+            k * bcast::B_of_P(params, params.P));
+}
+
+TEST(KItemBaselines, PipelinedChainIsGreatForManyItems) {
+  const Params params = Params::postal(8, 2);
+  const auto chain = linear_chain(params, 8);
+  const int k = 20;
+  const Schedule s = pipelined_tree_broadcast(chain, k);
+  EXPECT_TRUE(validate::is_valid(s)) << validate::check(s).summary();
+  // Chain depth 7L = 14, then one new item per step.
+  EXPECT_EQ(completion_time(s), 14 + (k - 1));
+}
+
+TEST(KItemBaselines, PipelinedBinaryPaysFactorTwoPerItem) {
+  const Params params = Params::postal(15, 2);
+  const auto tree = binary_tree(params, 15);
+  const int k = 10;
+  const Schedule s = pipelined_tree_broadcast(tree, k);
+  EXPECT_TRUE(validate::is_valid(s)) << validate::check(s).summary();
+  EXPECT_EQ(completion_time(s), tree.makespan() + 2 * (k - 1));
+}
+
+TEST(KItemBaselines, PipelinedSchedulesAreValidAcrossShapes) {
+  const Params params = Params::postal(10, 3);
+  for (const auto& tree :
+       {binomial_tree(params, 10), binary_tree(params, 10),
+        linear_chain(params, 10), flat_tree(params, 10),
+        bcast::BroadcastTree::optimal(params, 10)}) {
+    const Schedule s = pipelined_tree_broadcast(tree, 5);
+    const auto check = validate::check(s);
+    EXPECT_TRUE(check.ok()) << check.summary();
+  }
+}
+
+TEST(KItemBaselines, OptimalKItemBeatsAllBaselinesAtScale) {
+  // The headline comparison of Section 3: B + L + k - 1 vs k*B
+  // (serialized) vs depth + sigma*(k-1) (pipelined shapes).
+  const int P = 29;  // f_9 + 1 for L = 3
+  const Time L = 3;
+  const int k = 12;
+  const auto bounds = bcast::kitem_bounds(P, L, k);
+  const Params params = Params::postal(P, L);
+  const Time serialized = completion_time(serialized_broadcast(params, k));
+  const Time pipelined_bin = completion_time(
+      pipelined_tree_broadcast(binary_tree(params, P), k));
+  EXPECT_GT(serialized, bounds.continuous_upper);
+  EXPECT_GT(pipelined_bin, bounds.continuous_upper);
+}
+
+TEST(KItemBaselines, BnkStatedFormula) {
+  // 2B(P) + k + c*L with B(10) = 8 for L = 3.
+  EXPECT_EQ(bnk_stated_time(10, 3, 8), 2 * 8 + 8 + 3);
+  EXPECT_EQ(bnk_stated_time(10, 3, 8, 2), 2 * 8 + 8 + 6);
+  EXPECT_THROW((void)bnk_stated_time(1, 3, 8), std::invalid_argument);
+}
+
+TEST(KItemBaselines, RejectBadArguments) {
+  const Params params = Params::postal(4, 2);
+  EXPECT_THROW(serialized_broadcast(params, 0), std::invalid_argument);
+  EXPECT_THROW(pipelined_tree_broadcast(linear_chain(params, 4), 0),
+               std::invalid_argument);
+  // A 9-node tree cannot run on a 4-processor machine.
+  EXPECT_THROW(
+      pipelined_tree_broadcast(linear_chain(Params::postal(4, 2), 9), 2),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace logpc::baselines

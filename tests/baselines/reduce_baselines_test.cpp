@@ -1,0 +1,74 @@
+#include "baselines/reduce_baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sum/executor.hpp"
+#include "sum/lazy.hpp"
+
+namespace logpc::baselines {
+namespace {
+
+const Params kMachine{16, 3, 0, 1};
+
+TEST(ReduceBaselines, AllPlansAreValidLazySummations) {
+  for (const Params params : {kMachine, Params{8, 5, 2, 4},
+                              Params{32, 2, 1, 4}}) {
+    for (const Time t : {6, 14, 26}) {
+      for (const auto& plan :
+           {binary_tree_summation(params, t), binomial_summation(params, t),
+            sequential_summation(params, t), chain_summation(params, t)}) {
+        EXPECT_TRUE(sum::is_valid_plan(plan))
+            << params.to_string() << " t=" << t << "\n"
+            << sum::check_plan(plan).summary();
+      }
+    }
+  }
+}
+
+TEST(ReduceBaselines, SequentialSumsExactlyTPlusOne) {
+  for (const Time t : {0, 5, 17}) {
+    const auto plan = sequential_summation(kMachine, t);
+    EXPECT_EQ(plan.total_operands, static_cast<Count>(t) + 1);
+    EXPECT_EQ(plan.procs.size(), 1u);
+  }
+}
+
+TEST(ReduceBaselines, PlansExecuteCorrectly) {
+  for (const auto& plan :
+       {binary_tree_summation(kMachine, 20), binomial_summation(kMachine, 20),
+        chain_summation(kMachine, 20)}) {
+    const auto n = static_cast<long long>(plan.total_operands);
+    EXPECT_EQ(sum::execute_iota_sum(plan), n * (n - 1) / 2);
+  }
+}
+
+TEST(ReduceBaselines, ParallelBaselinesBeatSequentialEventually) {
+  // With enough time, any reduction tree beats one processor.
+  const Time t = 40;
+  EXPECT_GT(binary_tree_summation(kMachine, t).total_operands,
+            sequential_summation(kMachine, t).total_operands);
+  EXPECT_GT(binomial_summation(kMachine, t).total_operands,
+            sequential_summation(kMachine, t).total_operands);
+}
+
+TEST(ReduceBaselines, UsesOnlyProcessorsThatFit) {
+  // Short deadlines shrink the participating set instead of failing.
+  const auto plan = binary_tree_summation(Params{64, 4, 0, 1}, 6);
+  EXPECT_LT(plan.procs.size(), 64u);
+  EXPECT_GE(plan.procs.size(), 1u);
+  EXPECT_TRUE(sum::is_valid_plan(plan));
+}
+
+TEST(ReduceBaselines, BinomialTracksOptimalAtUnitParams) {
+  // With L = g = 1, o = 0 the binomial tree is the optimal broadcast shape,
+  // so its reversal must match optimal summation... up to the tree-size
+  // fitting; allow equality only.
+  const Params params{16, 1, 0, 1};
+  for (const Time t : {8, 12, 20}) {
+    EXPECT_LE(binomial_summation(params, t).total_operands,
+              sum::max_operands(params, t));
+  }
+}
+
+}  // namespace
+}  // namespace logpc::baselines

@@ -1,0 +1,200 @@
+#include "bcast/automaton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace logpc::bcast {
+namespace {
+
+// Section 3.2's running example: L = 3, t = 7, the H5 block (root: r = 5,
+// d = 0).  The paper derives, via its path automaton, exactly four words
+// satisfying the correctness restriction: cccc, acab, abca, abbb.
+TEST(Automaton, H5BlockReproducesPaperWordSet) {
+  const WordContext ctx = WordContext::standard(7, 3, 5, 0);
+  const auto words = enumerate_legal_words(ctx);
+  std::set<std::string> names;
+  for (const auto& w : words) names.insert(word_to_string(w));
+  EXPECT_EQ(names,
+            (std::set<std::string>{"cccc", "acab", "abca", "abbb"}));
+}
+
+TEST(Automaton, PaperChosenWordsAreLegal) {
+  // The paper's complete example: H5 -> acab, E2 -> a, D1 -> (empty).
+  EXPECT_TRUE(word_is_legal(WordContext::standard(7, 3, 5, 0),
+                            Word{0, 2, 0, 1}));  // acab
+  EXPECT_TRUE(word_is_legal(WordContext::standard(7, 3, 2, 3),
+                            Word{0}));  // E2: a
+  EXPECT_TRUE(word_is_legal(WordContext::standard(7, 3, 1, 4),
+                            Word{}));  // D1: empty word
+}
+
+TEST(Automaton, PaperExcludedPatternsAreIllegal) {
+  // "ruling out any word that starts with b or has a in the second
+  // position" (for the H5 block).
+  const WordContext h5 = WordContext::standard(7, 3, 5, 0);
+  for (const std::string_view s : {"baaa", "bbbb", "bcab"}) {
+    Word w;
+    for (const char c : s) w.push_back(c - 'a');
+    EXPECT_FALSE(word_is_legal(h5, w)) << s;
+  }
+  // a in the second position: the a at +2 collides with the H at 0.
+  EXPECT_FALSE(word_is_legal(h5, Word{0, 0, 1, 2}));
+  EXPECT_FALSE(word_is_legal(h5, Word{2, 0, 2, 2}));
+}
+
+TEST(Automaton, WrongLengthIsIllegal) {
+  const WordContext ctx = WordContext::standard(7, 3, 5, 0);
+  EXPECT_FALSE(word_is_legal(ctx, Word{0, 2, 0}));
+  EXPECT_FALSE(word_is_legal(ctx, Word{0, 2, 0, 1, 0}));
+}
+
+TEST(Automaton, OutOfAlphabetLetterIsIllegal) {
+  const WordContext ctx = WordContext::standard(7, 3, 2, 3);
+  EXPECT_FALSE(word_is_legal(ctx, Word{3}));
+  EXPECT_FALSE(word_is_legal(ctx, Word{-1}));
+}
+
+TEST(Automaton, SizeOneBlockHasExactlyTheEmptyWord) {
+  for (Time d = 0; d <= 6; ++d) {
+    const auto words = enumerate_legal_words(WordContext::standard(9, 4, 1, d));
+    ASSERT_EQ(words.size(), 1u) << "d=" << d;
+    EXPECT_TRUE(words[0].empty());
+  }
+}
+
+TEST(Automaton, LegalityEquivalentToDistinctResidues) {
+  // Cross-check word_is_legal against a direct simulation: unroll a
+  // member's periodic reception pattern and look for duplicate items.
+  const Time t = 9;
+  const Time L = 4;
+  for (const int r : {2, 3, 4, 5}) {
+    const Time d = t - L - r + 1;
+    if (d < 0) continue;
+    const WordContext ctx = WordContext::standard(t, L, r, d);
+    const auto words = enumerate_legal_words(ctx);
+    for (const auto& w : words) {
+      // Simulate 4 periods; items received must be unique.
+      std::set<Time> items;
+      for (int cycle = 0; cycle < 4; ++cycle) {
+        for (int p = 0; p < r; ++p) {
+          const Time delta =
+              p == 0 ? d : t - w[static_cast<std::size_t>(p - 1)];
+          const Time step = cycle * r + p;
+          EXPECT_TRUE(items.insert(step - delta).second)
+              << "duplicate item in word " << word_to_string(w);
+        }
+      }
+    }
+  }
+}
+
+TEST(Automaton, EnumerationMatchesArrangement) {
+  // Every enumerated word's letter multiset must be arrangeable, and the
+  // arrangement must be legal.
+  const WordContext ctx = WordContext::standard(8, 3, 4, 1);
+  const auto words = enumerate_legal_words(ctx);
+  ASSERT_FALSE(words.empty());
+  for (const auto& w : words) {
+    std::vector<int> counts(3, 0);
+    for (const int l : w) ++counts[static_cast<std::size_t>(l)];
+    const auto arranged = arrange_letters(ctx, counts);
+    ASSERT_TRUE(arranged.has_value());
+    EXPECT_TRUE(word_is_legal(ctx, *arranged));
+  }
+}
+
+TEST(Automaton, ArrangeRejectsWrongTotals) {
+  const WordContext ctx = WordContext::standard(7, 3, 5, 0);
+  EXPECT_EQ(arrange_letters(ctx, {1, 1, 1}), std::nullopt);  // 3 != r-1
+  EXPECT_EQ(arrange_letters(ctx, {5, 0, 0}), std::nullopt);  // 5 != r-1
+  EXPECT_THROW(arrange_letters(ctx, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(arrange_letters(ctx, {4, -1, 1}), std::invalid_argument);
+}
+
+TEST(Automaton, ArrangeFindsCccc) {
+  // cccc IS residue-legal (the paper excludes it by letter supply, not by
+  // the automaton).
+  const WordContext ctx = WordContext::standard(7, 3, 5, 0);
+  const auto w = arrange_letters(ctx, {0, 0, 4});
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(word_to_string(*w), "cccc");
+}
+
+TEST(Automaton, ArrangeRejectsImpossibleMultiset) {
+  // For H5, any word with b in position 1 is illegal, and the only words
+  // are {cccc, acab, abca, abbb}: multiset {b,b,b,b} is impossible.
+  const WordContext ctx = WordContext::standard(7, 3, 5, 0);
+  EXPECT_EQ(arrange_letters(ctx, {0, 4, 0}), std::nullopt);
+}
+
+TEST(Automaton, BufferedVariantShiftsResidue) {
+  // A wait-1 'a' behaves like a delay t+1 role: WordContext with explicit
+  // delays must agree with the standard one shifted.
+  WordContext ctx;
+  ctx.r = 3;
+  ctx.d = 2;
+  ctx.delays = {8, 7};  // a at t=7 with wait 1 -> 8; b at 7
+  // Distinct residues mod 3 for positions 0(d=2), 1, 2.
+  for (const Word& w : enumerate_legal_words(ctx)) {
+    std::set<int> residues;
+    residues.insert(((0 - 2) % 3 + 3) % 3);
+    for (std::size_t p = 0; p < w.size(); ++p) {
+      const Time delta = ctx.delays[static_cast<std::size_t>(w[p])];
+      residues.insert(
+          static_cast<int>((((static_cast<Time>(p) + 1 - delta) % 3) + 3) %
+                           3));
+    }
+    EXPECT_EQ(residues.size(), 3u);
+  }
+}
+
+// Lemma 3.1: the word family a^(L-2) (ca)^j b^m is legal for the standard
+// block of its size at every latency - the paper's lemma, machine-checked.
+class Lemma31 : public ::testing::TestWithParam<Time> {};
+
+TEST_P(Lemma31, FirstFamilyAlwaysLegal) {
+  const Time L = GetParam();
+  for (Time t = 2 * L; t <= 2 * L + 6; ++t) {
+    for (int j = 0; j <= 3; ++j) {
+      for (int m = 0; m <= 4; ++m) {
+        const Word w = lemma31_word(L, j, m);
+        const int r = static_cast<int>(w.size()) + 1;
+        if (r > t - L + 1) continue;  // beyond the max block size
+        const Time d = t - L - r + 1;
+        EXPECT_TRUE(word_is_legal(WordContext::standard(t, L, r, d), w))
+            << "L=" << L << " t=" << t << " word=" << word_to_string(w);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Latencies, Lemma31,
+                         ::testing::Values<Time>(3, 4, 5, 6, 7, 8));
+
+TEST(Automaton, Lemma31KnownInstances) {
+  // L=3, j=1, m=1 gives the paper's chosen H5 word acab; j=0, m=3 gives
+  // abbb.
+  EXPECT_EQ(word_to_string(lemma31_word(3, 1, 1)), "acab");
+  EXPECT_EQ(word_to_string(lemma31_word(3, 0, 3)), "abbb");
+  EXPECT_THROW((void)lemma31_word(1, 0, 0), std::invalid_argument);
+  EXPECT_THROW((void)lemma31_word(3, -1, 0), std::invalid_argument);
+}
+
+TEST(Automaton, InvalidContextThrows) {
+  WordContext bad;
+  bad.delays = {};
+  EXPECT_THROW(enumerate_legal_words(bad), std::invalid_argument);
+  WordContext huge = WordContext::standard(40, 3, 32, 0);
+  EXPECT_THROW(enumerate_legal_words(huge), std::invalid_argument);
+}
+
+TEST(Automaton, WordToString) {
+  EXPECT_EQ(word_to_string(Word{0, 2, 0, 1}), "acab");
+  EXPECT_EQ(word_to_string(Word{}), "");
+  EXPECT_EQ(word_to_string(Word{30}), "?");
+}
+
+}  // namespace
+}  // namespace logpc::bcast

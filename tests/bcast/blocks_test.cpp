@@ -1,0 +1,99 @@
+#include "bcast/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logpc::bcast {
+namespace {
+
+TEST(BlockDigraph, Figure3Instance) {
+  // Figure 3: L = 3, P - 1 = P(11) = 41.
+  const auto res = plan_continuous(3, 11);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  EXPECT_EQ(res.plan->params.P, 42);
+  const auto g = block_digraph(*res.plan);
+  EXPECT_TRUE(digraph_invariants_hold(g));
+  // Vertices: one per internal node of T41 (= f_8 = 13 blocks for L = 3,
+  // t = 11... internal nodes are those with label <= t - L = 8: f_8 = 13),
+  // plus receive-only and source.
+  EXPECT_EQ(g.labels.size(), 13u + 2u);
+  // The largest block has size t - L + 1 = 9 and receives the source's
+  // single active transmission.
+  int largest = 0;
+  for (const int l : g.labels) largest = std::max(largest, l);
+  EXPECT_EQ(largest, 9);
+  for (const auto& e : g.edges) {
+    if (e.from == g.source_vertex) {
+      EXPECT_TRUE(e.active);
+      EXPECT_EQ(g.labels[static_cast<std::size_t>(e.to)], 9);
+      EXPECT_EQ(e.weight, 1);
+    }
+  }
+}
+
+TEST(BlockDigraph, InOutWeightsEqualBlockSize) {
+  const auto res = plan_continuous(3, 9);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const auto g = block_digraph(*res.plan);
+  ASSERT_TRUE(digraph_invariants_hold(g));
+  for (int v = 0; v < static_cast<int>(g.labels.size()); ++v) {
+    const int label = g.labels[static_cast<std::size_t>(v)];
+    if (label > 0) {
+      EXPECT_EQ(g.in_weight(v), label);
+      EXPECT_EQ(g.out_weight(v), label);
+    }
+  }
+}
+
+TEST(BlockDigraph, ReceiveOnlyVertexShape) {
+  const auto res = plan_continuous(4, 7);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const auto g = block_digraph(*res.plan);
+  EXPECT_EQ(g.labels[static_cast<std::size_t>(g.receive_only_vertex)], 0);
+  EXPECT_EQ(g.in_weight(g.receive_only_vertex), 1);
+  EXPECT_EQ(g.out_weight(g.receive_only_vertex), 0);
+  EXPECT_EQ(g.labels[static_cast<std::size_t>(g.source_vertex)], -1);
+  EXPECT_EQ(g.out_weight(g.source_vertex), 1);
+  EXPECT_EQ(g.in_weight(g.source_vertex), 0);
+}
+
+TEST(BlockDigraph, InvariantsHoldAcrossItems) {
+  // Different items rotate the members, but the block-level invariants are
+  // item-independent.
+  const auto res = plan_continuous(3, 8);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  for (ItemId item = 0; item < 6; ++item) {
+    EXPECT_TRUE(digraph_invariants_hold(block_digraph(*res.plan, item)))
+        << "item " << item;
+  }
+}
+
+TEST(BlockDigraph, ExactlyOneActiveEdgeIntoEachBlock) {
+  const auto res = plan_continuous(5, 9);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const auto g = block_digraph(*res.plan);
+  for (int v = 0; v < static_cast<int>(g.labels.size()); ++v) {
+    if (g.labels[static_cast<std::size_t>(v)] <= 0) continue;
+    int active_in = 0;
+    for (const auto& e : g.edges) {
+      if (e.to == v && e.active) active_in += e.weight;
+    }
+    EXPECT_EQ(active_in, 1) << "block " << v;
+  }
+}
+
+TEST(BlockDigraph, DegenerateSingleReceiver) {
+  const auto res = plan_continuous(3, 0);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const auto g = block_digraph(*res.plan);
+  EXPECT_EQ(g.labels.size(), 2u);  // receive-only + source
+  EXPECT_TRUE(digraph_invariants_hold(g));
+}
+
+TEST(BlockDigraph, RejectsNegativeItem) {
+  const auto res = plan_continuous(3, 5);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  EXPECT_THROW(block_digraph(*res.plan, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace logpc::bcast

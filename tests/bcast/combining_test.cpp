@@ -1,0 +1,118 @@
+#include "bcast/combining.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "validate/checker.hpp"
+
+namespace logpc::bcast {
+namespace {
+
+TEST(Combining, TheoremFourOneIntegerSum) {
+  // Theorem 4.1: after T steps every processor holds the total.
+  for (const Time L : {1, 2, 3, 4}) {
+    for (Time T = L; T <= L + 6; ++T) {
+      const auto cs = combining_broadcast(T, L);
+      const int P = cs.params.P;
+      std::vector<long long> vals(static_cast<std::size_t>(P));
+      std::iota(vals.begin(), vals.end(), 1);  // 1..P
+      const auto out = execute_combining<long long>(
+          cs, vals, [](const long long& a, const long long& b) {
+            return a + b;
+          });
+      const long long total = static_cast<long long>(P) * (P + 1) / 2;
+      for (const auto v : out) {
+        EXPECT_EQ(v, total) << "L=" << L << " T=" << T;
+      }
+    }
+  }
+}
+
+TEST(Combining, WindowStructureWithConcatenation) {
+  // The proof's invariant: at time T processor i holds x[i-P+1 : i] - the
+  // cyclic window ending at i.  With op(incoming, current) and string
+  // values, processor i must end with the concatenation of labels
+  // i+1, i+2, ..., i (cyclically), i.e. starting at (i+1) mod P.
+  const Time L = 3;
+  const Time T = 7;  // P = f_7 = 9
+  const auto cs = combining_broadcast(T, L);
+  const int P = cs.params.P;
+  ASSERT_EQ(P, 9);
+  std::vector<std::string> vals;
+  for (int i = 0; i < P; ++i) vals.push_back(std::string(1, static_cast<char>('A' + i)));
+  const auto out = execute_combining<std::string>(
+      cs, vals, [](const std::string& a, const std::string& b) {
+        return a + b;
+      });
+  for (int i = 0; i < P; ++i) {
+    std::string expected;
+    for (int j = 1; j <= P; ++j) {
+      expected.push_back(static_cast<char>('A' + (i + j) % P));
+    }
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], expected) << "i=" << i;
+  }
+}
+
+TEST(Combining, TimingViewSatisfiesPostalRules) {
+  const auto cs = combining_broadcast(8, 3);
+  const Schedule s = cs.timing_view();
+  // Every processor sends once and receives once per step: gaps hold;
+  // every message carries "item 0" so duplicate/complete checks are off.
+  const auto check = validate::check(
+      s, {.forbid_duplicate_receive = false, .require_complete = false});
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_EQ(s.makespan(), 8);
+}
+
+TEST(Combining, MatchesReductionTime) {
+  // Section 4.2's headline: all-to-all combining takes no longer than
+  // all-to-one reduction, i.e. exactly B(P) steps for P = P(T).
+  for (const Time L : {2, 3, 5}) {
+    const Fib fib(L);
+    for (Time T = L; T <= L + 5; ++T) {
+      const auto cs = combining_broadcast(T, L);
+      EXPECT_EQ(static_cast<Count>(cs.params.P), fib.f(T));
+      EXPECT_EQ(combining_time_for(cs.params.P, L), T);
+    }
+  }
+}
+
+TEST(Combining, SingleProcessorDegenerate) {
+  const auto cs = combining_broadcast(0, 3);
+  EXPECT_EQ(cs.params.P, 1);
+  EXPECT_TRUE(cs.sends.empty());
+  const auto out = execute_combining<int>(
+      cs, {7}, [](const int& a, const int& b) { return a + b; });
+  EXPECT_EQ(out, (std::vector<int>{7}));
+}
+
+TEST(Combining, MessageCountMatchesFormula) {
+  // Steps 0..T-L, P sends per step.
+  const auto cs = combining_broadcast(6, 2);
+  const auto P = static_cast<std::size_t>(cs.params.P);
+  EXPECT_EQ(cs.sends.size(), P * static_cast<std::size_t>(6 - 2 + 1));
+}
+
+TEST(Combining, TimeForArbitraryP) {
+  // combining_time_for rounds up to the next f_T.
+  EXPECT_EQ(combining_time_for(1, 3), 0);
+  EXPECT_EQ(combining_time_for(9, 3), 7);
+  EXPECT_EQ(combining_time_for(10, 3), 8);  // f_8 = 13 covers 10
+}
+
+TEST(Combining, RejectsBadArguments) {
+  EXPECT_THROW(combining_broadcast(3, 0), std::invalid_argument);
+  EXPECT_THROW(combining_broadcast(-1, 3), std::invalid_argument);
+  EXPECT_THROW((void)combining_time_for(0, 3), std::invalid_argument);
+  const auto cs = combining_broadcast(5, 2);
+  EXPECT_THROW(execute_combining<int>(cs, {1, 2},
+                                      [](const int& a, const int& b) {
+                                        return a + b;
+                                      }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace logpc::bcast

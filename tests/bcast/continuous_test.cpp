@@ -1,0 +1,193 @@
+#include "bcast/continuous.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc::bcast {
+namespace {
+
+// --- The Figure 2 instance: L = 3, t = 7, P = 10 -------------------------
+
+TEST(Continuous, Figure2PlanStructure) {
+  const auto res = plan_continuous(3, 7);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const auto& plan = *res.plan;
+  EXPECT_EQ(plan.params.P, 10);
+  EXPECT_EQ(plan.delay(), 10);  // L + B(9) = 3 + 7
+  // Blocks H5, E2, D1 plus the receive-only processor.
+  ASSERT_EQ(plan.blocks.size(), 3u);
+  std::multiset<int> sizes;
+  for (const auto& b : plan.blocks) sizes.insert(b.r);
+  EXPECT_EQ(sizes, (std::multiset<int>{1, 2, 5}));
+  EXPECT_EQ(plan.letter_delays, (std::vector<Time>{5, 6, 7}));
+  EXPECT_NE(plan.receive_only, kNoProc);
+}
+
+TEST(Continuous, Figure2ScheduleAchievesOptimalDelayForEveryItem) {
+  const auto res = plan_continuous(3, 7);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const Schedule s = emit_k_items(*res.plan, 8);  // the paper's k = 8
+  const auto check = validate::check(s);
+  EXPECT_TRUE(check.ok()) << check.summary();
+  for (const auto& c : item_completions(s)) {
+    EXPECT_EQ(c.delay(), 10) << "item " << c.item;
+    EXPECT_EQ(c.generated, c.item);  // generated every g = 1 steps
+  }
+  EXPECT_EQ(completion_time(s), 17);  // L + B(9) + k - 1
+  EXPECT_TRUE(is_single_sending(s, 0));
+}
+
+TEST(Continuous, Figure2ReceptionPatternIsOnePerProcessorPerStep) {
+  const auto res = plan_continuous(3, 7);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const auto rows = reception_pattern(*res.plan);
+  ASSERT_EQ(rows.size(), 10u);
+  // Aggregate one full period: every step consumes the per-step multiset
+  // {d=0, d=3, d=4 internal} + {a,a,a,b,b,c leaves}: as delays,
+  // {0,3,4,7,7,7,6,6,5}.
+  std::multiset<Time> per_step;
+  for (ProcId p = 0; p < 10; ++p) {
+    if (rows[static_cast<std::size_t>(p)] == std::vector<Time>{-1}) continue;
+    // Each processor's row contributes its slot-0 entry to step 0, slot-1
+    // to step 1, etc.; by periodicity every step sees one entry per proc.
+    per_step.insert(rows[static_cast<std::size_t>(p)][0]);
+  }
+  EXPECT_EQ(per_step, (std::multiset<Time>{0, 3, 4, 5, 6, 6, 7, 7, 7}));
+}
+
+// --- Theorem 3.3: optimal delay for 3 <= L <= 10 --------------------------
+
+class ContinuousTheorem33 : public ::testing::TestWithParam<Time> {};
+
+TEST_P(ContinuousTheorem33, OptimalDelayAchievedForExactP) {
+  const Time L = GetParam();
+  const Fib fib(L);
+  for (Time t = L + 3; t <= L + 7; ++t) {
+    if (fib.f(t) > 400) break;
+    const auto res = plan_continuous(L, t);
+    if (L % 2 == 0 && t == 2 * L) {
+      // The one hole per even L (the paper notes the L = 4, t = 8 case;
+      // our search finds its siblings at every even L): minimum delay is
+      // block-cyclic-infeasible exactly at t = 2L.
+      EXPECT_EQ(res.status, SolveStatus::kInfeasible);
+      continue;
+    }
+    ASSERT_EQ(res.status, SolveStatus::kSolved) << "L=" << L << " t=" << t;
+    EXPECT_EQ(res.plan->delay(), L + t);
+    const Schedule s = emit_k_items(*res.plan, 4);
+    EXPECT_TRUE(validate::is_valid(s)) << validate::check(s).summary();
+    EXPECT_EQ(max_delay(s), L + t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LatencyRange, ContinuousTheorem33,
+                         ::testing::Values<Time>(3, 4, 5, 6, 7, 8, 9, 10));
+
+// --- Theorem 3.4: L = 2 cannot achieve the bound --------------------------
+
+TEST(Continuous, L2IsInfeasibleAtOptimalDelay) {
+  for (Time t = 4; t <= 9; ++t) {
+    const auto res = plan_continuous(2, t);
+    EXPECT_EQ(res.status, SolveStatus::kInfeasible) << "t=" << t;
+  }
+}
+
+TEST(Continuous, PaperL4T8RemarkReproduced) {
+  // "when L = 4 and t = 8 no block-cyclic schedule can achieve a delay of
+  // L + t" - the word search proves it by exhaustion.
+  const auto res = plan_continuous(4, 8);
+  EXPECT_EQ(res.status, SolveStatus::kInfeasible);
+  // ... while neighbours are fine.
+  EXPECT_EQ(plan_continuous(4, 7).status, SolveStatus::kSolved);
+  EXPECT_EQ(plan_continuous(4, 9).status, SolveStatus::kSolved);
+}
+
+// --- L = 1 (the conjecture covers every L except 2) ------------------------
+
+TEST(Continuous, L1AlwaysSolvable) {
+  for (Time t = 0; t <= 9; ++t) {
+    const auto res = plan_continuous(1, t);
+    ASSERT_EQ(res.status, SolveStatus::kSolved) << "t=" << t;
+    EXPECT_EQ(res.plan->delay(), 1 + t);
+  }
+}
+
+// --- Degenerate sizes ------------------------------------------------------
+
+TEST(Continuous, SingleReceiver) {
+  const auto res = plan_continuous(3, 0);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  EXPECT_EQ(res.plan->params.P, 2);
+  const Schedule s = emit_k_items(*res.plan, 5);
+  EXPECT_TRUE(validate::is_valid(s)) << validate::check(s).summary();
+  EXPECT_EQ(completion_time(s), 3 + 0 + 4);
+}
+
+TEST(Continuous, TwoReceivers) {
+  const auto res = plan_continuous(4, 4);  // f_4 = 2 for L = 4
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  EXPECT_EQ(res.plan->params.P, 3);
+  const Schedule s = emit_k_items(*res.plan, 3);
+  EXPECT_TRUE(validate::is_valid(s)) << validate::check(s).summary();
+  EXPECT_EQ(max_delay(s), 8);
+}
+
+// --- Waited (Theorem 3.8) plans --------------------------------------------
+
+TEST(Continuous, WaitedPlanRecoversOptimalDelayPlusK) {
+  // L = 2, t = 5 (f_5 = 8 receivers): strict infeasible, wait-1 solvable;
+  // the k-item completion still meets B + L + k - 1 because the buffered
+  // receives compress into the drain.
+  const auto strict = plan_from_tree(
+      BroadcastTree::optimal(Params::postal(8, 2), 8), 20'000'000, 0);
+  EXPECT_EQ(strict.status, SolveStatus::kInfeasible);
+  const auto waited = plan_from_tree(
+      BroadcastTree::optimal(Params::postal(8, 2), 8), 20'000'000, 1);
+  ASSERT_EQ(waited.status, SolveStatus::kSolved);
+  const int k = 6;
+  const Schedule s = emit_k_items(*waited.plan, k);
+  const auto check = validate::check(s, {.buffered = true, .buffer_limit = 2});
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_EQ(completion_time(s), 5 + 2 + k - 1);
+  EXPECT_TRUE(is_single_sending(s, 0));
+}
+
+TEST(Continuous, EmitRejectsBadK) {
+  const auto res = plan_continuous(3, 5);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  EXPECT_THROW(emit_k_items(*res.plan, 0), std::invalid_argument);
+}
+
+TEST(Continuous, RejectsNonPostalTree) {
+  const auto tree = BroadcastTree::optimal(Params{4, 3, 1, 2}, 4);
+  EXPECT_THROW(plan_from_tree(tree), std::invalid_argument);
+}
+
+TEST(Continuous, RejectsBadParameters) {
+  EXPECT_THROW(plan_continuous(0, 3), std::invalid_argument);
+  EXPECT_THROW(plan_continuous(3, -1), std::invalid_argument);
+  EXPECT_THROW(plan_continuous(1, 60), std::invalid_argument);  // f_t huge
+}
+
+// Coverage property: every processor receives every item exactly once.
+TEST(Continuous, EveryProcessorReceivesEveryItemExactlyOnce) {
+  const auto res = plan_continuous(3, 8);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const int k = 7;
+  const Schedule s = emit_k_items(*res.plan, k);
+  for (ItemId i = 0; i < k; ++i) {
+    const auto counts = receive_counts(s, i);
+    for (ProcId p = 1; p < s.params().P; ++p) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(p)], 1)
+          << "item " << i << " at P" << p;
+    }
+    EXPECT_EQ(counts[0], 0);  // the source receives nothing
+  }
+}
+
+}  // namespace
+}  // namespace logpc::bcast

@@ -1,0 +1,73 @@
+#include "bcast/kitem_bounds.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logpc::bcast {
+namespace {
+
+TEST(KItemBounds, Figure2Instance) {
+  // P = 10, L = 3, k = 8: B(9) = 7, k* = 2 -> general lower bound
+  // 7 + 3 + 7 - 2 = 15; single-sending lower 7 + 3 + 8 - 1 = 17;
+  // Theorem 3.6 upper 7 + 6 + 8 - 2 = 19.
+  const auto b = kitem_bounds(10, 3, 8);
+  EXPECT_EQ(b.B, 7);
+  EXPECT_EQ(b.k_star, 2u);
+  EXPECT_EQ(b.general_lower, 15);
+  EXPECT_EQ(b.single_sending_lower, 17);
+  EXPECT_EQ(b.single_sending_upper, 19);
+  EXPECT_EQ(b.continuous_upper, 17);
+}
+
+TEST(KItemBounds, Figure5Instance) {
+  // P - 1 = 13, L = 3, k = 14: B(13) = 8 -> buffered/single-sending
+  // optimum L + B + k - 1 = 3 + 8 + 13 = 24 (the Figure 5 completion).
+  const auto b = kitem_bounds(14, 3, 14);
+  EXPECT_EQ(b.B, 8);
+  EXPECT_EQ(b.single_sending_lower, 24);
+}
+
+TEST(KItemBounds, SingleItemReducesToSingleBroadcastBound) {
+  for (Time L = 1; L <= 6; ++L) {
+    for (int P = 2; P <= 40; ++P) {
+      const auto b = kitem_bounds(P, L, 1);
+      EXPECT_EQ(b.general_lower, b.B + L) << "P=" << P << " L=" << L;
+      EXPECT_EQ(b.single_sending_lower, b.B + L);
+    }
+  }
+}
+
+TEST(KItemBounds, OrderingOfBounds) {
+  for (Time L = 1; L <= 8; ++L) {
+    for (int P = 2; P <= 60; P += 3) {
+      for (int k = 1; k <= 20; k += 4) {
+        const auto b = kitem_bounds(P, L, k);
+        EXPECT_LE(b.general_lower, b.single_sending_lower);
+        EXPECT_LE(b.single_sending_lower, b.single_sending_upper);
+        // k* <= L makes the two lower bounds at most L apart.
+        EXPECT_LE(b.single_sending_lower - b.general_lower, L);
+        EXPECT_EQ(b.continuous_upper, b.single_sending_lower);
+      }
+    }
+  }
+}
+
+TEST(KItemBounds, TwoProcessorsExactPipeline) {
+  // P = 2: the source feeds one receiver; k items need k - 1 + L steps.
+  for (Time L = 1; L <= 5; ++L) {
+    for (int k = 1; k <= 6; ++k) {
+      const auto b = kitem_bounds(2, L, k);
+      EXPECT_EQ(b.B, 0);
+      EXPECT_EQ(b.general_lower, L + k - 1);
+      EXPECT_EQ(b.single_sending_lower, L + k - 1);
+    }
+  }
+}
+
+TEST(KItemBounds, RejectsBadArguments) {
+  EXPECT_THROW((void)kitem_bounds(1, 3, 2), std::invalid_argument);
+  EXPECT_THROW((void)kitem_bounds(4, 0, 2), std::invalid_argument);
+  EXPECT_THROW((void)kitem_bounds(4, 3, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace logpc::bcast

@@ -1,0 +1,124 @@
+#include "bcast/kitem.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc::bcast {
+namespace {
+
+struct Instance {
+  int P;
+  Time L;
+  int k;
+};
+
+std::ostream& operator<<(std::ostream& os, const Instance& i) {
+  return os << "P=" << i.P << " L=" << i.L << " k=" << i.k;
+}
+
+class KItemSweep : public ::testing::TestWithParam<Instance> {};
+
+TEST_P(KItemSweep, ValidSingleSendingWithinTheorem36) {
+  const auto [P, L, k] = GetParam();
+  const auto r = kitem_broadcast(P, L, k);
+  const auto check = validate::check(r.schedule);
+  EXPECT_TRUE(check.ok()) << check.summary();
+  EXPECT_TRUE(is_single_sending(r.schedule, 0));
+  EXPECT_EQ(r.completion, completion_time(r.schedule));
+  // Theorem 3.1 lower bound always holds; Theorem 3.6 upper bound must be
+  // met by the construction.
+  EXPECT_GE(r.completion, r.bounds.general_lower);
+  EXPECT_LE(r.completion, r.bounds.single_sending_upper);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KItemSweep,
+    ::testing::Values(
+        Instance{2, 1, 1}, Instance{2, 3, 5}, Instance{3, 2, 4},
+        Instance{5, 1, 3}, Instance{5, 2, 6}, Instance{8, 1, 4},
+        Instance{9, 2, 3}, Instance{10, 3, 8}, Instance{13, 2, 5},
+        Instance{14, 3, 14}, Instance{17, 4, 6}, Instance{21, 3, 7},
+        Instance{26, 5, 4}, Instance{30, 2, 9}, Instance{42, 3, 5},
+        Instance{11, 6, 3}, Instance{7, 7, 2}, Instance{33, 1, 6}));
+
+TEST(KItem, ExactPAchievesSingleSendingOptimum) {
+  // P - 1 = P(t) and L != 2: the block-cyclic construction is exactly
+  // optimal among single-sending schedules.
+  struct Case {
+    int P;
+    Time L;
+  };
+  for (const auto& c : {Case{10, 3}, Case{5, 1}, Case{9, 1}, Case{14, 3},
+                        Case{7, 4}, Case{8, 5}}) {
+    const auto r = kitem_broadcast(c.P, c.L, 6);
+    EXPECT_EQ(r.method, KItemMethod::kContinuousBlockCyclic);
+    EXPECT_EQ(r.completion, r.bounds.single_sending_lower)
+        << "P=" << c.P << " L=" << c.L;
+    EXPECT_EQ(r.slack, 0);
+  }
+}
+
+TEST(KItem, L2PaysAtMostOneExtraStep) {
+  // Theorems 3.4/3.5: for L = 2 the optimum is out of reach but one extra
+  // step suffices.
+  for (const int P : {6, 9, 14, 22}) {
+    const auto r = kitem_broadcast(P, 2, 5);
+    EXPECT_EQ(r.method, KItemMethod::kContinuousBlockCyclic);
+    EXPECT_LE(r.slack, 1) << "P=" << P;
+    EXPECT_LE(r.completion, r.bounds.single_sending_lower + 1);
+  }
+}
+
+TEST(KItem, Figure2CompletionTime) {
+  // P = 10, L = 3, k = 8: single-sending completion 17 (the paper's
+  // fully-optimal schedule reaches 15 by multi-sending the last k* = 2
+  // items in the endgame; single-sending cannot).
+  const auto r = kitem_broadcast(10, 3, 8);
+  EXPECT_EQ(r.completion, 17);
+}
+
+TEST(KItem, GreedyFallbackIsValidEvenIfSuboptimal) {
+  for (const auto& [P, L, k] :
+       {std::tuple{5, 2, 3}, std::tuple{12, 3, 4}, std::tuple{7, 1, 5}}) {
+    const Schedule s = kitem_greedy(P, L, k);
+    const auto check = validate::check(s);
+    EXPECT_TRUE(check.ok()) << check.summary();
+    EXPECT_TRUE(is_single_sending(s, 0));
+    EXPECT_GE(completion_time(s), kitem_bounds(P, L, k).general_lower);
+  }
+}
+
+TEST(KItem, EveryItemDeliveredExactlyOnce) {
+  const auto r = kitem_broadcast(13, 2, 4);
+  for (ItemId i = 0; i < 4; ++i) {
+    const auto counts = receive_counts(r.schedule, i);
+    for (ProcId p = 1; p < 13; ++p) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(p)], 1);
+    }
+  }
+}
+
+TEST(KItem, SourceInjectsItemsInOrder) {
+  // Theorem 3.2: optimal schedules send distinct items first; our source
+  // sends item i at step i.
+  const auto r = kitem_broadcast(10, 3, 5);
+  std::vector<Time> inject(5, kNever);
+  for (const auto& op : r.schedule.sends()) {
+    if (op.from == 0) {
+      inject[static_cast<std::size_t>(op.item)] =
+          std::min(inject[static_cast<std::size_t>(op.item)], op.start);
+    }
+  }
+  for (ItemId i = 0; i < 5; ++i) EXPECT_EQ(inject[static_cast<std::size_t>(i)], i);
+}
+
+TEST(KItem, RejectsBadArguments) {
+  EXPECT_THROW(kitem_greedy(1, 3, 2), std::invalid_argument);
+  EXPECT_THROW(kitem_greedy(4, 0, 2), std::invalid_argument);
+  EXPECT_THROW(kitem_greedy(4, 3, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace logpc::bcast

@@ -1,0 +1,111 @@
+#include "bcast/reduction.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc::bcast {
+namespace {
+
+TEST(Reduction, CompletesInBroadcastTime) {
+  // Section 4.2: reduction = reversed broadcast, same B(P).
+  for (const Params params :
+       {Params{8, 6, 2, 4}, Params::postal(9, 3), Params{16, 4, 1, 2},
+        Params{30, 2, 0, 3}}) {
+    const auto plan = optimal_reduction(params);
+    EXPECT_EQ(plan.completion, B_of_P(params, params.P))
+        << params.to_string();
+    // completion_time() is trivial here (the "item" pre-exists everywhere);
+    // the last arrival instant is the schedule makespan.
+    EXPECT_EQ(plan.schedule.makespan(), plan.completion);
+  }
+}
+
+TEST(Reduction, ScheduleObeysLogPRules) {
+  for (const Params params :
+       {Params{8, 6, 2, 4}, Params::postal(14, 3), Params{12, 5, 1, 3}}) {
+    const auto plan = optimal_reduction(params);
+    const auto check = validate::check(
+        plan.schedule,
+        {.forbid_duplicate_receive = false, .require_complete = false});
+    EXPECT_TRUE(check.ok()) << params.to_string() << "\n" << check.summary();
+  }
+}
+
+TEST(Reduction, EveryNonRootSendsExactlyOnce) {
+  const auto plan = optimal_reduction(Params::postal(20, 3), 4);
+  const auto sends = send_counts(plan.schedule);
+  for (ProcId p = 0; p < 20; ++p) {
+    EXPECT_EQ(sends[static_cast<std::size_t>(p)], p == 4 ? 0 : 1) << p;
+  }
+}
+
+TEST(Reduction, IntegerSumCorrect) {
+  for (const Params params : {Params{8, 6, 2, 4}, Params::postal(13, 2)}) {
+    const auto plan = optimal_reduction(params, 0);
+    std::vector<long long> vals(static_cast<std::size_t>(params.P));
+    std::iota(vals.begin(), vals.end(), 1);
+    const auto total = execute_reduction<long long>(
+        plan, vals,
+        [](const long long& a, const long long& b) { return a + b; });
+    EXPECT_EQ(total,
+              static_cast<long long>(params.P) * (params.P + 1) / 2);
+  }
+}
+
+TEST(Reduction, MaxReduction) {
+  const auto plan = optimal_reduction(Params::postal(11, 3), 7);
+  std::vector<int> vals{3, 9, 2, 42, 5, 1, 8, 0, 13, 7, 6};
+  const int got = execute_reduction<int>(
+      plan, vals, [](const int& a, const int& b) { return std::max(a, b); });
+  EXPECT_EQ(got, 42);
+}
+
+TEST(Reduction, ArrivalOrderCoversAllSenders) {
+  const auto plan = optimal_reduction(Params::postal(9, 3), 2);
+  const auto order = plan.arrival_order();
+  std::size_t total = 0;
+  for (const auto& o : order) total += o.size();
+  EXPECT_EQ(total, 8u);  // P - 1 messages
+  // The root hears from its broadcast-children, last one landing at B(P).
+  EXPECT_FALSE(order[2].empty());
+}
+
+TEST(Reduction, NonZeroRootRelabels) {
+  const auto plan = optimal_reduction(Params{8, 6, 2, 4}, 5);
+  EXPECT_EQ(plan.root, 5);
+  // No message originates at the root.
+  for (const auto& op : plan.schedule.sends()) {
+    EXPECT_NE(op.from, 5);
+  }
+  EXPECT_EQ(plan.completion, 24);
+}
+
+TEST(Reduction, MirrorsBroadcastTimes) {
+  // The reduction's send times are B - (broadcast labels).
+  const Params params{8, 6, 2, 4};
+  const auto plan = optimal_reduction(params);
+  std::multiset<Time> starts;
+  for (const auto& op : plan.schedule.sends()) starts.insert(op.start);
+  // Broadcast labels {10,14,18,20,22,24,24} -> starts {14,10,6,4,2,0,0}.
+  EXPECT_EQ(starts, (std::multiset<Time>{0, 0, 2, 4, 6, 10, 14}));
+}
+
+TEST(Reduction, RejectsBadArguments) {
+  EXPECT_THROW(optimal_reduction(Params::postal(4, 2), 4),
+               std::invalid_argument);
+  EXPECT_THROW(optimal_reduction(Params{0, 1, 0, 1}),
+               std::invalid_argument);
+  const auto plan = optimal_reduction(Params::postal(3, 2));
+  EXPECT_THROW(execute_reduction<int>(plan, {1, 2},
+                                      [](const int& a, const int& b) {
+                                        return a + b;
+                                      }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace logpc::bcast

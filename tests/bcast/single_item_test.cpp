@@ -1,0 +1,84 @@
+#include "bcast/single_item.hpp"
+
+#include <gtest/gtest.h>
+
+#include "baselines/bcast_baselines.hpp"
+#include "sched/metrics.hpp"
+#include "sim/engine.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc::bcast {
+namespace {
+
+TEST(SingleItem, Figure1Schedule) {
+  const Params params{8, 6, 2, 4};
+  const Schedule s = optimal_single_item(params);
+  EXPECT_TRUE(validate::is_valid(s)) << validate::check(s).summary();
+  EXPECT_EQ(completion_time(s), 24);
+  EXPECT_EQ(s.sends().size(), 7u);
+}
+
+TEST(SingleItem, MatchesBOfPAcrossMachines) {
+  for (const Params params :
+       {Params::postal(9, 3), Params{16, 4, 1, 2}, Params{25, 2, 0, 3},
+        Params{12, 8, 3, 5}, Params{30, 1, 0, 1}}) {
+    const Schedule s = optimal_single_item(params);
+    EXPECT_TRUE(validate::is_valid(s)) << params.to_string();
+    EXPECT_EQ(completion_time(s), B_of_P(params, params.P))
+        << params.to_string();
+  }
+}
+
+TEST(SingleItem, NonzeroSourceRelabels) {
+  const Params params = Params::postal(9, 3);
+  const Schedule s = optimal_single_item(params, 5);
+  EXPECT_TRUE(validate::is_valid(s));
+  EXPECT_EQ(s.initials()[0].proc, 5);
+  EXPECT_EQ(completion_time(s), 7);
+}
+
+TEST(SingleItem, RejectsBadSource) {
+  EXPECT_THROW(optimal_single_item(Params::postal(4, 2), 4),
+               std::invalid_argument);
+  EXPECT_THROW(optimal_single_item(Params::postal(4, 2), -1),
+               std::invalid_argument);
+}
+
+TEST(SingleItem, TreeProgramsReproduceScheduleOnEngine) {
+  // Close the loop: the reactive programs executing on the simulator yield
+  // the same makespan as the statically-constructed schedule.
+  const Params params{8, 6, 2, 4};
+  const auto tree = BroadcastTree::optimal(params, 8);
+  sim::Engine engine(params, 1);
+  for (ProcId p = 0; p < params.P; ++p) {
+    engine.set_program(p, make_tree_program(tree, p));
+  }
+  engine.place(0, 0, 0);
+  const auto run = engine.run();
+  EXPECT_EQ(run.makespan, 24);
+  EXPECT_TRUE(validate::is_valid(run.schedule));
+}
+
+TEST(SingleItem, MakeTreeProgramRejectsBadNode) {
+  const auto tree = BroadcastTree::optimal(Params::postal(4, 2), 4);
+  EXPECT_THROW(make_tree_program(tree, 4), std::invalid_argument);
+  EXPECT_THROW(make_tree_program(tree, -1), std::invalid_argument);
+}
+
+// Theorem 2.1 cross-check: no baseline shape beats the optimal tree on any
+// machine we sweep.
+TEST(SingleItem, NoBaselineBeatsOptimal) {
+  using namespace baselines;
+  for (const Params params :
+       {Params::postal(17, 3), Params{24, 5, 1, 3}, Params{9, 2, 0, 1},
+        Params{40, 10, 2, 4}}) {
+    const Time best = B_of_P(params, params.P);
+    EXPECT_GE(binomial_tree(params, params.P).makespan(), best);
+    EXPECT_GE(binary_tree(params, params.P).makespan(), best);
+    EXPECT_GE(linear_chain(params, params.P).makespan(), best);
+    EXPECT_GE(flat_tree(params, params.P).makespan(), best);
+  }
+}
+
+}  // namespace
+}  // namespace logpc::bcast

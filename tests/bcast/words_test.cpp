@@ -1,0 +1,102 @@
+#include "bcast/words.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logpc::bcast {
+namespace {
+
+// The Section 3.2 running example: L = 3, t = 7, P - 1 = 9.  Blocks H5
+// (r=5, d=0), E2 (r=2, d=3), D1 (r=1, d=4); per-step leaf supplies
+// a(delay 7) x3, b(delay 6) x2, c(delay 5) x1.
+std::vector<BlockSpec> t9_blocks() {
+  return {BlockSpec{5, 0}, BlockSpec{2, 3}, BlockSpec{1, 4}};
+}
+std::vector<Time> t9_delays() { return {7, 6, 5}; }
+
+TEST(Words, SolvesPaperRunningExample) {
+  const auto res = assign_words(t9_delays(), t9_blocks(), {3, 2, 1});
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const auto& wa = *res.assignment;
+  ASSERT_EQ(wa.words.size(), 3u);
+  // H5's word must be one of the two supply-feasible paper words.
+  const std::string h5 = word_to_string(wa.words[0]);
+  EXPECT_TRUE(h5 == "acab" || h5 == "abca") << h5;
+  // Letter conservation: words + receive-only letter == supplies.
+  std::vector<int> used(3, 0);
+  for (const auto& w : wa.words) {
+    for (const int l : w) ++used[static_cast<std::size_t>(l)];
+  }
+  ++used[static_cast<std::size_t>(wa.receive_only_letter)];
+  EXPECT_EQ(used, (std::vector<int>{3, 2, 1}));
+}
+
+TEST(Words, EveryWordLegalForItsBlock) {
+  const auto res = assign_words(t9_delays(), t9_blocks(), {3, 2, 1});
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  const auto blocks = t9_blocks();
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    WordContext ctx;
+    ctx.delays = t9_delays();
+    ctx.r = blocks[i].r;
+    ctx.d = blocks[i].d;
+    EXPECT_TRUE(word_is_legal(ctx, res.assignment->words[i])) << i;
+  }
+}
+
+TEST(Words, SupplyDemandMismatchIsInfeasible) {
+  // One letter short: 3+2+1 = 6 but demand is (5-1)+(2-1)+(1-1)+1 = 6;
+  // make supply 5.
+  const auto res = assign_words(t9_delays(), t9_blocks(), {2, 2, 1});
+  EXPECT_EQ(res.status, SolveStatus::kInfeasible);
+  EXPECT_EQ(res.nodes_explored, 0u);
+}
+
+TEST(Words, BudgetExhaustionIsReported) {
+  const auto res = assign_words(t9_delays(), t9_blocks(), {3, 2, 1}, 0, 2);
+  EXPECT_EQ(res.status, SolveStatus::kBudgetExhausted);
+  EXPECT_FALSE(res.assignment.has_value());
+}
+
+TEST(Words, EmptyBlockListLeavesOneLetterForReceiveOnly) {
+  const auto res = assign_words({5}, {}, {1});
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  EXPECT_EQ(res.assignment->receive_only_letter, 0);
+  EXPECT_TRUE(res.assignment->words.empty());
+}
+
+TEST(Words, RejectsMalformedInput) {
+  EXPECT_THROW(assign_words({}, {}, {}), std::invalid_argument);
+  EXPECT_THROW(assign_words({5}, {}, {1, 2}), std::invalid_argument);
+  EXPECT_THROW(assign_words({5}, {}, {-1}), std::invalid_argument);
+  EXPECT_THROW(assign_words({5}, {BlockSpec{0, 0}}, {1}),
+               std::invalid_argument);
+  EXPECT_THROW(assign_words({5}, {}, {1}, -1), std::invalid_argument);
+}
+
+TEST(Words, WaitVariantsExpandFeasibility) {
+  // An L = 2-style instance that is infeasible strictly but solvable with
+  // wait-1 variants.  t = 4, L = 2: blocks from T(f_4 = 5): root r=3 d=0,
+  // node r=1 d=2; supplies a(4) x2, b(3) x1.
+  const std::vector<BlockSpec> blocks{BlockSpec{3, 0}, BlockSpec{1, 2}};
+  const std::vector<Time> delays{4, 3};
+  const auto strict = assign_words(delays, blocks, {2, 1}, 0);
+  EXPECT_EQ(strict.status, SolveStatus::kInfeasible);
+  const auto buffered = assign_words(delays, blocks, {2, 1}, 1);
+  ASSERT_EQ(buffered.status, SolveStatus::kSolved);
+  // Some chosen letter must be a wait-1 variant (id >= 2).
+  bool any_wait = false;
+  for (const auto& w : buffered.assignment->words) {
+    for (const int l : w) any_wait = any_wait || l >= 2;
+  }
+  EXPECT_TRUE(any_wait);
+}
+
+TEST(Words, ReceiveOnlyLetterIsBaseIndexed) {
+  const auto res = assign_words(t9_delays(), t9_blocks(), {3, 2, 1}, 2);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  EXPECT_GE(res.assignment->receive_only_letter, 0);
+  EXPECT_LT(res.assignment->receive_only_letter, 3);
+}
+
+}  // namespace
+}  // namespace logpc::bcast

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "bcast/all_to_all.hpp"
+#include "bcast/combining.hpp"
+#include "bcast/kitem.hpp"
+#include "bcast/single_item.hpp"
+#include "sched/metrics.hpp"
+#include "sim/engine.hpp"
+#include "sum/executor.hpp"
+#include "sum/lazy.hpp"
+#include "validate/checker.hpp"
+
+/// Cross-module integration: the three independent implementations of LogP
+/// semantics - schedule constructors, the discrete-event engine, and the
+/// validator - must agree on every workload.
+
+namespace logpc {
+namespace {
+
+// Replays a static schedule's send list as reactive programs: each
+// processor sends what the schedule says, when its items allow, in the
+// schedule's per-processor order.  The engine re-times everything under
+// "as early as possible"; for schedules that are themselves greedy the
+// timings must coincide.
+class ReplayProgram : public sim::Program {
+ public:
+  ReplayProgram(std::vector<std::pair<ProcId, ItemId>> sends)
+      : sends_(std::move(sends)) {}
+  void on_item(sim::Context& ctx, ItemId) override {
+    // Issue every send whose item is now available and not yet issued.
+    for (std::size_t i = 0; i < sends_.size(); ++i) {
+      if (issued_[i]) continue;
+      if (!ctx.has(sends_[i].second)) break;  // preserve order
+      ctx.send(sends_[i].first, sends_[i].second);
+      issued_[i] = true;
+    }
+  }
+  void on_start(sim::Context&) override {
+    issued_.assign(sends_.size(), false);
+  }
+
+ private:
+  std::vector<std::pair<ProcId, ItemId>> sends_;
+  std::vector<bool> issued_;
+};
+
+TEST(Integration, EngineReplaysOptimalSingleItemAtSameMakespan) {
+  const Params params{8, 6, 2, 4};
+  const Schedule planned = bcast::optimal_single_item(params);
+  sim::Engine engine(params, 1);
+  for (ProcId p = 0; p < params.P; ++p) {
+    std::vector<std::pair<ProcId, ItemId>> sends;
+    for (const auto& op : planned.sends()) {
+      if (op.from == p) sends.emplace_back(op.to, op.item);
+    }
+    engine.set_program(p, std::make_unique<ReplayProgram>(std::move(sends)));
+  }
+  engine.place(0, 0, 0);
+  const auto run = engine.run();
+  EXPECT_EQ(run.makespan, completion_time(planned));
+  EXPECT_EQ(run.schedule.sends().size(), planned.sends().size());
+  EXPECT_TRUE(validate::is_valid(run.schedule));
+}
+
+TEST(Integration, EngineReplaysKItemBlockCyclicSchedule) {
+  const auto r = bcast::kitem_broadcast(10, 3, 5);
+  ASSERT_EQ(r.method, bcast::KItemMethod::kContinuousBlockCyclic);
+  const Params& params = r.schedule.params();
+  sim::Engine engine(params, 5);
+  for (ProcId p = 0; p < params.P; ++p) {
+    std::vector<std::pair<ProcId, ItemId>> sends;
+    for (const auto& op : r.schedule.sends()) {
+      if (op.from == p) sends.emplace_back(op.to, op.item);
+    }
+    engine.set_program(p, std::make_unique<ReplayProgram>(std::move(sends)));
+  }
+  for (ItemId i = 0; i < 5; ++i) engine.place(i, 0, i);
+  const auto run = engine.run();
+  // The engine issues each send as early as the items allow; the planned
+  // schedule is already earliest-possible, so completion matches.
+  EXPECT_EQ(completion_time(run.schedule), r.completion);
+}
+
+TEST(Integration, AllToAllOnEngine) {
+  // Postal machine: the engine is single-ported, so the duplex-dependent
+  // o > 0 variant is validated schedule-side only.
+  const Params params = Params::postal(6, 3);
+  const Schedule planned = bcast::all_to_all(params);
+  sim::Engine engine(params, 6);
+  for (ProcId p = 0; p < params.P; ++p) {
+    std::vector<std::pair<ProcId, ItemId>> sends;
+    for (const auto& op : planned.sends()) {
+      if (op.from == p) sends.emplace_back(op.to, op.item);
+    }
+    engine.set_program(p, std::make_unique<ReplayProgram>(std::move(sends)));
+    engine.place(p, p, 0);
+  }
+  const auto run = engine.run();
+  EXPECT_EQ(run.makespan, bcast::all_to_all_lower_bound(params));
+  EXPECT_EQ(completion_time(run.schedule), completion_time(planned));
+}
+
+TEST(Integration, SummationEqualsCombiningTotal) {
+  // Two different algorithms computing a global sum must agree: optimal
+  // summation of P operands (one per processor) and combining broadcast.
+  const Time L = 3;
+  const Time T = 7;
+  const auto cs = bcast::combining_broadcast(T, L);
+  const int P = cs.params.P;
+  std::vector<long long> vals;
+  for (int i = 0; i < P; ++i) vals.push_back(100 + i);
+  const auto combined = bcast::execute_combining<long long>(
+      cs, vals, [](const long long& a, const long long& b) { return a + b; });
+
+  // Summation of the same multiset on a machine wide enough to hold one
+  // operand per processor is trivially the same total.
+  long long expected = 0;
+  for (const auto v : vals) expected += v;
+  EXPECT_EQ(combined[0], expected);
+
+  const auto plan = sum::optimal_summation(Params{P, L, 0, 1},
+                                           sum::min_time_for_operands(
+                                               Params{P, L, 0, 1},
+                                               static_cast<Count>(P)));
+  ASSERT_GE(plan.total_operands, static_cast<Count>(P));
+  // Distribute: first P operand slots get vals, the rest get 0.
+  const auto layout = sum::operand_layout(plan);
+  std::vector<std::vector<long long>> operands(layout.size());
+  std::size_t fed = 0;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    operands[i].resize(layout[i].total(), 0);
+    for (auto& slot : operands[i]) {
+      if (fed < vals.size()) slot = vals[fed++];
+    }
+  }
+  const auto total = sum::execute_summation<long long>(
+      plan, operands, [](const long long& a, const long long& b) {
+        return a + b;
+      });
+  EXPECT_EQ(total, expected);
+}
+
+TEST(Integration, ValidatorAgreesWithEngineOnViolations) {
+  // A program that violates the send gap cannot arise from the engine (it
+  // serializes sends); hand-build the bad schedule and confirm only the
+  // validator path flags it while the engine path never produces it.
+  const Params params{3, 6, 2, 4};
+  Schedule bad(params, 1);
+  bad.add_initial(0, 0, 0);
+  bad.add_send(0, 0, 1, 0);
+  bad.add_send(2, 0, 2, 0);  // gap 2 < g = 4
+  EXPECT_FALSE(validate::is_valid(bad, {.require_complete = false}));
+
+  sim::Engine engine(params, 1);
+  class TwoSends : public sim::Program {
+   public:
+    void on_item(sim::Context& ctx, ItemId item) override {
+      ctx.send(1, item);
+      ctx.send(2, item);
+    }
+  };
+  engine.set_program(0, std::make_unique<TwoSends>());
+  engine.place(0, 0, 0);
+  const auto run = engine.run();
+  EXPECT_TRUE(validate::is_valid(run.schedule));
+  EXPECT_EQ(run.schedule.sends()[1].start, 4);  // engine spaced them itself
+}
+
+TEST(Integration, LazyPlansRoundTripThroughScheduleValidator) {
+  const auto plan = sum::optimal_summation(Params{10, 4, 1, 3}, 24);
+  ASSERT_TRUE(sum::is_valid_plan(plan));
+  const Schedule view = plan.timing_view();
+  EXPECT_TRUE(validate::is_valid(
+      view, {.forbid_duplicate_receive = false, .require_complete = false}));
+}
+
+}  // namespace
+}  // namespace logpc

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "bcast/all_to_all.hpp"
+#include "bcast/continuous.hpp"
+#include "bcast/kitem.hpp"
+#include "bcast/kitem_buffered.hpp"
+#include "sched/metrics.hpp"
+#include "sum/executor.hpp"
+#include "sum/lazy.hpp"
+#include "validate/checker.hpp"
+
+/// Larger-instance integration: the constructions and the validator must
+/// stay correct (and fast) well past the sizes the unit tests use.
+
+namespace logpc {
+namespace {
+
+TEST(Scale, ContinuousBroadcastAt123Receivers) {
+  // L = 3, t = 13 -> f_13 = 88... compute: the solver handles it either
+  // way; assert the generic invariants rather than the size.
+  const auto res = bcast::plan_continuous(3, 13);
+  ASSERT_EQ(res.status, bcast::SolveStatus::kSolved);
+  const int k = 20;
+  const Schedule s = bcast::emit_k_items(*res.plan, k);
+  const auto check = validate::check(s);
+  ASSERT_TRUE(check.ok()) << check.summary();
+  EXPECT_EQ(max_delay(s), 3 + 13);
+  EXPECT_EQ(completion_time(s), 3 + 13 + k - 1);
+}
+
+TEST(Scale, KItemOnLargeMachine) {
+  const auto r = bcast::kitem_broadcast(124, 3, 24);
+  const auto check = validate::check(r.schedule);
+  ASSERT_TRUE(check.ok()) << check.summary();
+  EXPECT_LE(r.completion, r.bounds.single_sending_upper);
+  EXPECT_TRUE(is_single_sending(r.schedule, 0));
+}
+
+TEST(Scale, BufferedKItemOnLargeMachine) {
+  const auto r = bcast::kitem_buffered(200, 2, 16);
+  EXPECT_EQ(r.completion, r.bounds.single_sending_lower);
+  const auto check =
+      validate::check(r.schedule, {.buffered = true, .buffer_limit = 2});
+  ASSERT_TRUE(check.ok()) << check.summary();
+}
+
+TEST(Scale, BroadcastTreeAtFourThousand) {
+  const Params params{4096, 12, 2, 4};
+  const auto tree = bcast::BroadcastTree::optimal(params, 4096);
+  EXPECT_EQ(tree.makespan(), bcast::B_of_P(params, 4096));
+  const Schedule s = tree.to_schedule();
+  EXPECT_TRUE(validate::is_valid(s));
+}
+
+TEST(Scale, SummationWithManyOperands) {
+  const Params params{128, 4, 1, 4};
+  const Count n = 250'000;
+  const Time t = sum::min_time_for_operands(params, n);
+  const auto plan = sum::optimal_summation(params, t);
+  ASSERT_GE(plan.total_operands, n);
+  EXPECT_TRUE(sum::is_valid_plan(plan));
+  const auto total = static_cast<long long>(plan.total_operands);
+  EXPECT_EQ(sum::execute_iota_sum(plan), total * (total - 1) / 2);
+}
+
+TEST(Scale, ValidatorHandlesTensOfThousandsOfSends) {
+  // All-to-all on 128 processors: 16k messages.
+  const Params params = Params::postal(128, 4);
+  const Schedule s = bcast::all_to_all(params);
+  EXPECT_EQ(s.sends().size(), 128u * 127u);
+  EXPECT_TRUE(validate::is_valid(s));
+}
+
+}  // namespace
+}  // namespace logpc

@@ -1,0 +1,72 @@
+#include "logp/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace logpc {
+namespace {
+
+TEST(Params, DefaultIsValid) {
+  Params p;
+  EXPECT_TRUE(p.valid());
+  EXPECT_NO_THROW(p.require_valid());
+}
+
+TEST(Params, PaperFigure1Machine) {
+  const Params p{8, 6, 2, 4};
+  EXPECT_TRUE(p.valid());
+  EXPECT_EQ(p.transfer_time(), 10);  // L + 2o = 6 + 4
+  EXPECT_EQ(p.child_label(0, 0), 10);
+  EXPECT_EQ(p.child_label(0, 1), 14);
+  EXPECT_EQ(p.child_label(0, 2), 18);
+  EXPECT_EQ(p.child_label(0, 3), 22);
+  EXPECT_EQ(p.child_label(10, 0), 20);
+  EXPECT_FALSE(p.is_postal());
+}
+
+TEST(Params, PostalFactory) {
+  const Params p = Params::postal(10, 3);
+  EXPECT_EQ(p.P, 10);
+  EXPECT_EQ(p.L, 3);
+  EXPECT_EQ(p.o, 0);
+  EXPECT_EQ(p.g, 1);
+  EXPECT_TRUE(p.is_postal());
+  EXPECT_EQ(p.transfer_time(), 3);
+  EXPECT_EQ(p.capacity(), 3);
+}
+
+TEST(Params, CapacityIsCeilLOverG) {
+  EXPECT_EQ((Params{4, 6, 2, 4}).capacity(), 2);   // ceil(6/4)
+  EXPECT_EQ((Params{4, 8, 0, 4}).capacity(), 2);   // exact division
+  EXPECT_EQ((Params{4, 1, 0, 5}).capacity(), 1);   // L < g
+  EXPECT_EQ((Params{4, 10, 0, 1}).capacity(), 10);
+}
+
+TEST(Params, InvalidParameterCombinationsThrow) {
+  EXPECT_THROW((Params{0, 1, 0, 1}).require_valid(), std::invalid_argument);
+  EXPECT_THROW((Params{1, 0, 0, 1}).require_valid(), std::invalid_argument);
+  EXPECT_THROW((Params{1, 1, -1, 1}).require_valid(), std::invalid_argument);
+  EXPECT_THROW((Params{1, 1, 0, 0}).require_valid(), std::invalid_argument);
+  EXPECT_THROW((Params{-3, 1, 0, 1}).require_valid(), std::invalid_argument);
+}
+
+TEST(Params, ZeroOverheadAllowed) {
+  EXPECT_TRUE((Params{2, 1, 0, 1}).valid());
+}
+
+TEST(Params, StreamFormat) {
+  std::ostringstream os;
+  os << Params{8, 6, 2, 4};
+  EXPECT_EQ(os.str(), "LogP(P=8, L=6, o=2, g=4)");
+  EXPECT_EQ((Params{8, 6, 2, 4}).to_string(), "LogP(P=8, L=6, o=2, g=4)");
+}
+
+TEST(Params, Equality) {
+  EXPECT_EQ((Params{8, 6, 2, 4}), (Params{8, 6, 2, 4}));
+  EXPECT_NE((Params{8, 6, 2, 4}), (Params{8, 6, 2, 3}));
+}
+
+}  // namespace
+}  // namespace logpc

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bcast/kitem.hpp"
+#include "bcast/single_item.hpp"
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+/// Mutation testing of the validator: corrupt known-good schedules in ways
+/// that *must* break a LogP rule and assert the checker catches every one.
+/// A checker that waves through any of these mutations is a checker the
+/// rest of the test suite cannot rely on.
+
+namespace logpc {
+namespace {
+
+std::vector<Schedule> corpus() {
+  std::vector<Schedule> out;
+  out.push_back(bcast::optimal_single_item(Params{8, 6, 2, 4}));
+  out.push_back(bcast::optimal_single_item(Params::postal(13, 3)));
+  out.push_back(bcast::kitem_broadcast(10, 3, 4).schedule);
+  out.push_back(bcast::kitem_broadcast(9, 2, 3).schedule);
+  return out;
+}
+
+Schedule with_sends(const Schedule& base, std::vector<SendOp> sends) {
+  Schedule s(base.params(), base.num_items());
+  for (const auto& init : base.initials()) {
+    s.add_initial(init.item, init.proc, init.time);
+  }
+  for (const auto& op : sends) s.add_send(op);
+  s.sort();
+  return s;
+}
+
+TEST(Mutation, DroppingAnySendBreaksCompleteness) {
+  for (const Schedule& base : corpus()) {
+    ASSERT_TRUE(validate::is_valid(base));
+    for (std::size_t drop = 0; drop < base.sends().size(); ++drop) {
+      std::vector<SendOp> sends;
+      for (std::size_t i = 0; i < base.sends().size(); ++i) {
+        if (i != drop) sends.push_back(base.sends()[i]);
+      }
+      const Schedule mutated = with_sends(base, std::move(sends));
+      // Either the dropped message's destination misses the item, or a
+      // downstream sender no longer holds it.
+      EXPECT_FALSE(validate::is_valid(mutated)) << "drop " << drop;
+    }
+  }
+}
+
+TEST(Mutation, AdvancingASendBeforeAvailabilityIsCaught) {
+  std::mt19937_64 rng(11);
+  for (const Schedule& base : corpus()) {
+    const auto avail = availability_matrix(base);
+    int mutations = 0;
+    for (std::size_t i = 0; i < base.sends().size() && mutations < 6; ++i) {
+      const SendOp& op = base.sends()[i];
+      const Time have = avail[static_cast<std::size_t>(op.item)]
+                             [static_cast<std::size_t>(op.from)];
+      if (have <= 0) continue;  // cannot advance before cycle 0
+      auto sends = base.sends();
+      sends[i].start = have - 1 - static_cast<Time>(rng() % 2);
+      const Schedule mutated = with_sends(base, std::move(sends));
+      EXPECT_FALSE(validate::is_valid(mutated, {.require_complete = false}))
+          << "send " << i;
+      ++mutations;
+    }
+    EXPECT_GT(mutations, 0);
+  }
+}
+
+TEST(Mutation, DuplicatingASendIsCaught) {
+  for (const Schedule& base : corpus()) {
+    for (std::size_t i = 0; i < base.sends().size(); i += 3) {
+      auto sends = base.sends();
+      sends.push_back(sends[i]);  // exact duplicate: same arrival slot too
+      const Schedule mutated = with_sends(base, std::move(sends));
+      EXPECT_FALSE(validate::is_valid(mutated)) << "dup " << i;
+    }
+  }
+}
+
+TEST(Mutation, RetargetingToSelfIsCaught) {
+  for (const Schedule& base : corpus()) {
+    auto sends = base.sends();
+    sends[0].to = sends[0].from;
+    EXPECT_FALSE(
+        validate::is_valid(with_sends(base, std::move(sends)),
+                           {.require_complete = false}));
+  }
+}
+
+TEST(Mutation, SqueezingTwoSendsUnderTheGapIsCaught) {
+  // Move every send of the busiest sender 1 cycle earlier, one at a time:
+  // with g > 1 this violates the send gap against a neighbour.
+  const Schedule base = bcast::optimal_single_item(Params{8, 6, 2, 4});
+  int caught = 0;
+  for (std::size_t i = 0; i < base.sends().size(); ++i) {
+    if (base.sends()[i].from != 0) continue;
+    if (base.sends()[i].start == 0) continue;
+    auto sends = base.sends();
+    sends[i].start -= 1;
+    const Schedule mutated = with_sends(base, std::move(sends));
+    if (!validate::is_valid(mutated, {.require_complete = false})) ++caught;
+  }
+  EXPECT_GE(caught, 3);  // the root's later sends are all gap-tight
+}
+
+TEST(Mutation, ValidatorAcceptsTheUnmutatedCorpus) {
+  for (const Schedule& base : corpus()) {
+    EXPECT_TRUE(validate::is_valid(base));
+  }
+}
+
+}  // namespace
+}  // namespace logpc

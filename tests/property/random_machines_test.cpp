@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bcast/all_to_all.hpp"
+#include "bcast/kitem.hpp"
+#include "bcast/kitem_buffered.hpp"
+#include "bcast/reduction.hpp"
+#include "bcast/single_item.hpp"
+#include "sched/io.hpp"
+#include "sched/metrics.hpp"
+#include "sum/executor.hpp"
+#include "sum/lazy.hpp"
+#include "validate/checker.hpp"
+
+/// Property sweeps over randomly drawn machines (seeded, deterministic):
+/// every construction must validate, meet its closed-form completion time,
+/// and round-trip through serialization, for machines nobody hand-picked.
+
+namespace logpc {
+namespace {
+
+std::vector<Params> random_machines(std::uint64_t seed, int count,
+                                    int max_P, Time max_L, Time max_o,
+                                    Time max_g) {
+  std::mt19937_64 rng(seed);
+  std::vector<Params> out;
+  std::uniform_int_distribution<int> dP(2, max_P);
+  std::uniform_int_distribution<Time> dL(1, max_L);
+  std::uniform_int_distribution<Time> dO(0, max_o);
+  std::uniform_int_distribution<Time> dG(1, max_g);
+  while (static_cast<int>(out.size()) < count) {
+    Params p{dP(rng), dL(rng), dO(rng), dG(rng)};
+    out.push_back(p);
+  }
+  return out;
+}
+
+TEST(RandomMachines, OptimalBroadcastAlwaysValidAndTight) {
+  for (const Params& params : random_machines(1, 60, 80, 20, 5, 10)) {
+    const Schedule s = bcast::optimal_single_item(params);
+    const auto check = validate::check(s);
+    ASSERT_TRUE(check.ok()) << params.to_string() << "\n" << check.summary();
+    EXPECT_EQ(completion_time(s), bcast::B_of_P(params, params.P))
+        << params.to_string();
+  }
+}
+
+TEST(RandomMachines, BroadcastRoundTripsThroughText) {
+  for (const Params& params : random_machines(2, 25, 60, 15, 4, 8)) {
+    const Schedule s = bcast::optimal_single_item(params);
+    EXPECT_EQ(schedule_from_text(to_text(s)), s) << params.to_string();
+  }
+}
+
+TEST(RandomMachines, AllToAllAlwaysMeetsBound) {
+  for (const Params& params : random_machines(3, 40, 40, 20, 4, 8)) {
+    const Schedule s = bcast::all_to_all(params);
+    const auto check = validate::check(s, {.allow_duplex_overhead = true});
+    ASSERT_TRUE(check.ok()) << params.to_string() << "\n" << check.summary();
+    EXPECT_EQ(completion_time(s), bcast::all_to_all_lower_bound(params));
+  }
+}
+
+TEST(RandomMachines, ReductionMirrorsBroadcast) {
+  std::mt19937_64 rng(4);
+  for (const Params& params : random_machines(4, 40, 60, 15, 4, 8)) {
+    std::uniform_int_distribution<ProcId> dRoot(0, params.P - 1);
+    const ProcId root = dRoot(rng);
+    const auto plan = bcast::optimal_reduction(params, root);
+    EXPECT_EQ(plan.completion, bcast::B_of_P(params, params.P));
+    const auto check = validate::check(
+        plan.schedule,
+        {.forbid_duplicate_receive = false, .require_complete = false});
+    ASSERT_TRUE(check.ok()) << params.to_string() << "\n" << check.summary();
+  }
+}
+
+TEST(RandomMachines, SummationPlansValidAndExecutable) {
+  std::mt19937_64 rng(5);
+  std::uniform_int_distribution<Time> dT(0, 60);
+  for (Params params : random_machines(5, 40, 40, 10, 3, 8)) {
+    params.g = std::max(params.g, params.o + 1);  // summation requirement
+    const Time t = dT(rng);
+    const auto plan = sum::optimal_summation(params, t);
+    ASSERT_TRUE(sum::is_valid_plan(plan))
+        << params.to_string() << " t=" << t << "\n"
+        << sum::check_plan(plan).summary();
+    const auto n = static_cast<long long>(plan.total_operands);
+    EXPECT_EQ(sum::execute_iota_sum(plan), n * (n - 1) / 2);
+  }
+}
+
+TEST(RandomPostal, KItemAlwaysWithinTheorem36) {
+  std::mt19937_64 rng(6);
+  std::uniform_int_distribution<int> dP(2, 40);
+  std::uniform_int_distribution<Time> dL(1, 7);
+  std::uniform_int_distribution<int> dK(1, 10);
+  for (int i = 0; i < 25; ++i) {
+    const int P = dP(rng);
+    const Time L = dL(rng);
+    const int k = dK(rng);
+    const auto r = bcast::kitem_broadcast(P, L, k);
+    const auto check = validate::check(r.schedule);
+    ASSERT_TRUE(check.ok())
+        << "P=" << P << " L=" << L << " k=" << k << "\n" << check.summary();
+    EXPECT_TRUE(is_single_sending(r.schedule, 0));
+    EXPECT_LE(r.completion, r.bounds.single_sending_upper)
+        << "P=" << P << " L=" << L << " k=" << k;
+    EXPECT_GE(r.completion, r.bounds.general_lower);
+  }
+}
+
+TEST(RandomPostal, BufferedAlwaysMeetsTheorem38) {
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<int> dP(2, 40);
+  std::uniform_int_distribution<Time> dL(1, 7);
+  std::uniform_int_distribution<int> dK(1, 10);
+  for (int i = 0; i < 25; ++i) {
+    const int P = dP(rng);
+    const Time L = dL(rng);
+    const int k = dK(rng);
+    const auto r = bcast::kitem_buffered(P, L, k);
+    EXPECT_EQ(r.completion, r.bounds.single_sending_lower)
+        << "P=" << P << " L=" << L << " k=" << k;
+    const auto check = validate::check(
+        r.schedule, {.buffered = true, .buffer_limit = 2});
+    ASSERT_TRUE(check.ok())
+        << "P=" << P << " L=" << L << " k=" << k << "\n" << check.summary();
+  }
+}
+
+}  // namespace
+}  // namespace logpc

@@ -1,0 +1,141 @@
+#include "sched/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc {
+namespace {
+
+const Params kFig1{8, 6, 2, 4};
+
+TEST(Builder, RejectsBadConstruction) {
+  EXPECT_THROW(ScheduleBuilder(Params{0, 1, 0, 1}, 1), std::invalid_argument);
+  EXPECT_THROW(ScheduleBuilder(Params::postal(2, 3), 0),
+               std::invalid_argument);
+}
+
+TEST(Builder, SendRequiresHolding) {
+  ScheduleBuilder b(Params::postal(3, 2), 1);
+  EXPECT_THROW(b.send_at(0, 0, 1, 0), std::logic_error);   // nobody holds it
+  b.place(0, 0, 5);
+  EXPECT_THROW(b.send_at(4, 0, 1, 0), std::logic_error);   // not yet
+  EXPECT_NO_THROW(b.send_at(5, 0, 1, 0));
+}
+
+TEST(Builder, RejectsSelfSendAndBadIds) {
+  ScheduleBuilder b(Params::postal(3, 2), 1);
+  b.place(0, 0);
+  EXPECT_THROW(b.send_at(0, 0, 0, 0), std::logic_error);
+  EXPECT_THROW(b.send_at(0, 0, 3, 0), std::logic_error);
+  EXPECT_THROW(b.send_at(0, -1, 1, 0), std::logic_error);
+  EXPECT_THROW(b.send_at(0, 0, 1, 1), std::logic_error);
+}
+
+TEST(Builder, EnforcesSendGap) {
+  ScheduleBuilder b(kFig1, 1);
+  b.place(0, 0);
+  b.send_at(0, 0, 1, 0);
+  EXPECT_THROW(b.send_at(3, 0, 2, 0), std::logic_error);  // g = 4
+  EXPECT_NO_THROW(b.send_at(4, 0, 2, 0));
+}
+
+TEST(Builder, EnforcesRecvGap) {
+  ScheduleBuilder b(Params::postal(4, 3), 1);
+  b.place(0, 0);
+  b.place(0, 1);
+  b.send_at(0, 0, 3, 0);
+  // Arrivals would collide at processor 3 (recv gap g = 1 means distinct
+  // cycles; same cycle is a conflict).
+  EXPECT_THROW(b.send_at(0, 1, 3, 0), std::logic_error);
+  EXPECT_NO_THROW(b.send_at(1, 1, 3, 0));
+}
+
+TEST(Builder, EarliestSendStartSkipsCommittedSlots) {
+  ScheduleBuilder b(kFig1, 1);
+  b.place(0, 0);
+  EXPECT_EQ(b.earliest_send_start(0, 0), 0);
+  b.send_at(0, 0, 1, 0);
+  EXPECT_EQ(b.earliest_send_start(0, 0), 4);
+  EXPECT_EQ(b.earliest_send_start(0, 2), 4);
+  EXPECT_EQ(b.earliest_send_start(0, 9), 9);
+}
+
+TEST(Builder, EarliestSendStartAvoidsRecvOverhead) {
+  // o = 2: a send cannot start inside a receive's [recv, recv+2) window.
+  ScheduleBuilder b(kFig1, 1);
+  b.place(0, 0);
+  b.send_at(0, 0, 1, 0);  // P1 receives in [8, 10)
+  // P1 is informed at 10; but suppose P1 tried to send at 9 - blocked by
+  // its own receive overhead.
+  EXPECT_EQ(b.earliest_send_start(1, 9), 10);
+}
+
+TEST(Builder, SendEarliestHonorsAvailability) {
+  ScheduleBuilder b(Params::postal(4, 3), 1);
+  b.place(0, 0, 0);
+  const Time a1 = b.send_earliest(0, 1, 0);
+  EXPECT_EQ(a1, 3);
+  // P1 can forward only after it holds the item.
+  const Time a2 = b.send_earliest(1, 2, 0);
+  EXPECT_EQ(a2, 6);
+}
+
+TEST(Builder, SendEarliestResolvesReceiverConflicts) {
+  ScheduleBuilder b(Params::postal(4, 3), 2);
+  b.place(0, 0);
+  b.place(1, 1);
+  b.send_at(0, 0, 3, 0);                       // P3 receives at 3
+  const Time a = b.send_earliest(1, 3, 1, 0);  // wants recv at 3 too
+  EXPECT_EQ(a, 4);                             // pushed one cycle
+  EXPECT_TRUE(validate::is_valid(b.take(),
+                                 {.require_complete = false}));
+}
+
+TEST(Builder, GreedyFloodMatchesOptimalBroadcastTime) {
+  // The builder's "earliest possible" primitive reproduces B(P) for the
+  // Figure 1 machine when driven root-first: 0 informs 8 processors by 24.
+  ScheduleBuilder b(kFig1, 1);
+  b.place(0, 0);
+  b.send_at(0, 0, 1, 0);    // label 10
+  b.send_at(4, 0, 2, 0);    // label 14
+  b.send_at(8, 0, 3, 0);    // label 18
+  b.send_at(12, 0, 4, 0);   // label 22
+  b.send_at(10, 1, 5, 0);   // label 20
+  b.send_at(14, 1, 6, 0);   // label 24
+  b.send_at(14, 2, 7, 0);   // label 24
+  Schedule s = b.take();
+  EXPECT_EQ(completion_time(s), 24);
+  EXPECT_TRUE(validate::is_valid(s));
+}
+
+TEST(Builder, SendsFromCounts) {
+  ScheduleBuilder b(Params::postal(4, 1), 1);
+  b.place(0, 0);
+  EXPECT_EQ(b.sends_from(0), 0);
+  b.send_earliest(0, 1, 0);
+  b.send_earliest(0, 2, 0);
+  EXPECT_EQ(b.sends_from(0), 2);
+  EXPECT_EQ(b.sends_from(1), 0);
+}
+
+TEST(Builder, TakeProducesSortedValidSchedule) {
+  ScheduleBuilder b(Params::postal(5, 2), 1);
+  b.place(0, 0);
+  b.send_at(1, 0, 2, 0);
+  b.send_at(0, 0, 1, 0);
+  b.send_at(2, 0, 3, 0);
+  b.send_at(3, 0, 4, 0);
+  const Schedule s = b.take();
+  EXPECT_TRUE(std::is_sorted(s.sends().begin(), s.sends().end(),
+                             [](const SendOp& x, const SendOp& y) {
+                               return x.start < y.start;
+                             }));
+  EXPECT_TRUE(validate::is_valid(s));
+}
+
+}  // namespace
+}  // namespace logpc

@@ -1,0 +1,105 @@
+#include "sched/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bcast/kitem.hpp"
+#include "bcast/kitem_buffered.hpp"
+#include "bcast/single_item.hpp"
+#include "sched/metrics.hpp"
+
+namespace logpc {
+namespace {
+
+TEST(ScheduleIO, RoundTripSingleItem) {
+  const Schedule original = bcast::optimal_single_item(Params{8, 6, 2, 4});
+  const Schedule parsed = schedule_from_text(to_text(original));
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(ScheduleIO, RoundTripKItemWithGeneratedInitials) {
+  const auto r = bcast::kitem_broadcast(10, 3, 5);
+  const Schedule parsed = schedule_from_text(to_text(r.schedule));
+  EXPECT_EQ(parsed, r.schedule);
+  EXPECT_EQ(completion_time(parsed), r.completion);
+}
+
+TEST(ScheduleIO, RoundTripBufferedRecvStarts) {
+  const auto r = bcast::kitem_buffered(9, 2, 6);
+  const Schedule parsed = schedule_from_text(to_text(r.schedule));
+  EXPECT_EQ(parsed, r.schedule);
+  bool any_delayed = false;
+  for (const auto& op : parsed.sends()) {
+    any_delayed = any_delayed || op.recv_start != kNever;
+  }
+  EXPECT_TRUE(any_delayed);
+}
+
+TEST(ScheduleIO, TextFormatIsStable) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(SendOp{1, 0, 2, 0, 5});
+  EXPECT_EQ(to_text(s),
+            "logpc-schedule v1\n"
+            "params 3 2 0 1\n"
+            "items 1\n"
+            "init 0 0 0\n"
+            "send 0 0 1 0\n"
+            "send 1 0 2 0 5\n");
+}
+
+TEST(ScheduleIO, CommentsAndBlankLinesIgnored) {
+  const Schedule parsed = schedule_from_text(
+      "logpc-schedule v1\n"
+      "# a comment\n"
+      "params 2 3 0 1\n"
+      "\n"
+      "items 1\n"
+      "   # indented comment\n"
+      "init 0 0 0\n"
+      "send 0 0 1 0\n");
+  EXPECT_EQ(parsed.params(), Params::postal(2, 3));
+  EXPECT_EQ(parsed.sends().size(), 1u);
+}
+
+TEST(ScheduleIO, RejectsMalformedInput) {
+  EXPECT_THROW(schedule_from_text(""), std::invalid_argument);
+  EXPECT_THROW(schedule_from_text("not-a-schedule\n"), std::invalid_argument);
+  EXPECT_THROW(schedule_from_text("logpc-schedule v1\nparams 2 3 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(schedule_from_text("logpc-schedule v1\nparams 0 3 0 1\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      schedule_from_text("logpc-schedule v1\nparams 2 3 0 1\nitems 0\n"),
+      std::invalid_argument);
+  EXPECT_THROW(schedule_from_text("logpc-schedule v1\nparams 2 3 0 1\n"
+                                  "items 1\nfrobnicate 1 2 3\n"),
+               std::invalid_argument);
+}
+
+TEST(ScheduleIO, RejectsOutOfRangeIds) {
+  const std::string head =
+      "logpc-schedule v1\nparams 2 3 0 1\nitems 1\n";
+  EXPECT_THROW(schedule_from_text(head + "init 0 5 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(schedule_from_text(head + "init 3 0 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(schedule_from_text(head + "send 0 0 9 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(schedule_from_text(head + "send 0 0 1 7\n"),
+               std::invalid_argument);
+}
+
+TEST(ScheduleIO, ErrorMessagesCarryLineNumbers) {
+  try {
+    (void)schedule_from_text("logpc-schedule v1\nparams 2 3 0 1\nitems 1\n"
+                             "send bogus\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+}  // namespace
+}  // namespace logpc

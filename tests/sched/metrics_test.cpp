@@ -1,0 +1,84 @@
+#include "sched/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logpc {
+namespace {
+
+// A hand-built 3-processor postal broadcast: source 0 sends to 1 at t=0 and
+// to 2 at t=1 (L = 2).
+Schedule tiny_broadcast() {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);  // available at 2
+  s.add_send(1, 0, 2, 0);  // available at 3
+  return s;
+}
+
+TEST(Metrics, AvailabilityMatrix) {
+  const auto avail = availability_matrix(tiny_broadcast());
+  ASSERT_EQ(avail.size(), 1u);
+  EXPECT_EQ(avail[0][0], 0);
+  EXPECT_EQ(avail[0][1], 2);
+  EXPECT_EQ(avail[0][2], 3);
+}
+
+TEST(Metrics, ItemCompletions) {
+  const auto comps = item_completions(tiny_broadcast());
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].generated, 0);
+  EXPECT_EQ(comps[0].completed, 3);
+  EXPECT_EQ(comps[0].delay(), 3);
+}
+
+TEST(Metrics, CompletionAndDelayOfIncompleteScheduleIsNever) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);  // processor 2 never gets the item
+  EXPECT_EQ(completion_time(s), kNever);
+  EXPECT_EQ(max_delay(s), kNever);
+  const auto comps = item_completions(s);
+  EXPECT_EQ(comps[0].completed, kNever);
+  EXPECT_EQ(comps[0].delay(), kNever);
+}
+
+TEST(Metrics, DelayMeasuredFromGeneration) {
+  // Item generated at t = 5, delivered everywhere by t = 9: delay 4.
+  Schedule s(Params::postal(2, 2), 1);
+  s.add_initial(0, 0, 5);
+  s.add_send(7, 0, 1, 0);  // available at 9
+  EXPECT_EQ(completion_time(s), 9);
+  EXPECT_EQ(max_delay(s), 4);
+}
+
+TEST(Metrics, MaxDelayOverItems) {
+  Schedule s(Params::postal(2, 2), 2);
+  s.add_initial(0, 0, 0);
+  s.add_initial(1, 0, 1);
+  s.add_send(0, 0, 1, 0);  // item 0: delay 2
+  s.add_send(2, 0, 1, 1);  // item 1: generated 1, complete 4, delay 3
+  EXPECT_EQ(max_delay(s), 3);
+  EXPECT_EQ(completion_time(s), 4);
+}
+
+TEST(Metrics, ReceiveAndSendCounts) {
+  const Schedule s = tiny_broadcast();
+  EXPECT_EQ(receive_counts(s, 0), (std::vector<int>{0, 1, 1}));
+  EXPECT_EQ(send_counts(s), (std::vector<int>{2, 0, 0}));
+}
+
+TEST(Metrics, SingleSendingDetection) {
+  Schedule s(Params::postal(4, 2), 2);
+  s.add_initial(0, 0, 0);
+  s.add_initial(1, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(1, 0, 2, 1);
+  EXPECT_TRUE(is_single_sending(s, 0));
+  s.add_send(2, 0, 3, 0);  // source repeats item 0
+  EXPECT_FALSE(is_single_sending(s, 0));
+  // Other processors repeating is fine for the property at the source.
+  EXPECT_TRUE(is_single_sending(s, 1));
+}
+
+}  // namespace
+}  // namespace logpc

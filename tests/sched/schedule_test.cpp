@@ -1,0 +1,89 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace logpc {
+namespace {
+
+const Params kFig1{8, 6, 2, 4};  // L=6, o=2, g=4
+
+TEST(Schedule, EmptyScheduleBasics) {
+  const Schedule s(kFig1, 1);
+  EXPECT_EQ(s.params(), kFig1);
+  EXPECT_EQ(s.num_items(), 1);
+  EXPECT_EQ(s.makespan(), 0);
+  EXPECT_EQ(s.first_available(0, 0), kNever);
+}
+
+TEST(Schedule, InitialPlacementIsAvailability) {
+  Schedule s(kFig1, 2);
+  s.add_initial(0, 3, 5);
+  EXPECT_EQ(s.first_available(3, 0), 5);
+  EXPECT_EQ(s.first_available(3, 1), kNever);
+  EXPECT_EQ(s.first_available(2, 0), kNever);
+  EXPECT_EQ(s.makespan(), 5);
+}
+
+TEST(Schedule, StrictSendTiming) {
+  Schedule s(kFig1, 1);
+  s.add_initial(0, 0, 0);
+  const Time avail = s.add_send(0, 0, 1, 0);
+  // o + L + o = 2 + 6 + 2 = 10.
+  EXPECT_EQ(avail, 10);
+  EXPECT_EQ(s.recv_start(s.sends()[0]), 8);
+  EXPECT_EQ(s.available_at(s.sends()[0]), 10);
+  EXPECT_EQ(s.first_available(1, 0), 10);
+  EXPECT_EQ(s.makespan(), 10);
+}
+
+TEST(Schedule, BufferedRecvOverride) {
+  Schedule s(Params::postal(4, 3), 1);
+  s.add_initial(0, 0, 0);
+  SendOp op{0, 0, 1, 0, 7};  // arrival at 3, received at 7
+  s.add_send(op);
+  EXPECT_EQ(s.recv_start(s.sends()[0]), 7);
+  EXPECT_EQ(s.available_at(s.sends()[0]), 7);  // o = 0
+}
+
+TEST(Schedule, FirstAvailableTakesEarliest) {
+  Schedule s(Params::postal(4, 3), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(5, 0, 1, 0);  // available at 8
+  s.add_send(0, 0, 1, 0);  // available at 3 (duplicate transmission)
+  EXPECT_EQ(s.first_available(1, 0), 3);
+}
+
+TEST(Schedule, SortOrdersByStartTime) {
+  Schedule s(Params::postal(4, 2), 2);
+  s.add_initial(0, 0, 0);
+  s.add_initial(1, 0, 0);
+  s.add_send(3, 0, 1, 1);
+  s.add_send(1, 0, 2, 0);
+  s.add_send(2, 0, 3, 0);
+  s.sort();
+  EXPECT_EQ(s.sends()[0].start, 1);
+  EXPECT_EQ(s.sends()[1].start, 2);
+  EXPECT_EQ(s.sends()[2].start, 3);
+}
+
+TEST(Schedule, StreamOutputMentionsEverySend) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  std::ostringstream os;
+  os << s;
+  EXPECT_NE(os.str().find("P0 -> P1"), std::string::npos);
+  EXPECT_NE(os.str().find("init"), std::string::npos);
+}
+
+TEST(SendOp, Ordering) {
+  const SendOp a{0, 0, 1, 0, kNever};
+  const SendOp b{1, 0, 1, 0, kNever};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a, a);
+}
+
+}  // namespace
+}  // namespace logpc

@@ -1,0 +1,74 @@
+#include "sched/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bcast/all_to_all.hpp"
+#include "bcast/single_item.hpp"
+
+namespace logpc {
+namespace {
+
+TEST(Stats, EmptySchedule) {
+  const auto st = schedule_stats(Schedule(Params::postal(4, 2), 1));
+  EXPECT_EQ(st.makespan, 0);
+  EXPECT_EQ(st.messages, 0u);
+  EXPECT_EQ(st.peak_in_flight, 0);
+  EXPECT_EQ(st.avg_busy_fraction, 0.0);
+}
+
+TEST(Stats, Figure1Broadcast) {
+  const auto st = schedule_stats(bcast::optimal_single_item(Params{8, 6, 2, 4}));
+  EXPECT_EQ(st.makespan, 24);
+  EXPECT_EQ(st.messages, 7u);
+  // 7 sends + 7 receives, o = 2 cycles each.
+  EXPECT_EQ(st.total_overhead, 28);
+  EXPECT_EQ(st.max_sends_per_proc, 4);  // the root
+  EXPECT_EQ(st.max_recvs_per_proc, 1);
+  EXPECT_GT(st.max_busy_fraction, st.avg_busy_fraction);
+  // Capacity constraint respected: at most ceil(L/g) = 2 in flight from the
+  // busiest sender, and the whole network peaks well above 1.
+  EXPECT_GE(st.peak_in_flight, 2);
+}
+
+TEST(Stats, AllToAllHasFlatDistanceHistogram) {
+  const Params params = Params::postal(7, 2);
+  const auto st = schedule_stats(bcast::all_to_all(params));
+  // Rotation: each distance 1..P-1 used exactly P times.
+  EXPECT_EQ(st.distance_histogram.size(), 6u);
+  for (const auto& [dist, count] : st.distance_histogram) {
+    EXPECT_GE(dist, 1);
+    EXPECT_LE(dist, 6);
+    EXPECT_EQ(count, 7u) << dist;
+  }
+}
+
+TEST(Stats, TrafficPerProc) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(1, 0, 2, 0);
+  const auto traffic = traffic_per_proc(s);
+  EXPECT_EQ(traffic[0], (std::pair<int, int>{2, 0}));
+  EXPECT_EQ(traffic[1], (std::pair<int, int>{0, 1}));
+  EXPECT_EQ(traffic[2], (std::pair<int, int>{0, 1}));
+}
+
+TEST(Stats, PeakInFlightCountsOverlap) {
+  // Two messages overlapping on the wire.
+  Schedule s(Params::postal(4, 5), 2);
+  s.add_initial(0, 0, 0);
+  s.add_initial(1, 1, 0);
+  s.add_send(0, 0, 2, 0);  // wire [0, 5)
+  s.add_send(2, 1, 3, 1);  // wire [2, 7)
+  EXPECT_EQ(schedule_stats(s).peak_in_flight, 2);
+}
+
+TEST(Stats, ZeroOverheadMachinesHaveZeroBusyFractions) {
+  const auto st =
+      schedule_stats(bcast::optimal_single_item(Params::postal(9, 3)));
+  EXPECT_EQ(st.total_overhead, 0);
+  EXPECT_EQ(st.avg_busy_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace logpc

@@ -1,0 +1,77 @@
+#include "search/continuous_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc::search {
+namespace {
+
+using bcast::SolveStatus;
+using bcast::emit_k_items;
+
+TEST(ContinuousSearch, Theorem35L2OneExtraStepSuffices) {
+  // L = 2, P - 1 = P(t): optimal delay impossible (Theorem 3.4) but
+  // L + t + 1 achievable (Theorem 3.5).
+  const Fib fib(2);
+  for (Time t = 4; t <= 9; ++t) {
+    const int m = static_cast<int>(fib.f(t));
+    const auto res = plan_with_slack(2, m, 1);
+    ASSERT_EQ(res.status, SolveStatus::kSolved) << "t=" << t;
+    EXPECT_EQ(res.plan->delay(), 2 + t + 1);
+    const Schedule s = emit_k_items(*res.plan, 4);
+    EXPECT_TRUE(validate::is_valid(s)) << validate::check(s).summary();
+    EXPECT_EQ(max_delay(s), 2 + t + 1);
+  }
+}
+
+TEST(ContinuousSearch, PaperL4T8CaseSolvedWithOneExtraStep) {
+  // The paper's isolated remark: L = 4, t = 8 (f_8 = 7) has no minimum-
+  // delay block-cyclic schedule; slack 1 fixes it.
+  const auto strict = plan_with_slack(4, 7, 0);
+  EXPECT_NE(strict.status, SolveStatus::kSolved);
+  const auto slack1 = plan_with_slack(4, 7, 1);
+  ASSERT_EQ(slack1.status, SolveStatus::kSolved);
+  EXPECT_EQ(slack1.plan->delay(), 4 + 8 + 1);
+}
+
+TEST(ContinuousSearch, SlackZeroEqualsPlanContinuousWhenSolvable) {
+  const auto direct = bcast::plan_continuous(3, 7);
+  const auto searched = plan_with_slack(3, 9, 0);
+  ASSERT_EQ(direct.status, SolveStatus::kSolved);
+  ASSERT_EQ(searched.status, SolveStatus::kSolved);
+  EXPECT_EQ(direct.plan->delay(), searched.plan->delay());
+}
+
+TEST(ContinuousSearch, NonExactPGetsWithinOneOfOptimal) {
+  // The generalization beyond the paper: arbitrary receiver counts.
+  for (const Time L : {1, 2, 3, 4}) {
+    for (int m = 2; m <= 24; ++m) {
+      const auto res = best_continuous_plan(L, m);
+      ASSERT_EQ(res.status, SolveStatus::kSolved) << "L=" << L << " m=" << m;
+      const Time optimal =
+          bcast::B_of_P(Params::postal(m, L), m) + L;
+      EXPECT_LE(res.plan->delay(), optimal + 1) << "L=" << L << " m=" << m;
+      const Schedule s = emit_k_items(*res.plan, 3);
+      EXPECT_TRUE(validate::is_valid(s))
+          << "L=" << L << " m=" << m << "\n"
+          << validate::check(s).summary();
+    }
+  }
+}
+
+TEST(ContinuousSearch, BestPlanPrefersOptimalDelay) {
+  const auto res = best_continuous_plan(3, 9);
+  ASSERT_EQ(res.status, SolveStatus::kSolved);
+  EXPECT_EQ(res.plan->delay(), 3 + 7);  // B(9) = 7, no slack needed
+}
+
+TEST(ContinuousSearch, RejectsBadArguments) {
+  EXPECT_THROW(plan_with_slack(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(plan_with_slack(3, 0, 1), std::invalid_argument);
+  EXPECT_THROW(plan_with_slack(3, 4, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace logpc::search

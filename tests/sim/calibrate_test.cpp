@@ -1,0 +1,34 @@
+#include "sim/calibrate.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logpc::sim {
+namespace {
+
+class CalibrateGrid : public ::testing::TestWithParam<Params> {};
+
+// The probes must measure back exactly the configured parameters - a
+// semantic self-check of the simulator.
+TEST_P(CalibrateGrid, RecoversConfiguredParameters) {
+  const Params actual = GetParam();
+  const MeasuredParams m = calibrate(actual);
+  EXPECT_EQ(m.P, actual.P);
+  EXPECT_EQ(m.L, actual.L);
+  EXPECT_EQ(m.o, actual.o);
+  EXPECT_EQ(m.g, actual.g);
+  EXPECT_EQ(m.as_params(), actual);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, CalibrateGrid,
+    ::testing::Values(Params{8, 6, 2, 4}, Params::postal(4, 1),
+                      Params::postal(16, 7), Params{3, 1, 0, 5},
+                      Params{5, 12, 3, 6}, Params{7, 2, 1, 9},
+                      Params{64, 20, 5, 8}));
+
+TEST(Calibrate, RejectsInvalidMachine) {
+  EXPECT_THROW((void)calibrate(Params{0, 1, 0, 1}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace logpc::sim

@@ -1,0 +1,74 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logpc::sim {
+namespace {
+
+TEST(Trace, ExtractsSendAndRecvOverheads) {
+  // Figure 1 machine: o = 2, L = 6, g = 4.
+  Schedule s(Params{3, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(4, 0, 2, 0);
+  const Trace t = Trace::from(s);
+  ASSERT_EQ(t.per_proc.size(), 3u);
+  ASSERT_EQ(t.per_proc[0].size(), 2u);
+  EXPECT_EQ(t.per_proc[0][0].kind, ActivityKind::kSendOverhead);
+  EXPECT_EQ(t.per_proc[0][0].begin, 0);
+  EXPECT_EQ(t.per_proc[0][0].end, 2);
+  EXPECT_EQ(t.per_proc[0][0].peer, 1);
+  EXPECT_EQ(t.per_proc[0][1].begin, 4);
+  ASSERT_EQ(t.per_proc[1].size(), 1u);
+  EXPECT_EQ(t.per_proc[1][0].kind, ActivityKind::kRecvOverhead);
+  EXPECT_EQ(t.per_proc[1][0].begin, 8);   // 0 + o + L
+  EXPECT_EQ(t.per_proc[1][0].end, 10);
+  EXPECT_EQ(t.per_proc[1][0].peer, 0);
+  ASSERT_EQ(t.per_proc[2].size(), 1u);
+  EXPECT_EQ(t.per_proc[2][0].begin, 12);
+}
+
+TEST(Trace, ZeroOverheadGivesPointIntervals) {
+  Schedule s(Params::postal(2, 3), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  const Trace t = Trace::from(s);
+  EXPECT_EQ(t.per_proc[0][0].begin, t.per_proc[0][0].end);
+  EXPECT_EQ(t.per_proc[1][0].begin, 3);
+}
+
+TEST(Trace, ActivitiesSortedByBegin) {
+  Schedule s(Params{4, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(8, 0, 3, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(4, 0, 2, 0);
+  const Trace t = Trace::from(s);
+  const auto& acts = t.per_proc[0];
+  ASSERT_EQ(acts.size(), 3u);
+  EXPECT_LT(acts[0].begin, acts[1].begin);
+  EXPECT_LT(acts[1].begin, acts[2].begin);
+}
+
+TEST(Trace, BusyCyclesSumsOverheads) {
+  Schedule s(Params{3, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(4, 0, 2, 0);
+  const Trace t = Trace::from(s);
+  EXPECT_EQ(t.busy_cycles(0), 4);  // two sends * o = 2
+  EXPECT_EQ(t.busy_cycles(1), 2);  // one receive
+}
+
+TEST(Trace, BufferedRecvUsesEffectiveTime) {
+  Schedule s(Params{2, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  SendOp op{0, 0, 1, 0, 20};
+  s.add_send(op);
+  const Trace t = Trace::from(s);
+  EXPECT_EQ(t.per_proc[1][0].begin, 20);
+  EXPECT_EQ(t.per_proc[1][0].end, 22);
+}
+
+}  // namespace
+}  // namespace logpc::sim

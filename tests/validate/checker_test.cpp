@@ -1,0 +1,211 @@
+#include "validate/checker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace logpc::validate {
+namespace {
+
+using logpc::Params;
+using logpc::Schedule;
+using logpc::SendOp;
+using logpc::kNever;
+
+bool has_rule(const CheckResult& r, Rule rule) {
+  return std::any_of(r.violations.begin(), r.violations.end(),
+                     [rule](const Violation& v) { return v.rule == rule; });
+}
+
+Schedule valid_postal_chain() {
+  // 0 -> 1 -> 2 relay, L = 2.
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);  // avail at 2
+  s.add_send(2, 1, 2, 0);  // avail at 4
+  return s;
+}
+
+TEST(Checker, AcceptsValidChain) {
+  const auto r = check(valid_postal_chain());
+  EXPECT_TRUE(r.ok()) << r.summary();
+  EXPECT_EQ(r.summary(), "OK");
+}
+
+TEST(Checker, FlagsBadProcessorAndItem) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 5, 0);                    // bad proc
+  s.add_send(SendOp{0, 0, 9, 2, kNever});    // bad proc and item
+  const auto r = check(s);
+  EXPECT_TRUE(has_rule(r, Rule::kBadProcessor));
+  EXPECT_TRUE(has_rule(r, Rule::kBadItem));
+}
+
+TEST(Checker, FlagsSelfSend) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 0, 0);
+  EXPECT_TRUE(has_rule(check(s), Rule::kSelfSend));
+}
+
+TEST(Checker, FlagsSendOfItemNotHeld) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 1, 2, 0);  // P1 never obtains the item
+  EXPECT_TRUE(has_rule(check(s), Rule::kItemNotHeld));
+}
+
+TEST(Checker, FlagsSendBeforeArrival) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);  // P1 holds it at 2
+  s.add_send(1, 1, 2, 0);  // but forwards at 1
+  EXPECT_TRUE(has_rule(check(s), Rule::kItemNotHeld));
+}
+
+TEST(Checker, FlagsSendGapViolation) {
+  Schedule s(Params{4, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(3, 0, 2, 0);  // g = 4 but spaced 3
+  EXPECT_TRUE(has_rule(check(s, {.require_complete = false}),
+                       Rule::kSendGap));
+}
+
+TEST(Checker, FlagsRecvGapViolation) {
+  Schedule s(Params::postal(4, 3), 1);
+  s.add_initial(0, 0, 0);
+  s.add_initial(0, 1, 0);
+  s.add_send(0, 0, 3, 0);
+  s.add_send(0, 1, 3, 0);  // both arrive at P3 at t = 3
+  EXPECT_TRUE(has_rule(check(s, {.forbid_duplicate_receive = false,
+                                 .require_complete = false}),
+                       Rule::kRecvGap));
+}
+
+TEST(Checker, FlagsOverheadOverlap) {
+  // o = 2, L = 6, g = 4.  P1 receives in [8, 10); a send from P1 at 9
+  // overlaps its receive overhead.
+  Schedule s(Params{4, 6, 2, 4}, 2);
+  s.add_initial(0, 0, 0);
+  s.add_initial(1, 1, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(9, 1, 2, 1);
+  EXPECT_TRUE(has_rule(check(s, {.require_complete = false}),
+                       Rule::kOverheadOverlap));
+}
+
+TEST(Checker, StrictModeRejectsDelayedReceive) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(SendOp{0, 0, 1, 0, 5});  // arrival 2, received 5
+  EXPECT_TRUE(has_rule(check(s, {.require_complete = false}),
+                       Rule::kLatency));
+  EXPECT_FALSE(has_rule(check(s, {.buffered = true,
+                                  .require_complete = false}),
+                        Rule::kLatency));
+}
+
+TEST(Checker, BufferedModeStillRejectsEarlyReceive) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(SendOp{0, 0, 1, 0, 1});  // received before arrival
+  EXPECT_TRUE(has_rule(check(s, {.buffered = true,
+                                 .require_complete = false}),
+                       Rule::kLatency));
+}
+
+TEST(Checker, BufferLimitEnforced) {
+  // Three messages arrive at P3 at t = 3, 4, 5 but are received at 10, 11,
+  // 12: buffer depth reaches 3.
+  Schedule s(Params::postal(4, 3), 3);
+  for (ItemId i = 0; i < 3; ++i) s.add_initial(i, 0, 0);
+  s.add_send(SendOp{0, 0, 3, 0, 10});
+  s.add_send(SendOp{1, 0, 3, 1, 11});
+  s.add_send(SendOp{2, 0, 3, 2, 12});
+  CheckOptions two{.buffered = true, .buffer_limit = 2,
+                   .require_complete = false};
+  EXPECT_TRUE(has_rule(check(s, two), Rule::kBufferOverflow));
+  CheckOptions three{.buffered = true, .buffer_limit = 3,
+                     .require_complete = false};
+  EXPECT_FALSE(has_rule(check(s, three), Rule::kBufferOverflow));
+}
+
+TEST(Checker, BufferDrainsAtReceiveTime) {
+  // Arrival exactly when another item is received: depth stays 1.
+  Schedule s(Params::postal(3, 2), 2);
+  s.add_initial(0, 0, 0);
+  s.add_initial(1, 0, 0);
+  s.add_send(SendOp{0, 0, 1, 0, 2});  // arrival 2, recv 2
+  s.add_send(SendOp{1, 0, 1, 1, 3});  // arrival 3, recv 3
+  CheckOptions one{.buffered = true, .buffer_limit = 1,
+                   .require_complete = false};
+  EXPECT_FALSE(has_rule(check(s, one), Rule::kBufferOverflow));
+}
+
+TEST(Checker, FlagsDuplicateReceive) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(1, 0, 1, 0);
+  const auto strict = check(s, {.require_complete = false});
+  EXPECT_TRUE(has_rule(strict, Rule::kDuplicateReceive));
+  const auto lax = check(s, {.forbid_duplicate_receive = false,
+                             .require_complete = false});
+  EXPECT_FALSE(has_rule(lax, Rule::kDuplicateReceive));
+}
+
+TEST(Checker, FlagsCapacityViolationFromSender) {
+  // L = 10, g = 1 -> capacity 10.  g=1 spacing can never exceed it from one
+  // sender... so force it via many senders to one receiver instead, and
+  // check the sender side with a crafted recv_start (buffered wire count is
+  // based on start+o..start+o+L regardless).
+  Schedule s(Params::postal(13, 10), 12);
+  for (ItemId i = 0; i < 12; ++i) {
+    s.add_initial(i, static_cast<ProcId>(i), 0);
+    // 12 distinct senders all in flight to P12 during [5, 6).
+    s.add_send(static_cast<Time>(i == 0 ? 0 : i % 5), static_cast<ProcId>(i),
+               12, i);
+  }
+  const auto r = check(s, {.forbid_duplicate_receive = false,
+                           .require_complete = false});
+  EXPECT_TRUE(has_rule(r, Rule::kCapacity));
+}
+
+TEST(Checker, FlagsIncompleteBroadcast) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  EXPECT_TRUE(has_rule(check(s), Rule::kIncomplete));
+  EXPECT_FALSE(has_rule(check(s, {.require_complete = false}),
+                        Rule::kIncomplete));
+}
+
+TEST(Checker, MaxViolationsCapsOutput) {
+  Schedule s(Params::postal(2, 1), 64);
+  // 64 items that never reach P1.
+  for (ItemId i = 0; i < 64; ++i) s.add_initial(i, 0, 0);
+  const auto r = check(s, {.max_violations = 5});
+  EXPECT_EQ(r.violations.size(), 5u);
+}
+
+TEST(Checker, SummaryListsViolations) {
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  const auto r = check(s);
+  EXPECT_NE(r.summary().find("incomplete"), std::string::npos);
+}
+
+TEST(Checker, RecvGapUsesEffectiveReceiveTimes) {
+  // Buffered: two arrivals at the same cycle are fine if *received* g apart.
+  Schedule s(Params::postal(4, 3), 2);
+  s.add_initial(0, 0, 0);
+  s.add_initial(1, 1, 0);
+  s.add_send(SendOp{0, 0, 3, 0, 3});
+  s.add_send(SendOp{0, 1, 3, 1, 4});
+  const auto r = check(s, {.buffered = true, .require_complete = false});
+  EXPECT_FALSE(has_rule(r, Rule::kRecvGap)) << r.summary();
+}
+
+}  // namespace
+}  // namespace logpc::validate

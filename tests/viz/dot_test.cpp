@@ -1,0 +1,41 @@
+#include "viz/dot.hpp"
+
+#include <gtest/gtest.h>
+
+namespace logpc::viz {
+namespace {
+
+TEST(Dot, TreeExportHasAllNodesAndEdges) {
+  const auto tree =
+      bcast::BroadcastTree::optimal(Params{8, 6, 2, 4}, 8);
+  const std::string dot = tree_to_dot(tree, "fig1");
+  EXPECT_NE(dot.find("digraph fig1 {"), std::string::npos);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NE(dot.find("n" + std::to_string(i) + " [label=\"P" +
+                       std::to_string(i)),
+              std::string::npos)
+        << i;
+  }
+  // 7 edges.
+  std::size_t edges = 0;
+  std::size_t pos = 0;
+  while ((pos = dot.find(" -> ", pos)) != std::string::npos) {
+    ++edges;
+    pos += 4;
+  }
+  EXPECT_EQ(edges, 7u);
+  EXPECT_NE(dot.find("@24"), std::string::npos);  // a leaf label
+}
+
+TEST(Dot, DigraphExportMarksActiveEdgesBold) {
+  const auto res = bcast::plan_continuous(3, 7);
+  ASSERT_EQ(res.status, bcast::SolveStatus::kSolved);
+  const auto g = bcast::block_digraph(*res.plan);
+  const std::string dot = digraph_to_dot(g);
+  EXPECT_NE(dot.find("shape=diamond"), std::string::npos);  // source
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);     // active edge
+  EXPECT_NE(dot.find("[label=\"[5]\"]"), std::string::npos); // the H5 block
+}
+
+}  // namespace
+}  // namespace logpc::viz

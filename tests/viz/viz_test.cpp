@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "bcast/single_item.hpp"
+#include "bcast/kitem_buffered.hpp"
+#include "viz/digraph.hpp"
+#include "viz/table.hpp"
+#include "viz/timeline.hpp"
+#include "viz/tree_render.hpp"
+
+namespace logpc::viz {
+namespace {
+
+using bcast::BroadcastTree;
+
+TEST(TreeRender, Figure1TreeContainsAllLabels) {
+  const auto tree = BroadcastTree::optimal(Params{8, 6, 2, 4}, 8);
+  const std::string out = render_tree(tree);
+  for (const std::string_view label : {"0", "10", "14", "18", "20", "22",
+                                       "24"}) {
+    EXPECT_NE(out.find(label), std::string::npos) << label;
+  }
+  // One line per node.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 8);
+}
+
+TEST(TreeRender, DegreeSummary) {
+  const auto tree = BroadcastTree::optimal(Params::postal(9, 3), 9);
+  EXPECT_EQ(degree_summary(tree), "degrees: 6x0 1x1 1x2 1x5");
+}
+
+TEST(Timeline, MarksOverheadsAtTheRightCycles) {
+  Schedule s(Params{2, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  const std::string out = render_timeline(s);
+  const auto lines = [&] {
+    std::vector<std::string> v;
+    std::size_t pos = 0;
+    while (pos < out.size()) {
+      const auto nl = out.find('\n', pos);
+      v.push_back(out.substr(pos, nl - pos));
+      pos = nl + 1;
+    }
+    return v;
+  }();
+  ASSERT_EQ(lines.size(), 3u);  // header + 2 processors
+  // P0 busy sending cycles [0,2); P1 receiving [8,10).
+  EXPECT_EQ(lines[1].substr(6, 2), "ss");
+  EXPECT_EQ(lines[2].substr(6 + 8, 2), "rr");
+}
+
+TEST(Timeline, ZeroOverheadUsesInstantMarks) {
+  Schedule s(Params::postal(2, 3), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  const std::string out = render_timeline(s);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find('v'), std::string::npos);
+}
+
+TEST(Table, ShowsOneBasedItemsAndDelayedBrackets) {
+  Schedule s(Params::postal(2, 2), 2);
+  s.add_initial(0, 0, 0);
+  s.add_initial(1, 0, 0);
+  s.add_send(0, 0, 1, 0);                 // item 1 at t=2
+  s.add_send(SendOp{1, 0, 1, 1, 4});      // item 2 arrives 3, received 4
+  const std::string out = reception_table(s);
+  EXPECT_NE(out.find("(1)"), std::string::npos);  // initial placement
+  EXPECT_NE(out.find("[2]"), std::string::npos);  // delayed reception
+  EXPECT_NE(out.find("P0"), std::string::npos);
+  EXPECT_NE(out.find("P1"), std::string::npos);
+}
+
+TEST(Table, Figure5StyleTableRenders) {
+  const auto r = bcast::kitem_buffered(14, 3, 14);
+  const std::string out = reception_table(r.schedule);
+  // 14 processors + header rows; the last item (14) appears.
+  EXPECT_NE(out.find("14"), std::string::npos);
+  EXPECT_GT(std::count(out.begin(), out.end(), '\n'), 14);
+}
+
+TEST(Digraph, RendersFigure3Shape) {
+  const auto res = bcast::plan_continuous(3, 11);
+  ASSERT_EQ(res.status, bcast::SolveStatus::kSolved);
+  const auto g = bcast::block_digraph(*res.plan);
+  const std::string out = render_digraph(g);
+  EXPECT_NE(out.find("source"), std::string::npos);
+  EXPECT_NE(out.find("recv-only"), std::string::npos);
+  EXPECT_NE(out.find("==>"), std::string::npos);  // active edges
+  EXPECT_NE(out.find("[9]"), std::string::npos);  // the largest block
+}
+
+}  // namespace
+}  // namespace logpc::viz
