@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_endgame.dir/bench_ablation_endgame.cpp.o"
+  "CMakeFiles/bench_ablation_endgame.dir/bench_ablation_endgame.cpp.o.d"
+  "bench_ablation_endgame"
+  "bench_ablation_endgame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_endgame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_combining.dir/bench_combining.cpp.o"
+  "CMakeFiles/bench_combining.dir/bench_combining.cpp.o.d"
+  "bench_combining"
+  "bench_combining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_continuous_sweep.dir/bench_continuous_sweep.cpp.o"
+  "CMakeFiles/bench_continuous_sweep.dir/bench_continuous_sweep.cpp.o.d"
+  "bench_continuous_sweep"
+  "bench_continuous_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_continuous_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

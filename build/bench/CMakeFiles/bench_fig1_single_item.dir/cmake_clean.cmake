@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_single_item.dir/bench_fig1_single_item.cpp.o"
+  "CMakeFiles/bench_fig1_single_item.dir/bench_fig1_single_item.cpp.o.d"
+  "bench_fig1_single_item"
+  "bench_fig1_single_item.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_single_item.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_kitem.dir/bench_fig2_kitem.cpp.o"
+  "CMakeFiles/bench_fig2_kitem.dir/bench_fig2_kitem.cpp.o.d"
+  "bench_fig2_kitem"
+  "bench_fig2_kitem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_kitem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_endgame.dir/bench_fig4_endgame.cpp.o"
+  "CMakeFiles/bench_fig4_endgame.dir/bench_fig4_endgame.cpp.o.d"
+  "bench_fig4_endgame"
+  "bench_fig4_endgame.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_endgame.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_buffered.dir/bench_fig5_buffered.cpp.o"
+  "CMakeFiles/bench_fig5_buffered.dir/bench_fig5_buffered.cpp.o.d"
+  "bench_fig5_buffered"
+  "bench_fig5_buffered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_buffered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

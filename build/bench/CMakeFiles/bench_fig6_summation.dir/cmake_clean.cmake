@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_summation.dir/bench_fig6_summation.cpp.o"
+  "CMakeFiles/bench_fig6_summation.dir/bench_fig6_summation.cpp.o.d"
+  "bench_fig6_summation"
+  "bench_fig6_summation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_summation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_kitem_sweep.dir/bench_kitem_sweep.cpp.o"
+  "CMakeFiles/bench_kitem_sweep.dir/bench_kitem_sweep.cpp.o.d"
+  "bench_kitem_sweep"
+  "bench_kitem_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_kitem_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pt_table.dir/bench_pt_table.cpp.o"
+  "CMakeFiles/bench_pt_table.dir/bench_pt_table.cpp.o.d"
+  "bench_pt_table"
+  "bench_pt_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pt_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

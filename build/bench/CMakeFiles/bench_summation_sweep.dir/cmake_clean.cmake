@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_summation_sweep.dir/bench_summation_sweep.cpp.o"
+  "CMakeFiles/bench_summation_sweep.dir/bench_summation_sweep.cpp.o.d"
+  "bench_summation_sweep"
+  "bench_summation_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_summation_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collective_planner.dir/collective_planner.cpp.o"
+  "CMakeFiles/collective_planner.dir/collective_planner.cpp.o.d"
+  "collective_planner"
+  "collective_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collective_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

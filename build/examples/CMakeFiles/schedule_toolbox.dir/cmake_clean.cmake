@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedule_toolbox.dir/schedule_toolbox.cpp.o"
+  "CMakeFiles/schedule_toolbox.dir/schedule_toolbox.cpp.o.d"
+  "schedule_toolbox"
+  "schedule_toolbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedule_toolbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

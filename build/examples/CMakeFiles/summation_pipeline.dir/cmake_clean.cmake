@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summation_pipeline.dir/summation_pipeline.cpp.o"
+  "CMakeFiles/summation_pipeline.dir/summation_pipeline.cpp.o.d"
+  "summation_pipeline"
+  "summation_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summation_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

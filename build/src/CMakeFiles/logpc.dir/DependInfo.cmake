@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/communicator.cpp" "src/CMakeFiles/logpc.dir/api/communicator.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/api/communicator.cpp.o.d"
+  "/root/repo/src/baselines/bcast_baselines.cpp" "src/CMakeFiles/logpc.dir/baselines/bcast_baselines.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/baselines/bcast_baselines.cpp.o.d"
+  "/root/repo/src/baselines/kitem_baselines.cpp" "src/CMakeFiles/logpc.dir/baselines/kitem_baselines.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/baselines/kitem_baselines.cpp.o.d"
+  "/root/repo/src/baselines/reduce_baselines.cpp" "src/CMakeFiles/logpc.dir/baselines/reduce_baselines.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/baselines/reduce_baselines.cpp.o.d"
+  "/root/repo/src/bcast/all_to_all.cpp" "src/CMakeFiles/logpc.dir/bcast/all_to_all.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/all_to_all.cpp.o.d"
+  "/root/repo/src/bcast/automaton.cpp" "src/CMakeFiles/logpc.dir/bcast/automaton.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/automaton.cpp.o.d"
+  "/root/repo/src/bcast/blocks.cpp" "src/CMakeFiles/logpc.dir/bcast/blocks.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/blocks.cpp.o.d"
+  "/root/repo/src/bcast/combining.cpp" "src/CMakeFiles/logpc.dir/bcast/combining.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/combining.cpp.o.d"
+  "/root/repo/src/bcast/continuous.cpp" "src/CMakeFiles/logpc.dir/bcast/continuous.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/continuous.cpp.o.d"
+  "/root/repo/src/bcast/kitem.cpp" "src/CMakeFiles/logpc.dir/bcast/kitem.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/kitem.cpp.o.d"
+  "/root/repo/src/bcast/kitem_bounds.cpp" "src/CMakeFiles/logpc.dir/bcast/kitem_bounds.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/kitem_bounds.cpp.o.d"
+  "/root/repo/src/bcast/kitem_buffered.cpp" "src/CMakeFiles/logpc.dir/bcast/kitem_buffered.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/kitem_buffered.cpp.o.d"
+  "/root/repo/src/bcast/reduction.cpp" "src/CMakeFiles/logpc.dir/bcast/reduction.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/reduction.cpp.o.d"
+  "/root/repo/src/bcast/single_item.cpp" "src/CMakeFiles/logpc.dir/bcast/single_item.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/single_item.cpp.o.d"
+  "/root/repo/src/bcast/three_phase.cpp" "src/CMakeFiles/logpc.dir/bcast/three_phase.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/three_phase.cpp.o.d"
+  "/root/repo/src/bcast/tree.cpp" "src/CMakeFiles/logpc.dir/bcast/tree.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/tree.cpp.o.d"
+  "/root/repo/src/bcast/words.cpp" "src/CMakeFiles/logpc.dir/bcast/words.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/bcast/words.cpp.o.d"
+  "/root/repo/src/logp/fib.cpp" "src/CMakeFiles/logpc.dir/logp/fib.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/logp/fib.cpp.o.d"
+  "/root/repo/src/logp/params.cpp" "src/CMakeFiles/logpc.dir/logp/params.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/logp/params.cpp.o.d"
+  "/root/repo/src/sched/builder.cpp" "src/CMakeFiles/logpc.dir/sched/builder.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sched/builder.cpp.o.d"
+  "/root/repo/src/sched/io.cpp" "src/CMakeFiles/logpc.dir/sched/io.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sched/io.cpp.o.d"
+  "/root/repo/src/sched/metrics.cpp" "src/CMakeFiles/logpc.dir/sched/metrics.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sched/metrics.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/logpc.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/stats.cpp" "src/CMakeFiles/logpc.dir/sched/stats.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sched/stats.cpp.o.d"
+  "/root/repo/src/search/bcast_search.cpp" "src/CMakeFiles/logpc.dir/search/bcast_search.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/search/bcast_search.cpp.o.d"
+  "/root/repo/src/search/continuous_search.cpp" "src/CMakeFiles/logpc.dir/search/continuous_search.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/search/continuous_search.cpp.o.d"
+  "/root/repo/src/sim/calibrate.cpp" "src/CMakeFiles/logpc.dir/sim/calibrate.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sim/calibrate.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/logpc.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/logpc.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sim/trace.cpp.o.d"
+  "/root/repo/src/sum/executor.cpp" "src/CMakeFiles/logpc.dir/sum/executor.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sum/executor.cpp.o.d"
+  "/root/repo/src/sum/lazy.cpp" "src/CMakeFiles/logpc.dir/sum/lazy.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sum/lazy.cpp.o.d"
+  "/root/repo/src/sum/summation_tree.cpp" "src/CMakeFiles/logpc.dir/sum/summation_tree.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/sum/summation_tree.cpp.o.d"
+  "/root/repo/src/validate/checker.cpp" "src/CMakeFiles/logpc.dir/validate/checker.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/validate/checker.cpp.o.d"
+  "/root/repo/src/validate/report.cpp" "src/CMakeFiles/logpc.dir/validate/report.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/validate/report.cpp.o.d"
+  "/root/repo/src/viz/digraph.cpp" "src/CMakeFiles/logpc.dir/viz/digraph.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/viz/digraph.cpp.o.d"
+  "/root/repo/src/viz/dot.cpp" "src/CMakeFiles/logpc.dir/viz/dot.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/viz/dot.cpp.o.d"
+  "/root/repo/src/viz/table.cpp" "src/CMakeFiles/logpc.dir/viz/table.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/viz/table.cpp.o.d"
+  "/root/repo/src/viz/timeline.cpp" "src/CMakeFiles/logpc.dir/viz/timeline.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/viz/timeline.cpp.o.d"
+  "/root/repo/src/viz/tree_render.cpp" "src/CMakeFiles/logpc.dir/viz/tree_render.cpp.o" "gcc" "src/CMakeFiles/logpc.dir/viz/tree_render.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

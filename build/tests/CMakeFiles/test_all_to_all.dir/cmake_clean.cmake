@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_all_to_all.dir/bcast/all_to_all_test.cpp.o"
+  "CMakeFiles/test_all_to_all.dir/bcast/all_to_all_test.cpp.o.d"
+  "test_all_to_all"
+  "test_all_to_all.pdb"
+  "test_all_to_all[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_all_to_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcast_baselines.dir/baselines/bcast_baselines_test.cpp.o"
+  "CMakeFiles/test_bcast_baselines.dir/baselines/bcast_baselines_test.cpp.o.d"
+  "test_bcast_baselines"
+  "test_bcast_baselines.pdb"
+  "test_bcast_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcast_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcast_search.dir/search/bcast_search_test.cpp.o"
+  "CMakeFiles/test_bcast_search.dir/search/bcast_search_test.cpp.o.d"
+  "test_bcast_search"
+  "test_bcast_search.pdb"
+  "test_bcast_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcast_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

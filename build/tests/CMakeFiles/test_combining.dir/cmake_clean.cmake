@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_combining.dir/bcast/combining_test.cpp.o"
+  "CMakeFiles/test_combining.dir/bcast/combining_test.cpp.o.d"
+  "test_combining"
+  "test_combining.pdb"
+  "test_combining[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_combining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_communicator.dir/api/communicator_test.cpp.o"
+  "CMakeFiles/test_communicator.dir/api/communicator_test.cpp.o.d"
+  "test_communicator"
+  "test_communicator.pdb"
+  "test_communicator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_communicator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

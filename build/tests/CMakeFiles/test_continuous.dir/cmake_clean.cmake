@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_continuous.dir/bcast/continuous_test.cpp.o"
+  "CMakeFiles/test_continuous.dir/bcast/continuous_test.cpp.o.d"
+  "test_continuous"
+  "test_continuous.pdb"
+  "test_continuous[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_continuous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

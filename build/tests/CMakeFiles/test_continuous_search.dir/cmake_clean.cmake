@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_continuous_search.dir/search/continuous_search_test.cpp.o"
+  "CMakeFiles/test_continuous_search.dir/search/continuous_search_test.cpp.o.d"
+  "test_continuous_search"
+  "test_continuous_search.pdb"
+  "test_continuous_search[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_continuous_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kitem.dir/bcast/kitem_test.cpp.o"
+  "CMakeFiles/test_kitem.dir/bcast/kitem_test.cpp.o.d"
+  "test_kitem"
+  "test_kitem.pdb"
+  "test_kitem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kitem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

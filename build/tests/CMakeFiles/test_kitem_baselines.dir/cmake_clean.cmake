@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kitem_baselines.dir/baselines/kitem_baselines_test.cpp.o"
+  "CMakeFiles/test_kitem_baselines.dir/baselines/kitem_baselines_test.cpp.o.d"
+  "test_kitem_baselines"
+  "test_kitem_baselines.pdb"
+  "test_kitem_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kitem_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

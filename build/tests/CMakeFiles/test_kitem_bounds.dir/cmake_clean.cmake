@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kitem_bounds.dir/bcast/kitem_bounds_test.cpp.o"
+  "CMakeFiles/test_kitem_bounds.dir/bcast/kitem_bounds_test.cpp.o.d"
+  "test_kitem_bounds"
+  "test_kitem_bounds.pdb"
+  "test_kitem_bounds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kitem_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kitem_buffered.dir/bcast/kitem_buffered_test.cpp.o"
+  "CMakeFiles/test_kitem_buffered.dir/bcast/kitem_buffered_test.cpp.o.d"
+  "test_kitem_buffered"
+  "test_kitem_buffered.pdb"
+  "test_kitem_buffered[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kitem_buffered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

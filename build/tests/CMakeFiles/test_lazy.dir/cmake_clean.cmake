@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lazy.dir/sum/lazy_test.cpp.o"
+  "CMakeFiles/test_lazy.dir/sum/lazy_test.cpp.o.d"
+  "test_lazy"
+  "test_lazy.pdb"
+  "test_lazy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lazy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

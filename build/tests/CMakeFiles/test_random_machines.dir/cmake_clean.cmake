@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_machines.dir/property/random_machines_test.cpp.o"
+  "CMakeFiles/test_random_machines.dir/property/random_machines_test.cpp.o.d"
+  "test_random_machines"
+  "test_random_machines.pdb"
+  "test_random_machines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_machines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

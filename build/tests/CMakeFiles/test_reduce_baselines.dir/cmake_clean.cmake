@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reduce_baselines.dir/baselines/reduce_baselines_test.cpp.o"
+  "CMakeFiles/test_reduce_baselines.dir/baselines/reduce_baselines_test.cpp.o.d"
+  "test_reduce_baselines"
+  "test_reduce_baselines.pdb"
+  "test_reduce_baselines[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reduce_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_single_item.dir/bcast/single_item_test.cpp.o"
+  "CMakeFiles/test_single_item.dir/bcast/single_item_test.cpp.o.d"
+  "test_single_item"
+  "test_single_item.pdb"
+  "test_single_item[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_single_item.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_summation.dir/sum/summation_test.cpp.o"
+  "CMakeFiles/test_summation.dir/sum/summation_test.cpp.o.d"
+  "test_summation"
+  "test_summation.pdb"
+  "test_summation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_summation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_three_phase.dir/bcast/three_phase_test.cpp.o"
+  "CMakeFiles/test_three_phase.dir/bcast/three_phase_test.cpp.o.d"
+  "test_three_phase"
+  "test_three_phase.pdb"
+  "test_three_phase[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_three_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
