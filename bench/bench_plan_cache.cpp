@@ -1,0 +1,154 @@
+/// The planning-runtime bench: cold vs. warm planning throughput through
+/// the concurrent plan cache (src/runtime), for a k-item broadcast grid,
+/// under 1, 4 and 8 requester threads.
+///
+/// Cold = every request routed to the Section 3 builders (fresh planner per
+/// pass, measured via Planner::build_uncached); warm = the same requests
+/// served from the sharded LRU cache.  The ISSUE's acceptance bar is a
+/// >= 50x warm speedup; typical results are orders of magnitude beyond it.
+
+#include "bench_util.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "runtime/planner.hpp"
+#include "runtime/snapshot.hpp"
+#include "runtime/warmup.hpp"
+
+namespace {
+
+using namespace logpc;
+using runtime::PlanKey;
+using runtime::Planner;
+using logpc::bench::Table;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// The k-item broadcast grid the acceptance criterion names.
+std::vector<PlanKey> kitem_grid() {
+  runtime::WarmupGrid grid;
+  grid.problems = {runtime::Problem::kKItemBroadcast};
+  for (const int P : {6, 9, 10, 13, 17, 22}) {
+    for (const Time L : {2, 3, 4}) {
+      grid.machines.push_back(Params::postal(P, L));
+    }
+  }
+  grid.ks = {2, 4, 8, 16};
+  return grid.keys();
+}
+
+/// One timed pass: `threads` workers plan every key in `keys` against
+/// `planner`, work-stealing off a shared counter.  Returns seconds.
+double run_pass(Planner& planner, const std::vector<PlanKey>& keys,
+                unsigned threads) {
+  std::atomic<std::size_t> next{0};
+  const auto start = Clock::now();
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= keys.size()) return;
+      benchmark::DoNotOptimize(planner.plan(keys[i]));
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return seconds_since(start);
+}
+
+void report() {
+  logpc::bench::section("plan-cache runtime: cold vs warm planning");
+  const std::vector<PlanKey> keys = kitem_grid();
+  std::cout << keys.size() << " distinct k-item keys "
+            << "(P in {6..22}, L in {2..4}, k in {2..16})\n\n";
+
+  // Warm reference pass count: hammer the cached keys many times over so
+  // the warm timing is measurable.
+  constexpr int kWarmRounds = 200;
+  std::vector<PlanKey> warm_keys;
+  warm_keys.reserve(keys.size() * kWarmRounds);
+  for (int r = 0; r < kWarmRounds; ++r) {
+    warm_keys.insert(warm_keys.end(), keys.begin(), keys.end());
+  }
+
+  Table t({"threads", "cold plans/s", "warm plans/s", "speedup",
+           ">=50x"});
+  for (const unsigned threads : {1u, 4u, 8u}) {
+    // Cold: a fresh planner; every request reaches a builder (the warmup
+    // pool reports built == keys so each key is constructed exactly once —
+    // throughput is builds over wall time).
+    Planner cold;
+    const auto cold_start = Clock::now();
+    const runtime::WarmupReport cold_report =
+        runtime::warmup(cold, keys, threads);
+    const double cold_secs = seconds_since(cold_start);
+    const double cold_rate =
+        static_cast<double>(cold_report.built) / cold_secs;
+
+    // Warm: same planner, same keys, many rounds, all cache hits.
+    const double warm_secs = run_pass(cold, warm_keys, threads);
+    const double warm_rate =
+        static_cast<double>(warm_keys.size()) / warm_secs;
+
+    const double speedup = warm_rate / cold_rate;
+    t.row(threads, static_cast<std::int64_t>(cold_rate),
+          static_cast<std::int64_t>(warm_rate),
+          static_cast<std::int64_t>(speedup),
+          logpc::bench::ok(speedup >= 50.0));
+  }
+  t.print();
+
+  // Snapshot round-trip sanity: a serving process starting from the saved
+  // cache plans without a single build.
+  Planner producer;
+  (void)runtime::warmup(producer, keys, 4);
+  std::stringstream snap;
+  const std::size_t saved = runtime::save_snapshot(producer.cache(), snap);
+  Planner consumer;
+  (void)runtime::load_snapshot(consumer.cache(), snap);
+  const double replay_secs = run_pass(consumer, keys, 1);
+  std::cout << "\nsnapshot: " << saved << " plans saved; hot-started replay"
+            << " of the grid took " << replay_secs * 1e3 << " ms with "
+            << consumer.builds() << " builds (expect 0)\n";
+}
+
+void BM_ColdPlan(benchmark::State& state) {
+  const PlanKey key = PlanKey::kitem(Params::postal(17, 3), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Planner::build_uncached(key));
+  }
+}
+BENCHMARK(BM_ColdPlan);
+
+void BM_WarmPlan(benchmark::State& state) {
+  Planner planner;
+  const PlanKey key = PlanKey::kitem(Params::postal(17, 3), 8);
+  (void)planner.plan(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner.plan(key));
+  }
+}
+BENCHMARK(BM_WarmPlan);
+
+void BM_WarmPlanContended(benchmark::State& state) {
+  // google-benchmark threads all hammer one cached key.
+  static Planner* planner = new Planner;
+  const PlanKey key = PlanKey::kitem(Params::postal(17, 3), 8);
+  (void)planner->plan(key);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(planner->plan(key));
+  }
+}
+BENCHMARK(BM_WarmPlanContended)->Threads(4)->Threads(8);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

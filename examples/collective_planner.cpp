@@ -9,25 +9,32 @@
 ///   allreduce      combining broadcast (Theorem 4.1) vs reduce+bcast
 ///   alltoall       the rotation schedule (Section 4.1)
 ///
+/// Every price is obtained through the planning runtime (src/runtime): the
+/// strategies are PlanKeys — optimal constructions and baselines alike —
+/// resolved by a shared runtime::Planner, so each schedule is built once,
+/// cached, and the cache statistics are printed at the end.  Postal-model
+/// strategies (Section 3, Theorem 4.1, the pipelined baselines) need no
+/// explicit L' = L + 2o projection here: PlanKey canonicalization applies
+/// it when the key is made.
+///
 ///   ./collective_planner [P] [L] [o] [g] [k]
 
+#include <algorithm>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <vector>
 
-#include "baselines/bcast_baselines.hpp"
 #include "baselines/kitem_baselines.hpp"
-#include "bcast/all_to_all.hpp"
-#include "bcast/combining.hpp"
-#include "bcast/kitem.hpp"
-#include "sched/metrics.hpp"
-#include "sum/summation_tree.hpp"
+#include "bcast/tree.hpp"
+#include "runtime/planner.hpp"
 
 namespace {
 
 using namespace logpc;
+using runtime::PlanKey;
+using runtime::Problem;
 
 struct Option {
   std::string name;
@@ -61,55 +68,67 @@ int main(int argc, char** argv) {
   std::cout << "planning collectives for " << params << ", k = " << k
             << " items\n\n";
 
+  runtime::Planner planner;
+  // Price one strategy = resolve its PlanKey and read the completion time.
+  // The full schedule rides along in the cache for whoever executes it.
+  const auto price = [&](Problem problem, std::int64_t items = 1) {
+    return planner.plan(problem, params, items, /*root=*/0)->completion;
+  };
+
   // --- single-item broadcast -------------------------------------------
   pick("broadcast (1 item)",
-       {{"LogP-optimal tree", bcast::B_of_P(params, params.P)},
-        {"binomial tree",
-         baselines::binomial_tree(params, params.P).makespan()},
-        {"binary tree", baselines::binary_tree(params, params.P).makespan()},
-        {"chain", baselines::linear_chain(params, params.P).makespan()},
-        {"flat", baselines::flat_tree(params, params.P).makespan()}});
+       {{"LogP-optimal tree", price(Problem::kBroadcast)},
+        {"binomial tree", price(Problem::kBinomialBroadcast)},
+        {"binary tree", price(Problem::kBinaryBroadcast)},
+        {"chain", price(Problem::kChainBroadcast)},
+        {"flat", price(Problem::kFlatBroadcast)}});
 
   // --- k-item broadcast (postal pricing: L' = L + 2o, g normalized) ------
-  // The Section 3 algorithms are stated in the postal model; price them
-  // with the effective per-hop latency L + 2o.
+  // The Section 3 algorithms are stated in the postal model; their keys
+  // carry the effective per-hop latency L + 2o.
   const Time Lp = params.transfer_time();
-  const auto kb = bcast::kitem_broadcast(params.P, Lp, k);
   pick("broadcast (" + std::to_string(k) + " items, postal pricing)",
-       {{"block-cyclic pipeline", kb.completion},
-        {"serialized optimal",
-         completion_time(
-             baselines::serialized_broadcast(Params::postal(params.P, Lp), k))},
-        {"pipelined binary",
-         completion_time(baselines::pipelined_tree_broadcast(
-             baselines::binary_tree(Params::postal(params.P, Lp), params.P),
-             k))},
-        {"pipelined chain",
-         completion_time(baselines::pipelined_tree_broadcast(
-             baselines::linear_chain(Params::postal(params.P, Lp), params.P),
-             k))},
+       {{"block-cyclic pipeline", price(Problem::kKItemBroadcast, k)},
+        {"buffered (Thm 3.8)", price(Problem::kBufferedKItemBroadcast, k)},
+        {"serialized optimal", price(Problem::kSerializedKItem, k)},
+        {"pipelined binary", price(Problem::kPipelinedBinaryKItem, k)},
+        {"pipelined chain", price(Problem::kPipelinedChainKItem, k)},
         {"Bar-Noy/Kipnis (stated)",
          baselines::bnk_stated_time(params.P, Lp, k)}});
 
   // --- reduction ---------------------------------------------------------
-  if (params.g >= params.o + 1) {
-    const Time reduce_t = sum::min_time_for_operands(
-        params, static_cast<Count>(params.P));
-    pick("reduce (one value per processor)",
-         {{"reversed optimal tree", reduce_t}});
+  {
+    std::vector<Option> options{
+        {"reversed optimal tree", price(Problem::kReduce)}};
+    if (params.g >= params.o + 1) {
+      // One operand per processor; Section 5 requires g >= o + 1.
+      options.push_back(
+          {"summation schedule (Sec 5)",
+           price(Problem::kSummation, params.P)});
+    }
+    pick("reduce (one value per processor)", std::move(options));
   }
 
   // --- allreduce ----------------------------------------------------------
-  const Time combine_T = bcast::combining_time_for(params.P, Lp);
+  const Time combine_T = price(Problem::kAllReduce);
   pick("allreduce (postal pricing)",
        {{"combining broadcast (Thm 4.1)", combine_T},
         {"reduce + broadcast", 2 * combine_T}});
 
   // --- all-to-all ----------------------------------------------------------
   pick("alltoall",
-       {{"rotation schedule (Sec 4.1)", bcast::all_to_all_lower_bound(params)},
+       {{"rotation schedule (Sec 4.1)", price(Problem::kAllToAll)},
         {"naive P broadcasts",
          static_cast<Time>(params.P) * bcast::B_of_P(params, params.P)}});
+
+  // A second pass over the same machine is free: every key hits the cache.
+  for (const Problem p :
+       {Problem::kBroadcast, Problem::kKItemBroadcast, Problem::kAllReduce}) {
+    (void)price(p, p == Problem::kKItemBroadcast ? k : 1);
+  }
+  const runtime::CacheStats stats = planner.cache().stats();
+  std::cout << "\nplan cache: " << stats.entries << " plans, "
+            << planner.builds() << " builds, " << stats.hits << " hits\n";
 
   std::cout << "\n(the optimal entries are exact LogP cycle counts from the\n"
             << " constructions in this library; baselines are priced on the\n"

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build + tests, then the runtime concurrency
+# tests again under ThreadSanitizer (-DLOGPC_TSAN=ON).
+#
+#   scripts/verify.sh            # both passes
+#   scripts/verify.sh --no-tsan  # tier-1 only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+RUN_TSAN=1
+[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+
+echo "=== tier-1: build + full test suite (build/) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+if [[ "$RUN_TSAN" == 1 ]]; then
+  echo
+  echo "=== tsan: runtime concurrency tests (build-tsan/) ==="
+  cmake -B build-tsan -S . -DLOGPC_TSAN=ON >/dev/null
+  # The TSan pass only needs the concurrent pieces: the runtime suites
+  # and the shared-Fib test.  Run the binaries directly — ctest in a
+  # partially-built tree reports every unbuilt target as NOT_BUILT.
+  cmake --build build-tsan -j "$JOBS" \
+    --target test_plan_cache test_planner test_snapshot test_fib
+  ./build-tsan/tests/test_plan_cache
+  ./build-tsan/tests/test_planner
+  ./build-tsan/tests/test_snapshot
+  ./build-tsan/tests/test_fib --gtest_filter='SharedFib.*'
+fi
+
+echo
+echo "verify: OK"

@@ -1,8 +1,14 @@
 #include "api/communicator.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "bcast/kitem_bounds.hpp"
 
 namespace logpc::api {
+
+using runtime::PlanKey;
+using runtime::PlanPtr;
 
 Time scatter_time(const Params& params) {
   params.require_valid();
@@ -10,7 +16,11 @@ Time scatter_time(const Params& params) {
   return (params.P - 2) * params.g + params.transfer_time();
 }
 
-Communicator::Communicator(Params params) : params_(params) {
+Communicator::Communicator(Params params,
+                           std::shared_ptr<runtime::Planner> planner)
+    : params_(params),
+      planner_(planner ? std::move(planner)
+                       : runtime::Planner::shared_default()) {
   params.require_valid();
 }
 
@@ -18,8 +28,13 @@ Params Communicator::postal_projection() const {
   return Params::postal(params_.P, params_.transfer_time());
 }
 
+runtime::PlanPtr Communicator::plan(runtime::Problem problem, std::int64_t k,
+                                    ProcId root) const {
+  return planner_->plan(problem, params_, k, root);
+}
+
 Schedule Communicator::bcast(ProcId root) const {
-  return bcast::optimal_single_item(params_, root);
+  return planner_->plan(PlanKey::broadcast(params_, root))->schedule;
 }
 
 Time Communicator::bcast_time() const {
@@ -27,53 +42,50 @@ Time Communicator::bcast_time() const {
 }
 
 bcast::KItemResult Communicator::bcast_k(int k) const {
-  const Params postal = postal_projection();
-  return bcast::kitem_broadcast(postal.P, postal.L, k);
+  const PlanPtr plan = planner_->plan(PlanKey::kitem(params_, k));
+  bcast::KItemResult r;
+  r.schedule = plan->schedule;
+  r.method = plan->method == "greedy"
+                 ? bcast::KItemMethod::kGreedy
+                 : bcast::KItemMethod::kContinuousBlockCyclic;
+  r.bounds = bcast::kitem_bounds(plan->key.params.P, plan->key.params.L, k);
+  r.completion = plan->completion;
+  r.slack = plan->slack;
+  return r;
 }
 
 bcast::BufferedKItemResult Communicator::bcast_k_buffered(int k) const {
-  const Params postal = postal_projection();
-  return bcast::kitem_buffered(postal.P, postal.L, k);
+  const PlanPtr plan = planner_->plan(PlanKey::kitem_buffered(params_, k));
+  bcast::BufferedKItemResult r;
+  r.schedule = plan->schedule;
+  r.bounds = bcast::kitem_bounds(plan->key.params.P, plan->key.params.L, k);
+  r.completion = plan->completion;
+  r.max_buffer_depth = plan->max_buffer_depth;
+  return r;
 }
 
 Schedule Communicator::scatter(ProcId root) const {
   if (root < 0 || root >= params_.P) {
     throw std::invalid_argument("Communicator::scatter: bad root");
   }
-  // Item d (for destination d) leaves the root in destination order; any
-  // order is optimal since every message must cross the root's send port.
-  Schedule s(params_, params_.P);
-  for (ProcId d = 0; d < params_.P; ++d) s.add_initial(d, root, 0);
-  Time start = 0;
-  for (ProcId d = 0; d < params_.P; ++d) {
-    if (d == root) continue;
-    s.add_send(start, root, d, d);
-    start += params_.g;
-  }
-  s.sort();
-  return s;
+  return planner_->plan(PlanKey::scatter(params_, root))->schedule;
 }
 
 bcast::ReductionPlan Communicator::reduce(ProcId root) const {
-  return bcast::optimal_reduction(params_, root);
+  const PlanPtr plan = planner_->plan(PlanKey::reduce(params_, root));
+  bcast::ReductionPlan r;
+  r.params = params_;
+  r.root = root;
+  r.schedule = plan->schedule;
+  r.completion = plan->completion;
+  return r;
 }
 
 Schedule Communicator::gather(ProcId root) const {
   if (root < 0 || root >= params_.P) {
     throw std::invalid_argument("Communicator::gather: bad root");
   }
-  // The root receives P-1 messages at least g apart; stagger the senders
-  // so arrivals land exactly g apart (the scatter pattern reversed).
-  Schedule s(params_, params_.P);
-  for (ProcId p = 0; p < params_.P; ++p) s.add_initial(p, p, 0);
-  Time start = 0;
-  for (ProcId p = 0; p < params_.P; ++p) {
-    if (p == root) continue;
-    s.add_send(start, p, root, p);
-    start += params_.g;
-  }
-  s.sort();
-  return s;
+  return planner_->plan(PlanKey::gather(params_, root))->schedule;
 }
 
 sum::SummationPlan Communicator::reduce_operands(Count n) const {
@@ -86,7 +98,7 @@ Time Communicator::reduce_operands_time(Count n) const {
 }
 
 Schedule Communicator::alltoall(int k) const {
-  return bcast::all_to_all_k(params_, k);
+  return planner_->plan(PlanKey::alltoall(params_, k))->schedule;
 }
 
 Time Communicator::alltoall_time(int k) const {
@@ -94,13 +106,16 @@ Time Communicator::alltoall_time(int k) const {
 }
 
 Schedule Communicator::alltoall_personalized() const {
-  return bcast::all_to_all_personalized(params_);
+  return planner_->plan(PlanKey::alltoall_personalized(params_))->schedule;
 }
 
 bcast::CombiningSchedule Communicator::allreduce() const {
-  const Params postal = postal_projection();
-  const Time T = bcast::combining_time_for(postal.P, postal.L);
-  return bcast::combining_broadcast(T, postal.L);
+  const PlanPtr plan = planner_->plan(PlanKey::allreduce(params_));
+  bcast::CombiningSchedule cs;
+  cs.params = plan->schedule.params();
+  cs.T = plan->completion;
+  cs.sends = plan->schedule.sends();
+  return cs;
 }
 
 Time Communicator::allreduce_time() const {

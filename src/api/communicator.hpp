@@ -1,5 +1,6 @@
 #pragma once
 
+#include <memory>
 #include <optional>
 
 #include "bcast/all_to_all.hpp"
@@ -8,6 +9,7 @@
 #include "bcast/kitem_buffered.hpp"
 #include "bcast/reduction.hpp"
 #include "bcast/single_item.hpp"
+#include "runtime/planner.hpp"
 #include "sum/summation_tree.hpp"
 
 /// \file communicator.hpp
@@ -16,6 +18,13 @@
 /// cycle predictions.  This is what a runtime tuning layer would link
 /// against; everything it returns is constructed by the paper's algorithms
 /// and audited by validate::check in this library's tests.
+///
+/// Every schedule-producing method resolves through the planning runtime
+/// (src/runtime): requests hit a shared, thread-safe plan cache keyed on
+/// the canonical (problem, P, L, o, g, k, root) signature, so repeated and
+/// concurrent requests for the same collective reuse one construction.
+/// By default all Communicator instances share one process-wide Planner;
+/// pass your own to isolate or size its cache.
 
 namespace logpc::api {
 
@@ -25,15 +34,30 @@ namespace logpc::api {
 
 /// A machine-bound planner for the paper's collectives.
 ///
-/// All methods are const and deterministic; schedules use processor ids
-/// 0..P-1 with the root/source as stated.  Methods returning Time only are
-/// exact cycle counts of the corresponding schedule.
+/// All methods are const, deterministic and thread-safe; schedules use
+/// processor ids 0..P-1 with the root/source as stated.  Methods returning
+/// Time only are exact cycle counts of the corresponding schedule.
 class Communicator {
  public:
-  explicit Communicator(Params params);
+  /// \param planner the planning service to resolve through; nullptr means
+  ///        the process-wide runtime::Planner::shared_default().
+  explicit Communicator(Params params,
+                        std::shared_ptr<runtime::Planner> planner = nullptr);
 
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] int size() const { return params_.P; }
+
+  /// The planning service this communicator resolves collectives through.
+  [[nodiscard]] const std::shared_ptr<runtime::Planner>& planner() const {
+    return planner_;
+  }
+
+  /// Cached plan for any problem on this machine (zero-copy: the returned
+  /// plan is the immutable cache entry itself).  Arguments as
+  /// runtime::PlanKey::make, i.e. stated on this physical machine.
+  [[nodiscard]] runtime::PlanPtr plan(runtime::Problem problem,
+                                      std::int64_t k = 1,
+                                      ProcId root = 0) const;
 
   // --- one-to-all -------------------------------------------------------
   /// Optimal single-item broadcast (Theorem 2.1).
@@ -84,6 +108,7 @@ class Communicator {
 
  private:
   Params params_;
+  std::shared_ptr<runtime::Planner> planner_;
   /// Postal projection for the Section 3/4.2 algorithms: g normalized to 1
   /// cycle-groups, overheads folded into the latency (L' = L + 2o).
   [[nodiscard]] Params postal_projection() const;

@@ -39,8 +39,7 @@ CombiningSchedule combining_broadcast(Time T, Time L) {
 
 Time combining_time_for(int P, Time L) {
   if (P < 1) throw std::invalid_argument("combining_time_for: P >= 1");
-  const Fib fib(L);
-  return fib.B_of_P(static_cast<Count>(P));
+  return shared_B_of_P(L, static_cast<Count>(P));
 }
 
 }  // namespace logpc::bcast

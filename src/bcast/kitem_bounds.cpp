@@ -9,13 +9,15 @@ KItemBounds kitem_bounds(int P, Time L, int k) {
   if (P < 2) throw std::invalid_argument("kitem_bounds: P >= 2");
   if (L < 1) throw std::invalid_argument("kitem_bounds: L >= 1");
   if (k < 1) throw std::invalid_argument("kitem_bounds: k >= 1");
-  const Fib fib(L);
+  // Answer from the shared per-latency tables: bounds are queried once per
+  // planning request, often for the same L, so the sequence is never
+  // recomputed (and the lookup is safe from concurrent planner threads).
   KItemBounds b;
   b.P = P;
   b.L = L;
   b.k = k;
-  b.B = fib.B_of_P(static_cast<Count>(P) - 1);
-  b.k_star = fib.k_star(static_cast<Count>(P));
+  b.B = shared_B_of_P(L, static_cast<Count>(P) - 1);
+  b.k_star = shared_k_star(L, static_cast<Count>(P));
   b.general_lower =
       std::max(b.B + L,
                b.B + L + (static_cast<Time>(k) - 1) -

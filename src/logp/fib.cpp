@@ -1,5 +1,7 @@
 #include "logp/fib.hpp"
 
+#include <map>
+#include <mutex>
 #include <stdexcept>
 
 namespace logpc {
@@ -64,6 +66,54 @@ Count Fib::k_star(Count P) const {
   Time n = -1;
   while (f(n + 1) < P - 1) ++n;
   return sum(n) / (P - 1);
+}
+
+namespace {
+
+/// One lazily grown table per latency, shared by every thread.  The single
+/// mutex guards both the registry and the tables' lazy extension (Fib alone
+/// is thread-compatible, not thread-safe).  The registry is a function-local
+/// static, so construction happens exactly once; it is intentionally leaked
+/// to stay usable during static destruction.
+struct SharedTables {
+  std::mutex mu;
+  std::map<Time, Fib> tables;
+};
+
+SharedTables& shared_tables() {
+  static SharedTables* tables = new SharedTables;
+  return *tables;
+}
+
+template <typename F>
+auto with_shared_fib(Time L, F&& query) {
+  SharedTables& st = shared_tables();
+  const std::scoped_lock lock(st.mu);
+  auto it = st.tables.find(L);
+  if (it == st.tables.end()) it = st.tables.emplace(L, Fib(L)).first;
+  return query(it->second);
+}
+
+}  // namespace
+
+Count shared_fib_f(Time L, Time i) {
+  return with_shared_fib(L, [&](const Fib& fib) { return fib.f(i); });
+}
+
+Count shared_fib_sum(Time L, Time i) {
+  return with_shared_fib(L, [&](const Fib& fib) { return fib.sum(i); });
+}
+
+Time shared_B_of_P(Time L, Count P) {
+  return with_shared_fib(L, [&](const Fib& fib) { return fib.B_of_P(P); });
+}
+
+bool shared_is_exact_P(Time L, Count P) {
+  return with_shared_fib(L, [&](const Fib& fib) { return fib.is_exact_P(P); });
+}
+
+Count shared_k_star(Time L, Count P) {
+  return with_shared_fib(L, [&](const Fib& fib) { return fib.k_star(P); });
 }
 
 }  // namespace logpc

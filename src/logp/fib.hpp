@@ -73,4 +73,28 @@ class Fib {
   void extend(Time i) const;
 };
 
+/// ---- shared process-wide tables ----------------------------------------
+///
+/// The planning runtime (src/runtime) asks for B(P), k* and f_i for the
+/// same handful of latencies over and over — once per cache miss, from many
+/// threads.  These accessors answer from one memoized table per latency,
+/// built once behind a static registry + lock, so repeated queries never
+/// recompute the sequence.  Thread-safe (unlike the plain Fib class, which
+/// stays lock-free for single-owner inner loops).
+
+/// f_i for latency L, from the shared table.
+[[nodiscard]] Count shared_fib_f(Time L, Time i);
+
+/// sum_{j=0..i} f_j for latency L, from the shared table.
+[[nodiscard]] Count shared_fib_sum(Time L, Time i);
+
+/// B(P) for latency L, from the shared table.
+[[nodiscard]] Time shared_B_of_P(Time L, Count P);
+
+/// Fib::is_exact_P against the shared table.
+[[nodiscard]] bool shared_is_exact_P(Time L, Count P);
+
+/// k*(P) of Theorem 3.1 against the shared table.
+[[nodiscard]] Count shared_k_star(Time L, Count P);
+
 }  // namespace logpc

@@ -1,0 +1,95 @@
+#include "runtime/plan_cache.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace logpc::runtime {
+
+PlanCache::PlanCache(std::size_t capacity, std::size_t num_shards) {
+  capacity_ = std::max<std::size_t>(capacity, 1);
+  num_shards = std::clamp<std::size_t>(num_shards, 1, capacity_);
+  shard_capacity_ = (capacity_ + num_shards - 1) / num_shards;
+  shards_.reserve(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+PlanPtr PlanCache::get(const PlanKey& key) {
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    ++shard.misses;
+    return nullptr;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void PlanCache::put(const PlanKey& key, PlanPtr plan) {
+  if (!plan) throw std::invalid_argument("PlanCache::put: null plan");
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mu);
+  if (const auto it = shard.map.find(key); it != shard.map.end()) {
+    it->second->second = std::move(plan);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(plan));
+  shard.map.emplace(key, shard.lru.begin());
+  ++shard.inserts;
+  while (shard.lru.size() > shard_capacity_) {
+    shard.map.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+bool PlanCache::contains(const PlanKey& key) const {
+  Shard& shard = shard_for(key);
+  const std::scoped_lock lock(shard.mu);
+  return shard.map.contains(key);
+}
+
+std::size_t PlanCache::size() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    total += shard->lru.size();
+  }
+  return total;
+}
+
+CacheStats PlanCache::stats() const {
+  CacheStats s;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    s.hits += shard->hits;
+    s.misses += shard->misses;
+    s.inserts += shard->inserts;
+    s.evictions += shard->evictions;
+    s.entries += shard->lru.size();
+  }
+  return s;
+}
+
+void PlanCache::clear() {
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    shard->map.clear();
+    shard->lru.clear();
+  }
+}
+
+std::vector<PlanPtr> PlanCache::entries() const {
+  std::vector<PlanPtr> out;
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    for (const auto& [key, plan] : shard->lru) out.push_back(plan);
+  }
+  return out;
+}
+
+}  // namespace logpc::runtime

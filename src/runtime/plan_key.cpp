@@ -1,0 +1,160 @@
+#include "runtime/plan_key.hpp"
+
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace logpc::runtime {
+
+namespace {
+
+/// Problems whose plan ignores the requested root (fixed source 0 or fully
+/// symmetric), so the key normalizes root to 0.
+bool uses_root(Problem p) {
+  switch (p) {
+    case Problem::kBroadcast:
+    case Problem::kScatter:
+    case Problem::kGather:
+    case Problem::kReduce:
+    case Problem::kBinomialBroadcast:
+    case Problem::kBinaryBroadcast:
+    case Problem::kChainBroadcast:
+    case Problem::kFlatBroadcast:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Problems parameterized by an item / operand count.
+bool uses_k(Problem p) {
+  switch (p) {
+    case Problem::kKItemBroadcast:
+    case Problem::kBufferedKItemBroadcast:
+    case Problem::kSummation:
+    case Problem::kAllToAll:
+    case Problem::kSerializedKItem:
+    case Problem::kPipelinedBinaryKItem:
+    case Problem::kPipelinedChainKItem:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+std::string_view problem_name(Problem p) {
+  switch (p) {
+    case Problem::kBroadcast:              return "broadcast";
+    case Problem::kKItemBroadcast:         return "kitem";
+    case Problem::kBufferedKItemBroadcast: return "kitem-buffered";
+    case Problem::kScatter:                return "scatter";
+    case Problem::kGather:                 return "gather";
+    case Problem::kReduce:                 return "reduce";
+    case Problem::kSummation:              return "summation";
+    case Problem::kAllToAll:               return "alltoall";
+    case Problem::kAllToAllPersonalized:   return "alltoall-personalized";
+    case Problem::kAllReduce:              return "allreduce";
+    case Problem::kBinomialBroadcast:      return "binomial-broadcast";
+    case Problem::kBinaryBroadcast:        return "binary-broadcast";
+    case Problem::kChainBroadcast:         return "chain-broadcast";
+    case Problem::kFlatBroadcast:          return "flat-broadcast";
+    case Problem::kSerializedKItem:        return "serialized-kitem";
+    case Problem::kPipelinedBinaryKItem:   return "pipelined-binary-kitem";
+    case Problem::kPipelinedChainKItem:    return "pipelined-chain-kitem";
+  }
+  return "unknown";
+}
+
+bool is_postal_problem(Problem p) {
+  switch (p) {
+    case Problem::kKItemBroadcast:
+    case Problem::kBufferedKItemBroadcast:
+    case Problem::kAllReduce:
+    case Problem::kSerializedKItem:
+    case Problem::kPipelinedBinaryKItem:
+    case Problem::kPipelinedChainKItem:
+      return true;
+    default:
+      return false;
+  }
+}
+
+PlanKey PlanKey::make(Problem problem, const Params& params, std::int64_t k,
+                      ProcId root) {
+  params.require_valid();
+  if (k < 1) throw std::invalid_argument("PlanKey: k must be >= 1");
+  if (root < 0 || root >= params.P) {
+    throw std::invalid_argument("PlanKey: root out of range");
+  }
+  PlanKey key;
+  key.problem = problem;
+  key.params = is_postal_problem(problem)
+                   ? Params::postal(params.P, params.transfer_time())
+                   : params;
+  key.k = uses_k(problem) ? k : 1;
+  key.root = uses_root(problem) ? root : 0;
+  return key;
+}
+
+PlanKey PlanKey::broadcast(const Params& p, ProcId root) {
+  return make(Problem::kBroadcast, p, 1, root);
+}
+PlanKey PlanKey::kitem(const Params& p, std::int64_t k) {
+  return make(Problem::kKItemBroadcast, p, k);
+}
+PlanKey PlanKey::kitem_buffered(const Params& p, std::int64_t k) {
+  return make(Problem::kBufferedKItemBroadcast, p, k);
+}
+PlanKey PlanKey::scatter(const Params& p, ProcId root) {
+  return make(Problem::kScatter, p, 1, root);
+}
+PlanKey PlanKey::gather(const Params& p, ProcId root) {
+  return make(Problem::kGather, p, 1, root);
+}
+PlanKey PlanKey::reduce(const Params& p, ProcId root) {
+  return make(Problem::kReduce, p, 1, root);
+}
+PlanKey PlanKey::summation(const Params& p, std::int64_t n) {
+  return make(Problem::kSummation, p, n);
+}
+PlanKey PlanKey::alltoall(const Params& p, std::int64_t k) {
+  return make(Problem::kAllToAll, p, k);
+}
+PlanKey PlanKey::alltoall_personalized(const Params& p) {
+  return make(Problem::kAllToAllPersonalized, p);
+}
+PlanKey PlanKey::allreduce(const Params& p) {
+  return make(Problem::kAllReduce, p);
+}
+
+std::string PlanKey::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::size_t PlanKey::hash() const {
+  std::uint64_t h = 14695981039346656037ull;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;  // FNV-1a prime
+  };
+  mix(static_cast<std::uint64_t>(problem));
+  mix(static_cast<std::uint64_t>(params.P));
+  mix(static_cast<std::uint64_t>(params.L));
+  mix(static_cast<std::uint64_t>(params.o));
+  mix(static_cast<std::uint64_t>(params.g));
+  mix(static_cast<std::uint64_t>(k));
+  mix(static_cast<std::uint64_t>(root));
+  return static_cast<std::size_t>(h);
+}
+
+std::ostream& operator<<(std::ostream& os, const PlanKey& key) {
+  os << problem_name(key.problem) << "(" << key.params << ", k=" << key.k
+     << ", root=" << key.root << ")";
+  return os;
+}
+
+}  // namespace logpc::runtime

@@ -1,0 +1,241 @@
+#include "runtime/planner.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "baselines/bcast_baselines.hpp"
+#include "baselines/kitem_baselines.hpp"
+#include "bcast/all_to_all.hpp"
+#include "bcast/combining.hpp"
+#include "bcast/kitem.hpp"
+#include "bcast/kitem_buffered.hpp"
+#include "bcast/reduction.hpp"
+#include "bcast/single_item.hpp"
+#include "sched/metrics.hpp"
+#include "sum/summation_tree.hpp"
+
+namespace logpc::runtime {
+
+namespace {
+
+/// Scatter: item d leaves the root in destination order, serialized by g
+/// (any order is optimal — every message crosses the root's send port).
+Schedule build_scatter(const Params& params, ProcId root) {
+  Schedule s(params, params.P);
+  for (ProcId d = 0; d < params.P; ++d) s.add_initial(d, root, 0);
+  Time start = 0;
+  for (ProcId d = 0; d < params.P; ++d) {
+    if (d == root) continue;
+    s.add_send(start, root, d, d);
+    start += params.g;
+  }
+  s.sort();
+  return s;
+}
+
+/// Gather: the scatter pattern reversed — senders staggered so arrivals at
+/// the root land exactly g apart.
+Schedule build_gather(const Params& params, ProcId root) {
+  Schedule s(params, params.P);
+  for (ProcId p = 0; p < params.P; ++p) s.add_initial(p, p, 0);
+  Time start = 0;
+  for (ProcId p = 0; p < params.P; ++p) {
+    if (p == root) continue;
+    s.add_send(start, p, root, p);
+    start += params.g;
+  }
+  s.sort();
+  return s;
+}
+
+/// Completion of the serialized port schedules above: P-2 gaps after the
+/// first send, then one full transfer.
+Time port_schedule_completion(const Params& params) {
+  if (params.P == 1) return 0;
+  return (params.P - 2) * params.g + params.transfer_time();
+}
+
+}  // namespace
+
+Planner::Planner(Options options)
+    : cache_(options.cache_capacity, options.cache_shards) {}
+
+PlanPtr Planner::plan(Problem problem, const Params& params, std::int64_t k,
+                      ProcId root) {
+  return plan(PlanKey::make(problem, params, k, root));
+}
+
+PlanPtr Planner::plan(const PlanKey& key) {
+  if (PlanPtr hit = cache_.get(key)) return hit;
+
+  std::promise<PlanPtr> promise;
+  std::shared_future<PlanPtr> result;
+  bool builder = false;
+  {
+    const std::scoped_lock lock(inflight_mu_);
+    // Re-probe under the lock: a racing builder may have published between
+    // our miss and here (it erases its in-flight entry after caching).
+    if (PlanPtr hit = cache_.get(key)) return hit;
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      result = it->second;
+    } else {
+      result = promise.get_future().share();
+      inflight_.emplace(key, result);
+      builder = true;
+    }
+  }
+  if (!builder) return result.get();  // rethrows the builder's exception
+
+  try {
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    auto plan = std::make_shared<const Plan>(build_uncached(key));
+    cache_.put(key, plan);
+    {
+      // Publish-then-unregister: a thread missing the in-flight entry from
+      // here on finds the plan in the cache.
+      const std::scoped_lock lock(inflight_mu_);
+      inflight_.erase(key);
+    }
+    promise.set_value(plan);
+    return plan;
+  } catch (...) {
+    {
+      const std::scoped_lock lock(inflight_mu_);
+      inflight_.erase(key);
+    }
+    promise.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+Plan Planner::build_uncached(const PlanKey& key) {
+  const Params& m = key.params;
+  const int k = static_cast<int>(key.k);
+  Plan plan;
+  plan.key = key;
+  switch (key.problem) {
+    case Problem::kBroadcast:
+      plan.schedule = bcast::optimal_single_item(m, key.root);
+      plan.completion = bcast::B_of_P(m, m.P);
+      plan.method = "optimal tree (Thm 2.1)";
+      break;
+    case Problem::kKItemBroadcast: {
+      auto r = bcast::kitem_broadcast(m.P, m.L, k);
+      plan.schedule = std::move(r.schedule);
+      plan.completion = r.completion;
+      plan.slack = r.slack;
+      plan.method = r.method == bcast::KItemMethod::kContinuousBlockCyclic
+                        ? "block-cyclic"
+                        : "greedy";
+      break;
+    }
+    case Problem::kBufferedKItemBroadcast: {
+      auto r = bcast::kitem_buffered(m.P, m.L, k);
+      plan.schedule = std::move(r.schedule);
+      plan.completion = r.completion;
+      plan.max_buffer_depth = r.max_buffer_depth;
+      plan.method = "buffered (Thm 3.8)";
+      break;
+    }
+    case Problem::kScatter:
+      plan.schedule = build_scatter(m, key.root);
+      plan.completion = port_schedule_completion(m);
+      plan.method = "serialized send port";
+      break;
+    case Problem::kGather:
+      plan.schedule = build_gather(m, key.root);
+      plan.completion = port_schedule_completion(m);
+      plan.method = "serialized receive port";
+      break;
+    case Problem::kReduce: {
+      auto r = bcast::optimal_reduction(m, key.root);
+      plan.schedule = std::move(r.schedule);
+      plan.completion = r.completion;
+      plan.method = "reversed optimal tree (Sec 4.2)";
+      break;
+    }
+    case Problem::kSummation: {
+      const Time t =
+          sum::min_time_for_operands(m, static_cast<Count>(key.k));
+      const auto r = sum::optimal_summation(m, t);
+      plan.schedule = r.timing_view();
+      plan.completion = r.t;
+      plan.total_operands = r.total_operands;
+      plan.method = "reversed (L+1) tree (Sec 5)";
+      break;
+    }
+    case Problem::kAllToAll:
+      plan.schedule = bcast::all_to_all_k(m, k);
+      plan.completion = bcast::all_to_all_lower_bound(m, k);
+      plan.method = "rotation (Sec 4.1)";
+      break;
+    case Problem::kAllToAllPersonalized:
+      plan.schedule = bcast::all_to_all_personalized(m);
+      plan.completion = bcast::all_to_all_lower_bound(m);
+      plan.method = "rotation, personalized";
+      break;
+    case Problem::kAllReduce: {
+      const Time T = bcast::combining_time_for(m.P, m.L);
+      // Note: the Theorem 4.1 ring runs on f_T >= P slots, so the stored
+      // schedule's machine may be larger than the key's (see
+      // Communicator::allreduce for the padding convention).
+      plan.schedule = bcast::combining_broadcast(T, m.L).timing_view();
+      plan.completion = T;
+      plan.method = "combining broadcast (Thm 4.1)";
+      break;
+    }
+    case Problem::kBinomialBroadcast: {
+      const auto tree = baselines::binomial_tree(m, m.P);
+      plan.schedule = tree.to_schedule(key.root);
+      plan.completion = tree.makespan();
+      plan.method = "binomial tree";
+      break;
+    }
+    case Problem::kBinaryBroadcast: {
+      const auto tree = baselines::binary_tree(m, m.P);
+      plan.schedule = tree.to_schedule(key.root);
+      plan.completion = tree.makespan();
+      plan.method = "binary tree";
+      break;
+    }
+    case Problem::kChainBroadcast: {
+      const auto tree = baselines::linear_chain(m, m.P);
+      plan.schedule = tree.to_schedule(key.root);
+      plan.completion = tree.makespan();
+      plan.method = "linear chain";
+      break;
+    }
+    case Problem::kFlatBroadcast: {
+      const auto tree = baselines::flat_tree(m, m.P);
+      plan.schedule = tree.to_schedule(key.root);
+      plan.completion = tree.makespan();
+      plan.method = "flat tree";
+      break;
+    }
+    case Problem::kSerializedKItem:
+      plan.schedule = baselines::serialized_broadcast(m, k);
+      plan.completion = completion_time(plan.schedule);
+      plan.method = "serialized optimal";
+      break;
+    case Problem::kPipelinedBinaryKItem:
+      plan.schedule = baselines::pipelined_tree_broadcast(
+          baselines::binary_tree(m, m.P), k);
+      plan.completion = completion_time(plan.schedule);
+      plan.method = "pipelined binary tree";
+      break;
+    case Problem::kPipelinedChainKItem:
+      plan.schedule = baselines::pipelined_tree_broadcast(
+          baselines::linear_chain(m, m.P), k);
+      plan.completion = completion_time(plan.schedule);
+      plan.method = "pipelined chain";
+      break;
+  }
+  return plan;
+}
+
+const std::shared_ptr<Planner>& Planner::shared_default() {
+  static const std::shared_ptr<Planner> planner = std::make_shared<Planner>();
+  return planner;
+}
+
+}  // namespace logpc::runtime

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "runtime/plan_cache.hpp"
+
+/// \file planner.hpp
+/// The concurrent planning service: one facade in front of every schedule
+/// producer in src/bcast, src/sum and src/baselines.
+///
+/// plan(key) resolves in three stages:
+///   1. cache probe — a hit returns the shared immutable plan instantly;
+///   2. in-flight dedup — if another thread is already building this key,
+///      wait on its result instead of building again (exactly one builder
+///      per key, however many threads ask);
+///   3. build — route the key to its producer, publish to the cache, wake
+///      the waiters.
+///
+/// Builder exceptions propagate to the building thread and every waiter;
+/// nothing is cached, so a later request retries.
+
+namespace logpc::runtime {
+
+class Planner {
+ public:
+  struct Options {
+    std::size_t cache_capacity = 4096;
+    std::size_t cache_shards = 8;
+  };
+
+  Planner() : Planner(Options{}) {}
+  explicit Planner(Options options);
+
+  /// The plan for `key`, from cache or built on first use (see file
+  /// comment for the concurrency contract).
+  [[nodiscard]] PlanPtr plan(const PlanKey& key);
+
+  /// Convenience: canonicalize and plan in one call (arguments as
+  /// PlanKey::make, i.e. stated on the physical machine).
+  [[nodiscard]] PlanPtr plan(Problem problem, const Params& params,
+                             std::int64_t k = 1, ProcId root = 0);
+
+  /// Routes `key` to its schedule producer, bypassing cache and dedup: the
+  /// one function that knows every builder.  Also the cold path the plan-
+  /// cache bench measures.
+  [[nodiscard]] static Plan build_uncached(const PlanKey& key);
+
+  [[nodiscard]] PlanCache& cache() { return cache_; }
+  [[nodiscard]] const PlanCache& cache() const { return cache_; }
+
+  /// Builder invocations so far.  The concurrency tests assert this equals
+  /// the number of distinct keys requested, however many threads raced.
+  [[nodiscard]] std::uint64_t builds() const {
+    return builds_.load(std::memory_order_relaxed);
+  }
+
+  /// The process-wide planner api::Communicator instances share by
+  /// default, so every communicator on the same machine signature reuses
+  /// one plan cache.
+  [[nodiscard]] static const std::shared_ptr<Planner>& shared_default();
+
+ private:
+  PlanCache cache_;
+  std::atomic<std::uint64_t> builds_{0};
+  std::mutex inflight_mu_;
+  std::unordered_map<PlanKey, std::shared_future<PlanPtr>, PlanKeyHash>
+      inflight_;
+};
+
+}  // namespace logpc::runtime

@@ -1,0 +1,86 @@
+#include "runtime/warmup.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <thread>
+#include <unordered_set>
+
+#include "logp/fib.hpp"
+
+namespace logpc::runtime {
+
+std::vector<PlanKey> WarmupGrid::keys() const {
+  std::vector<PlanKey> out;
+  std::unordered_set<PlanKey, PlanKeyHash> seen;
+  for (const Problem problem : problems) {
+    for (const Params& machine : machines) {
+      for (const std::int64_t k : ks) {
+        PlanKey key;
+        try {
+          key = PlanKey::make(problem, machine, k);
+        } catch (const std::invalid_argument&) {
+          continue;  // infeasible grid point (e.g. k < 1, bad machine)
+        }
+        if (seen.insert(key).second) out.push_back(key);
+      }
+    }
+  }
+  return out;
+}
+
+WarmupReport warmup(Planner& planner, const std::vector<PlanKey>& keys,
+                    unsigned threads) {
+  WarmupReport report;
+  report.requested = keys.size();
+  if (keys.empty()) return report;
+
+  // Share one Fibonacci table per postal latency across all workers before
+  // they race: the builders' B(P)/k* queries then hit warm shared tables.
+  std::set<Time> latencies;
+  int max_P = 1;
+  for (const PlanKey& key : keys) {
+    if (key.params.is_postal()) latencies.insert(key.params.L);
+    max_P = std::max(max_P, key.params.P);
+  }
+  for (const Time L : latencies) {
+    (void)shared_B_of_P(L, static_cast<Count>(max_P));
+  }
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::clamp<unsigned>(threads, 1,
+                                 static_cast<unsigned>(keys.size()));
+
+  const std::uint64_t builds_before = planner.builds();
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> planned{0};
+  std::atomic<std::size_t> failed{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= keys.size()) return;
+      try {
+        (void)planner.plan(keys[i]);
+        planned.fetch_add(1, std::memory_order_relaxed);
+      } catch (...) {
+        failed.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+
+  report.planned = planned.load();
+  report.failed = failed.load();
+  report.built = planner.builds() - builds_before;
+  return report;
+}
+
+WarmupReport warmup(Planner& planner, const WarmupGrid& grid,
+                    unsigned threads) {
+  return warmup(planner, grid.keys(), threads);
+}
+
+}  // namespace logpc::runtime

@@ -30,4 +30,16 @@ void write_text(std::ostream& os, const Schedule& s);
 [[nodiscard]] Schedule schedule_from_text(const std::string& text);
 [[nodiscard]] Schedule read_text(std::istream& is);
 
+/// --- binary form --------------------------------------------------------
+/// Compact serialization for bulk archives — the runtime's plan-cache
+/// snapshots (src/runtime/snapshot.*) embed one of these per cached plan.
+/// Layout: magic "LPSB1\n", then little-endian 64-bit fields: params
+/// (P, L, o, g), item count, initial count + records, send count + records
+/// (recv_start keeps the kNever sentinel).  Endian-stable across machines.
+///
+/// read_binary applies the same structural validation as the text reader
+/// and throws std::invalid_argument on malformed or truncated input.
+void write_binary(std::ostream& os, const Schedule& s);
+[[nodiscard]] Schedule read_binary(std::istream& is);
+
 }  // namespace logpc

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <stdexcept>
+#include <thread>
+#include <vector>
 
 namespace logpc {
 namespace {
@@ -135,6 +138,42 @@ TEST(Fib, MonotoneNondecreasing) {
       EXPECT_GE(fib.f(i), fib.f(i - 1)) << "L=" << L << " i=" << i;
     }
   }
+}
+
+TEST(SharedFib, AgreesWithAPrivateInstance) {
+  for (Time L = 1; L <= 6; ++L) {
+    const Fib fib(L);
+    for (Time i = 0; i <= 40; ++i) {
+      EXPECT_EQ(shared_fib_f(L, i), fib.f(i));
+      EXPECT_EQ(shared_fib_sum(L, i), fib.sum(i));
+    }
+    for (Count P = 1; P <= 64; ++P) {
+      EXPECT_EQ(shared_B_of_P(L, P), fib.B_of_P(P));
+      EXPECT_EQ(shared_is_exact_P(L, P), fib.is_exact_P(P));
+      if (P >= 2) EXPECT_EQ(shared_k_star(L, P), fib.k_star(P));
+    }
+  }
+}
+
+TEST(SharedFib, ConcurrentQueriesAreConsistent) {
+  // Many threads extending the same shared tables must agree with a
+  // sequential reference (run under -DLOGPC_TSAN=ON for the race proof).
+  const Fib reference(3);
+  const Count want = reference.f(50);
+  std::vector<std::thread> pool;
+  std::atomic<int> mismatches{0};
+  pool.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    pool.emplace_back([&, t] {
+      for (Time i = 0; i <= 50; ++i) {
+        const Time idx = (t % 2 == 0) ? i : 50 - i;  // opposite directions
+        if (shared_fib_f(3, idx) != reference.f(idx)) ++mismatches;
+      }
+      if (shared_fib_f(3, 50) != want) ++mismatches;
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
 }
 
 }  // namespace

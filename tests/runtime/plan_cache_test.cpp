@@ -1,0 +1,145 @@
+#include "runtime/plan_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace logpc::runtime {
+namespace {
+
+/// A distinct key per id: single-item broadcast on a P = id + 1 machine.
+PlanKey key_for(int id) {
+  return PlanKey::broadcast(Params{id + 1, 1, 0, 1});
+}
+
+PlanPtr plan_for(int id) {
+  Plan plan;
+  plan.key = key_for(id);
+  plan.schedule = Schedule(plan.key.params, 1);
+  plan.completion = id;
+  plan.method = "dummy";
+  return std::make_shared<const Plan>(std::move(plan));
+}
+
+TEST(PlanCache, GetReturnsWhatPutStored) {
+  PlanCache cache(8, 2);
+  EXPECT_EQ(cache.get(key_for(1)), nullptr);
+  cache.put(key_for(1), plan_for(1));
+  const PlanPtr hit = cache.get(key_for(1));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->completion, 1);
+  EXPECT_TRUE(cache.contains(key_for(1)));
+  EXPECT_FALSE(cache.contains(key_for(2)));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PlanCache, EvictsLeastRecentlyUsedFirst) {
+  // One shard so the LRU order is global and exact.
+  PlanCache cache(3, 1);
+  cache.put(key_for(0), plan_for(0));
+  cache.put(key_for(1), plan_for(1));
+  cache.put(key_for(2), plan_for(2));
+  // Touch 0: recency order (most->least) is now 0, 2, 1.
+  ASSERT_NE(cache.get(key_for(0)), nullptr);
+  cache.put(key_for(3), plan_for(3));  // evicts 1
+  EXPECT_FALSE(cache.contains(key_for(1)));
+  EXPECT_TRUE(cache.contains(key_for(0)));
+  EXPECT_TRUE(cache.contains(key_for(2)));
+  EXPECT_TRUE(cache.contains(key_for(3)));
+  cache.put(key_for(4), plan_for(4));  // evicts 2 (0 was touched later)
+  EXPECT_FALSE(cache.contains(key_for(2)));
+  EXPECT_TRUE(cache.contains(key_for(0)));
+  EXPECT_EQ(cache.stats().evictions, 2u);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(PlanCache, RefreshingAKeyDoesNotGrowOrEvict) {
+  PlanCache cache(2, 1);
+  cache.put(key_for(0), plan_for(0));
+  cache.put(key_for(1), plan_for(1));
+  cache.put(key_for(0), plan_for(0));  // refresh, not insert
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().inserts, 2u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  // 0 is now most recent, so inserting evicts 1.
+  cache.put(key_for(2), plan_for(2));
+  EXPECT_FALSE(cache.contains(key_for(1)));
+  EXPECT_TRUE(cache.contains(key_for(0)));
+}
+
+TEST(PlanCache, CountsHitsAndMisses) {
+  PlanCache cache(4, 1);
+  (void)cache.get(key_for(0));
+  cache.put(key_for(0), plan_for(0));
+  (void)cache.get(key_for(0));
+  (void)cache.get(key_for(0));
+  (void)cache.get(key_for(1));
+  const CacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+TEST(PlanCache, EntriesListsMostRecentFirstWithinShard) {
+  PlanCache cache(4, 1);
+  cache.put(key_for(0), plan_for(0));
+  cache.put(key_for(1), plan_for(1));
+  cache.put(key_for(2), plan_for(2));
+  ASSERT_NE(cache.get(key_for(0)), nullptr);
+  const std::vector<PlanPtr> entries = cache.entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0]->key, key_for(0));
+  EXPECT_EQ(entries[1]->key, key_for(2));
+  EXPECT_EQ(entries[2]->key, key_for(1));
+}
+
+TEST(PlanCache, ClearDropsEntriesButKeepsCounters) {
+  PlanCache cache(4, 2);
+  cache.put(key_for(0), plan_for(0));
+  (void)cache.get(key_for(0));
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.contains(key_for(0)));
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(PlanCache, ShardCountIsClampedToCapacity) {
+  PlanCache tiny(2, 16);
+  EXPECT_LE(tiny.num_shards(), 2u);
+  PlanCache one(5, 0);
+  EXPECT_EQ(one.num_shards(), 1u);
+}
+
+TEST(PlanCache, RejectsNullPlans) {
+  PlanCache cache(4, 1);
+  EXPECT_THROW(cache.put(key_for(0), nullptr), std::invalid_argument);
+}
+
+TEST(PlanCache, ConcurrentMixedTrafficStaysConsistent) {
+  PlanCache cache(64, 8);
+  constexpr int kThreads = 8;
+  constexpr int kKeys = 32;
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&cache, t] {
+      for (int round = 0; round < 50; ++round) {
+        const int id = (t * 7 + round) % kKeys;
+        if (PlanPtr hit = cache.get(key_for(id))) {
+          EXPECT_EQ(hit->completion, id);
+        } else {
+          cache.put(key_for(id), plan_for(id));
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  EXPECT_LE(cache.size(), 64u);
+  for (const PlanPtr& plan : cache.entries()) {
+    EXPECT_EQ(plan->method, "dummy");
+  }
+}
+
+}  // namespace
+}  // namespace logpc::runtime

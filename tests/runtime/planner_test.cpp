@@ -1,0 +1,182 @@
+#include "runtime/planner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "api/communicator.hpp"
+#include "bcast/kitem.hpp"
+#include "bcast/single_item.hpp"
+#include "runtime/warmup.hpp"
+#include "sched/metrics.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc::runtime {
+namespace {
+
+const Params kMachine{16, 8, 1, 4};
+
+TEST(PlanKey, NormalizesPostalProblemsToTheProjection) {
+  // Stating the k-item request on the physical machine or directly on its
+  // postal projection (L' = L + 2o = 10) must give the same key.
+  const PlanKey physical = PlanKey::kitem(kMachine, 6);
+  const PlanKey postal = PlanKey::kitem(Params::postal(16, 10), 6);
+  EXPECT_EQ(physical, postal);
+  EXPECT_EQ(physical.params, Params::postal(16, 10));
+  EXPECT_EQ(physical.hash(), postal.hash());
+}
+
+TEST(PlanKey, NormalizesIrrelevantArguments) {
+  // k is irrelevant for single-item broadcast; root for k-item broadcast.
+  EXPECT_EQ(PlanKey::make(Problem::kBroadcast, kMachine, 5, 3),
+            PlanKey::make(Problem::kBroadcast, kMachine, 1, 3));
+  EXPECT_EQ(PlanKey::make(Problem::kKItemBroadcast, kMachine, 4, 7),
+            PlanKey::make(Problem::kKItemBroadcast, kMachine, 4, 0));
+  // But meaningful arguments distinguish keys.
+  EXPECT_NE(PlanKey::broadcast(kMachine, 0), PlanKey::broadcast(kMachine, 1));
+  EXPECT_NE(PlanKey::kitem(kMachine, 4), PlanKey::kitem(kMachine, 5));
+  EXPECT_NE(PlanKey::scatter(kMachine), PlanKey::gather(kMachine));
+}
+
+TEST(PlanKey, RejectsBadArguments) {
+  EXPECT_THROW(PlanKey::broadcast(Params{0, 1, 0, 1}), std::invalid_argument);
+  EXPECT_THROW(PlanKey::broadcast(kMachine, 16), std::invalid_argument);
+  EXPECT_THROW(PlanKey::kitem(kMachine, 0), std::invalid_argument);
+}
+
+TEST(Planner, PlansMatchTheDirectBuilders) {
+  Planner planner;
+  const PlanPtr b = planner.plan(PlanKey::broadcast(kMachine));
+  EXPECT_EQ(b->schedule, bcast::optimal_single_item(kMachine, 0));
+  EXPECT_EQ(b->completion, bcast::B_of_P(kMachine, 16));
+
+  const PlanPtr k = planner.plan(PlanKey::kitem(kMachine, 6));
+  const auto direct = bcast::kitem_broadcast(16, 10, 6);
+  EXPECT_EQ(k->schedule, direct.schedule);
+  EXPECT_EQ(k->completion, direct.completion);
+  EXPECT_EQ(k->slack, direct.slack);
+
+  EXPECT_TRUE(validate::is_valid(b->schedule));
+  EXPECT_TRUE(validate::is_valid(k->schedule));
+}
+
+TEST(Planner, SecondRequestIsACacheHitReturningTheSamePlan) {
+  Planner planner;
+  const PlanPtr first = planner.plan(PlanKey::reduce(kMachine, 3));
+  const PlanPtr second = planner.plan(PlanKey::reduce(kMachine, 3));
+  EXPECT_EQ(first.get(), second.get());  // same immutable object
+  EXPECT_EQ(planner.builds(), 1u);
+  EXPECT_GE(planner.cache().stats().hits, 1u);
+}
+
+TEST(Planner, BuilderExceptionsPropagateAndNothingIsCached) {
+  Planner planner;
+  // P = 1 passes key validation but the k-item builder requires P >= 2.
+  const PlanKey bad = PlanKey::kitem(Params::postal(1, 3), 4);
+  EXPECT_THROW((void)planner.plan(bad), std::invalid_argument);
+  EXPECT_FALSE(planner.cache().contains(bad));
+  // A retry reaches the builder again (and fails again).
+  EXPECT_THROW((void)planner.plan(bad), std::invalid_argument);
+  EXPECT_EQ(planner.builds(), 2u);
+}
+
+// The ISSUE's concurrency acceptance test: N threads x M keys, every thread
+// requests every key, and exactly one build happens per key.  Run under
+// -DLOGPC_TSAN=ON to also prove data-race freedom.
+TEST(Planner, ConcurrentHammerBuildsEachKeyExactlyOnce) {
+  Planner planner;
+  std::vector<PlanKey> keys;
+  for (int k = 1; k <= 4; ++k) {
+    keys.push_back(PlanKey::kitem(Params::postal(10, 3), k));
+    keys.push_back(PlanKey::kitem_buffered(Params::postal(10, 3), k));
+    keys.push_back(PlanKey::summation(Params{12, 4, 1, 3},
+                                      static_cast<std::int64_t>(20 * k)));
+  }
+  constexpr int kThreads = 8;
+  std::vector<std::vector<PlanPtr>> results(
+      kThreads, std::vector<PlanPtr>(keys.size()));
+  std::atomic<bool> go{false};
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      for (std::size_t i = 0; i < keys.size(); ++i) {
+        // Rotate the starting key per thread to maximize collisions on
+        // different keys at the same instant.
+        const std::size_t j = (i + static_cast<std::size_t>(t) * 3) %
+                              keys.size();
+        results[static_cast<std::size_t>(t)][j] = planner.plan(keys[j]);
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& t : pool) t.join();
+
+  // Exactly one build per distinct key, however the threads raced.
+  EXPECT_EQ(planner.builds(), keys.size());
+  // Every thread got the same immutable plan object per key, and it is the
+  // plan for that key.
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_NE(results[0][i], nullptr);
+    EXPECT_EQ(results[0][i]->key, keys[i]);
+    EXPECT_FALSE(results[0][i]->schedule.sends().empty());
+    for (int t = 1; t < kThreads; ++t) {
+      ASSERT_EQ(results[static_cast<std::size_t>(t)][i].get(),
+                results[0][i].get());
+    }
+  }
+}
+
+TEST(Warmup, GridExpandsToDeduplicatedFeasibleKeys) {
+  WarmupGrid grid;
+  grid.problems = {Problem::kBroadcast, Problem::kKItemBroadcast};
+  grid.machines = {kMachine, Params::postal(16, 10)};
+  grid.ks = {2, 4};
+  const std::vector<PlanKey> keys = grid.keys();
+  // broadcast ignores k and both machines differ for it (2 keys); kitem
+  // normalizes both machines to the same postal projection (2 keys, one
+  // per k).
+  EXPECT_EQ(keys.size(), 4u);
+}
+
+TEST(Warmup, FillsTheCacheWithOneBuildPerKey) {
+  Planner planner;
+  WarmupGrid grid;
+  grid.problems = {Problem::kBroadcast, Problem::kReduce,
+                   Problem::kAllToAll};
+  grid.machines = {Params{8, 6, 2, 4}, Params{12, 4, 1, 2}};
+  grid.ks = {1, 2};
+  const std::vector<PlanKey> keys = grid.keys();
+  const WarmupReport report = warmup(planner, grid, 4);
+  EXPECT_EQ(report.requested, keys.size());
+  EXPECT_EQ(report.planned, keys.size());
+  EXPECT_EQ(report.failed, 0u);
+  EXPECT_EQ(report.built, keys.size());
+  for (const PlanKey& key : keys) {
+    EXPECT_TRUE(planner.cache().contains(key)) << key.to_string();
+  }
+  // Warming again is all hits.
+  const WarmupReport again = warmup(planner, grid, 4);
+  EXPECT_EQ(again.built, 0u);
+}
+
+TEST(Communicator, SharesOnePlanAcrossInstancesAndThreads) {
+  auto planner = std::make_shared<Planner>();
+  const api::Communicator a(kMachine, planner);
+  const api::Communicator b(kMachine, planner);
+  const Schedule s1 = a.bcast();
+  const Schedule s2 = b.bcast();
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(planner->builds(), 1u);
+  // The zero-copy accessor returns the cached entry itself.
+  const PlanPtr p1 = a.plan(Problem::kBroadcast);
+  const PlanPtr p2 = b.plan(Problem::kBroadcast);
+  EXPECT_EQ(p1.get(), p2.get());
+  EXPECT_EQ(p1->schedule, s1);
+}
+
+}  // namespace
+}  // namespace logpc::runtime

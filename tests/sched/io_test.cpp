@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "bcast/kitem.hpp"
 #include "bcast/kitem_buffered.hpp"
 #include "bcast/single_item.hpp"
@@ -99,6 +101,40 @@ TEST(ScheduleIO, ErrorMessagesCarryLineNumbers) {
     EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
         << e.what();
   }
+}
+
+TEST(ScheduleIO, BinaryRoundTripStrictModel) {
+  const Schedule original = bcast::optimal_single_item(Params{8, 6, 2, 4});
+  std::stringstream stream;
+  write_binary(stream, original);
+  EXPECT_EQ(read_binary(stream), original);
+}
+
+TEST(ScheduleIO, BinaryRoundTripKeepsExplicitRecvStarts) {
+  // Buffered schedules carry recv_start on every send; the binary form
+  // must preserve both the explicit values and the kNever sentinel.
+  const Schedule buffered = bcast::kitem_buffered(9, 2, 6).schedule;
+  std::stringstream stream;
+  write_binary(stream, buffered);
+  const Schedule parsed = read_binary(stream);
+  EXPECT_EQ(parsed, buffered);
+  bool any_delayed = false;
+  for (const auto& op : parsed.sends()) {
+    any_delayed = any_delayed || op.recv_start != kNever;
+  }
+  EXPECT_TRUE(any_delayed);
+}
+
+TEST(ScheduleIO, BinaryRejectsBadMagicAndTruncation) {
+  std::stringstream garbage("XXXXXXXXXXXXXXXXXXXXXXXX");
+  EXPECT_THROW((void)read_binary(garbage), std::invalid_argument);
+
+  const Schedule original = bcast::optimal_single_item(Params{4, 2, 1, 2});
+  std::stringstream stream;
+  write_binary(stream, original);
+  const std::string full = stream.str();
+  std::stringstream truncated(full.substr(0, full.size() - 5));
+  EXPECT_THROW((void)read_binary(truncated), std::invalid_argument);
 }
 
 }  // namespace
