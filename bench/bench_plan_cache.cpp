@@ -9,11 +9,13 @@
 
 #include "bench_util.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/snapshot.hpp"
 #include "runtime/warmup.hpp"
@@ -64,7 +66,17 @@ double run_pass(Planner& planner, const std::vector<PlanKey>& keys,
   return seconds_since(start);
 }
 
+/// Mean ns per warm planner.plan(key) over `iters` calls.
+double warm_ns_per_op(Planner& planner, const PlanKey& key, int iters) {
+  const auto start = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    benchmark::DoNotOptimize(planner.plan(key));
+  }
+  return seconds_since(start) * 1e9 / iters;
+}
+
 void report() {
+  logpc::bench::JsonReport json("plan_cache");
   logpc::bench::section("plan-cache runtime: cold vs warm planning");
   const std::vector<PlanKey> keys = kitem_grid();
   std::cout << keys.size() << " distinct k-item keys "
@@ -103,8 +115,48 @@ void report() {
           static_cast<std::int64_t>(warm_rate),
           static_cast<std::int64_t>(speedup),
           logpc::bench::ok(speedup >= 50.0));
+
+    const runtime::CacheStats cs = cold.cache().stats();
+    json.entry("cold_vs_warm", {{"threads", std::to_string(threads)}},
+               {{"cold_plans_per_s", cold_rate},
+                {"warm_plans_per_s", warm_rate},
+                {"speedup", speedup},
+                {"warm_ns_per_op", 1e9 / warm_rate},
+                {"cache_hits", static_cast<double>(cs.hits)},
+                {"cache_misses", static_cast<double>(cs.misses)},
+                {"cache_hit_ratio", cs.hit_ratio()},
+                {"cache_entries", static_cast<double>(cs.entries)}});
   }
   t.print();
+
+  // Telemetry overhead on the warm path: the same single-key hit loop with
+  // the obs layer enabled vs disabled (best of three passes each, to shake
+  // out scheduler noise).  The acceptance bar is < 5%.
+  logpc::bench::section("telemetry overhead on warm Planner::plan");
+  {
+    Planner planner;
+    const PlanKey key = PlanKey::kitem(Params::postal(17, 3), 8);
+    (void)planner.plan(key);
+    constexpr int kIters = 1'000'000;
+    (void)warm_ns_per_op(planner, key, kIters / 10);  // warm up caches
+    double on_ns = 1e300;
+    double off_ns = 1e300;
+    for (int round = 0; round < 3; ++round) {
+      obs::set_enabled(true);
+      on_ns = std::min(on_ns, warm_ns_per_op(planner, key, kIters));
+      obs::set_enabled(false);
+      off_ns = std::min(off_ns, warm_ns_per_op(planner, key, kIters));
+    }
+    obs::set_enabled(true);
+    const double overhead_pct = (on_ns - off_ns) / off_ns * 100.0;
+    std::cout << "enabled " << on_ns << " ns/op, disabled " << off_ns
+              << " ns/op, overhead " << overhead_pct << "% ("
+              << logpc::bench::ok(overhead_pct < 5.0) << ": < 5%)\n";
+    json.entry("telemetry_overhead", {},
+               {{"enabled_ns_per_op", on_ns},
+                {"disabled_ns_per_op", off_ns},
+                {"overhead_pct", overhead_pct}});
+  }
 
   // Snapshot round-trip sanity: a serving process starting from the saved
   // cache plans without a single build.
@@ -118,6 +170,16 @@ void report() {
   std::cout << "\nsnapshot: " << saved << " plans saved; hot-started replay"
             << " of the grid took " << replay_secs * 1e3 << " ms with "
             << consumer.builds() << " builds (expect 0)\n";
+  json.entry("snapshot_replay", {},
+             {{"plans_saved", static_cast<double>(saved)},
+              {"replay_ms", replay_secs * 1e3},
+              {"replay_builds", static_cast<double>(consumer.builds())}});
+
+  json.attach_metrics(obs::MetricsRegistry::global());
+  const std::string path = json.write();
+  std::cout << (path.empty() ? "FAILED to write bench json"
+                             : "bench json: " + path)
+            << "\n";
 }
 
 void BM_ColdPlan(benchmark::State& state) {

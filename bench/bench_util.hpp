@@ -2,16 +2,25 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 /// \file bench_util.hpp
 /// Shared scaffolding for the reproduction benches.  Each bench binary
 /// first prints the paper-vs-measured tables for its figure/claim, then
-/// runs its google-benchmark microbenchmarks.
+/// runs its google-benchmark microbenchmarks.  JsonReport additionally
+/// writes a machine-readable BENCH_<name>.json — measurement entries plus a
+/// metrics-registry snapshot — so the perf trajectory accumulates across
+/// runs instead of living only in scrollback.
 
 namespace logpc::bench {
 
@@ -75,6 +84,89 @@ inline void section(const std::string& title) {
 
 /// "yes"/"NO" marker for reproduction columns.
 inline std::string ok(bool v) { return v ? "yes" : "NO"; }
+
+/// Machine-readable bench output: named measurement entries (string params,
+/// numeric values) plus an optional obs::MetricsRegistry snapshot, written
+/// as BENCH_<bench>.json into $LOGPC_BENCH_DIR (default: the working
+/// directory).
+class JsonReport {
+ public:
+  explicit JsonReport(std::string bench_name)
+      : bench_(std::move(bench_name)) {}
+
+  /// One measurement: `params` describe the configuration ("threads": "4"),
+  /// `values` carry the numbers ("ns_per_op": 132.5).
+  void entry(const std::string& name,
+             std::vector<std::pair<std::string, std::string>> params,
+             std::vector<std::pair<std::string, double>> values) {
+    std::ostringstream e;
+    e << "    {\"name\": " << obs::json_string(name) << ", \"params\": {";
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      e << (i ? ", " : "") << obs::json_string(params[i].first) << ": "
+        << obs::json_string(params[i].second);
+    }
+    e << "}";
+    for (const auto& [key, value] : values) {
+      e << ", " << obs::json_string(key) << ": " << obs::json_number(value);
+    }
+    e << "}";
+    entries_.push_back(e.str());
+  }
+
+  /// Attaches a point-in-time snapshot of `reg` (counters and gauges as
+  /// values, histograms as count/sum) under "metrics".
+  void attach_metrics(const obs::MetricsRegistry& reg) {
+    std::ostringstream m;
+    bool first = true;
+    for (const obs::MetricSnapshot& s : reg.snapshot()) {
+      const std::string key =
+          s.labels.empty() ? s.name : s.name + "{" + s.labels + "}";
+      if (s.kind == obs::MetricSnapshot::Kind::kHistogram) {
+        m << (first ? "" : ",\n") << "    " << obs::json_string(key)
+          << ": {\"count\": " << s.count
+          << ", \"sum\": " << obs::json_number(s.sum) << "}";
+      } else {
+        m << (first ? "" : ",\n") << "    " << obs::json_string(key) << ": "
+          << obs::json_number(s.value);
+      }
+      first = false;
+    }
+    metrics_json_ = m.str();
+    have_metrics_ = true;
+  }
+
+  [[nodiscard]] std::string to_json() const {
+    std::ostringstream os;
+    os << "{\n  \"bench\": " << obs::json_string(bench_) << ",\n"
+       << "  \"entries\": [\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      os << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
+    }
+    os << "  ]";
+    if (have_metrics_) {
+      os << ",\n  \"metrics\": {\n" << metrics_json_ << "\n  }";
+    }
+    os << "\n}\n";
+    return os.str();
+  }
+
+  /// Writes BENCH_<bench>.json; returns the path, or "" on failure.
+  std::string write() const {
+    const char* dir = std::getenv("LOGPC_BENCH_DIR");
+    std::string path = dir && *dir ? std::string(dir) + "/" : std::string();
+    path += "BENCH_" + bench_ + ".json";
+    std::ofstream out(path);
+    if (!out) return "";
+    out << to_json();
+    return out ? path : "";
+  }
+
+ private:
+  std::string bench_;
+  std::vector<std::string> entries_;
+  std::string metrics_json_;
+  bool have_metrics_ = false;
+};
 
 }  // namespace logpc::bench
 

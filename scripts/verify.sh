@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build + tests, then the runtime concurrency
-# tests again under ThreadSanitizer (-DLOGPC_TSAN=ON).
+# tests again under ThreadSanitizer (-DLOGPC_TSAN=ON), then the obs +
+# runtime suites under ASan/UBSan (-DLOGPC_SANITIZE=address,undefined).
 #
-#   scripts/verify.sh            # both passes
-#   scripts/verify.sh --no-tsan  # tier-1 only
+#   scripts/verify.sh            # all three passes
+#   scripts/verify.sh --no-tsan  # skip the TSan pass
+#   scripts/verify.sh --no-asan  # skip the ASan/UBSan pass
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
 RUN_TSAN=1
-[[ "${1:-}" == "--no-tsan" ]] && RUN_TSAN=0
+RUN_ASAN=1
+for arg in "$@"; do
+  case "$arg" in
+    --no-tsan) RUN_TSAN=0 ;;
+    --no-asan) RUN_ASAN=0 ;;
+    *) echo "unknown option: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "=== tier-1: build + full test suite (build/) ==="
 cmake -B build -S . >/dev/null
@@ -24,11 +33,29 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # and the shared-Fib test.  Run the binaries directly — ctest in a
   # partially-built tree reports every unbuilt target as NOT_BUILT.
   cmake --build build-tsan -j "$JOBS" \
-    --target test_plan_cache test_planner test_snapshot test_fib
+    --target test_plan_cache test_planner test_snapshot test_fib \
+             test_obs_metrics test_obs_trace
   ./build-tsan/tests/test_plan_cache
   ./build-tsan/tests/test_planner
   ./build-tsan/tests/test_snapshot
   ./build-tsan/tests/test_fib --gtest_filter='SharedFib.*'
+  ./build-tsan/tests/test_obs_metrics
+  ./build-tsan/tests/test_obs_trace
+fi
+
+if [[ "$RUN_ASAN" == 1 ]]; then
+  echo
+  echo "=== asan/ubsan: obs + runtime tests (build-asan/) ==="
+  cmake -B build-asan -S . -DLOGPC_SANITIZE=address,undefined >/dev/null
+  cmake --build build-asan -j "$JOBS" \
+    --target test_obs_metrics test_obs_trace test_obs_chrome \
+             test_plan_cache test_planner test_snapshot
+  ./build-asan/tests/test_obs_metrics
+  ./build-asan/tests/test_obs_trace
+  ./build-asan/tests/test_obs_chrome
+  ./build-asan/tests/test_plan_cache
+  ./build-asan/tests/test_planner
+  ./build-asan/tests/test_snapshot
 fi
 
 echo

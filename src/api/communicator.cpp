@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "bcast/kitem_bounds.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace logpc::api {
 
@@ -30,10 +31,12 @@ Params Communicator::postal_projection() const {
 
 runtime::PlanPtr Communicator::plan(runtime::Problem problem, std::int64_t k,
                                     ProcId root) const {
+  const obs::Span span("comm.plan", "comm");
   return planner_->plan(problem, params_, k, root);
 }
 
 Schedule Communicator::bcast(ProcId root) const {
+  const obs::Span span("comm.bcast", "comm");
   return planner_->plan(PlanKey::broadcast(params_, root))->schedule;
 }
 
@@ -42,6 +45,7 @@ Time Communicator::bcast_time() const {
 }
 
 bcast::KItemResult Communicator::bcast_k(int k) const {
+  const obs::Span span("comm.bcast_k", "comm");
   const PlanPtr plan = planner_->plan(PlanKey::kitem(params_, k));
   bcast::KItemResult r;
   r.schedule = plan->schedule;
@@ -55,6 +59,7 @@ bcast::KItemResult Communicator::bcast_k(int k) const {
 }
 
 bcast::BufferedKItemResult Communicator::bcast_k_buffered(int k) const {
+  const obs::Span span("comm.bcast_k_buffered", "comm");
   const PlanPtr plan = planner_->plan(PlanKey::kitem_buffered(params_, k));
   bcast::BufferedKItemResult r;
   r.schedule = plan->schedule;
@@ -65,6 +70,7 @@ bcast::BufferedKItemResult Communicator::bcast_k_buffered(int k) const {
 }
 
 Schedule Communicator::scatter(ProcId root) const {
+  const obs::Span span("comm.scatter", "comm");
   if (root < 0 || root >= params_.P) {
     throw std::invalid_argument("Communicator::scatter: bad root");
   }
@@ -72,6 +78,7 @@ Schedule Communicator::scatter(ProcId root) const {
 }
 
 bcast::ReductionPlan Communicator::reduce(ProcId root) const {
+  const obs::Span span("comm.reduce", "comm");
   const PlanPtr plan = planner_->plan(PlanKey::reduce(params_, root));
   bcast::ReductionPlan r;
   r.params = params_;
@@ -82,6 +89,7 @@ bcast::ReductionPlan Communicator::reduce(ProcId root) const {
 }
 
 Schedule Communicator::gather(ProcId root) const {
+  const obs::Span span("comm.gather", "comm");
   if (root < 0 || root >= params_.P) {
     throw std::invalid_argument("Communicator::gather: bad root");
   }
@@ -89,6 +97,7 @@ Schedule Communicator::gather(ProcId root) const {
 }
 
 sum::SummationPlan Communicator::reduce_operands(Count n) const {
+  const obs::Span span("comm.reduce_operands", "comm");
   return sum::optimal_summation(params_,
                                 sum::min_time_for_operands(params_, n));
 }
@@ -98,6 +107,7 @@ Time Communicator::reduce_operands_time(Count n) const {
 }
 
 Schedule Communicator::alltoall(int k) const {
+  const obs::Span span("comm.alltoall", "comm");
   return planner_->plan(PlanKey::alltoall(params_, k))->schedule;
 }
 
@@ -106,10 +116,12 @@ Time Communicator::alltoall_time(int k) const {
 }
 
 Schedule Communicator::alltoall_personalized() const {
+  const obs::Span span("comm.alltoall_personalized", "comm");
   return planner_->plan(PlanKey::alltoall_personalized(params_))->schedule;
 }
 
 bcast::CombiningSchedule Communicator::allreduce() const {
+  const obs::Span span("comm.allreduce", "comm");
   const PlanPtr plan = planner_->plan(PlanKey::allreduce(params_));
   bcast::CombiningSchedule cs;
   cs.params = plan->schedule.params();

@@ -1,0 +1,170 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace logpc::obs {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+void set_enabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be sorted ascending");
+  }
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+const std::vector<double>& default_latency_buckets_ns() {
+  static const std::vector<double> buckets = [] {
+    std::vector<double> b;
+    for (double decade = 1e2; decade < 1e9; decade *= 10) {
+      b.push_back(decade);
+      b.push_back(decade * 2.5);
+      b.push_back(decade * 5);
+    }
+    b.push_back(1e9);
+    return b;
+  }();
+  return buckets;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* registry = new MetricsRegistry;  // never destroyed
+  return *registry;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::entry_for(const Key& key,
+                                                   MetricSnapshot::Kind kind,
+                                                   const std::string& help) {
+  // Caller holds mu_.
+  auto [it, inserted] = entries_.try_emplace(key);
+  Entry& e = it->second;
+  if (inserted) {
+    e.kind = kind;
+    e.help = help;
+  } else if (e.kind != kind || (e.kind == MetricSnapshot::Kind::kGauge &&
+                                static_cast<bool>(e.callback))) {
+    throw std::logic_error("MetricsRegistry: '" + key.first +
+                           "' already registered as a different metric kind");
+  }
+  return e;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const std::string& labels) {
+  const std::scoped_lock lock(mu_);
+  Entry& e = entry_for({name, labels}, MetricSnapshot::Kind::kCounter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const std::string& labels) {
+  const std::scoped_lock lock(mu_);
+  Entry& e = entry_for({name, labels}, MetricSnapshot::Kind::kGauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help,
+                                      const std::string& labels) {
+  const std::scoped_lock lock(mu_);
+  Entry& e = entry_for({name, labels}, MetricSnapshot::Kind::kHistogram, help);
+  if (!e.histogram) {
+    try {
+      e.histogram = std::make_unique<Histogram>(std::move(bounds));
+    } catch (...) {
+      entries_.erase({name, labels});  // don't leave a half-built entry
+      throw;
+    }
+  }
+  return *e.histogram;
+}
+
+void MetricsRegistry::register_callback(const std::string& name,
+                                        const std::string& help,
+                                        std::function<double()> fn,
+                                        const std::string& labels) {
+  const std::scoped_lock lock(mu_);
+  const Key key{name, labels};
+  if (entries_.contains(key)) {
+    throw std::logic_error("MetricsRegistry: callback '" + name +
+                           "' already registered");
+  }
+  Entry& e = entries_[key];
+  e.kind = MetricSnapshot::Kind::kGauge;
+  e.help = help;
+  e.callback = std::move(fn);
+}
+
+bool MetricsRegistry::unregister(const std::string& name,
+                                 const std::string& labels) {
+  const std::scoped_lock lock(mu_);
+  return entries_.erase({name, labels}) > 0;
+}
+
+std::vector<MetricSnapshot> MetricsRegistry::snapshot() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, e] : entries_) {
+    MetricSnapshot s;
+    s.name = key.first;
+    s.labels = key.second;
+    s.help = e.help;
+    s.kind = e.kind;
+    switch (e.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.value = static_cast<double>(e.counter->value());
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.value = e.callback ? e.callback() : e.gauge->value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        s.bounds = e.histogram->bounds();
+        s.bucket_counts = e.histogram->bucket_counts();
+        s.count = e.histogram->count();
+        s.sum = e.histogram->sum();
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;  // std::map iteration is already (name, labels)-sorted
+}
+
+std::size_t MetricsRegistry::size() const {
+  const std::scoped_lock lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace logpc::obs

@@ -1,0 +1,174 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+/// \file metrics.hpp
+/// The process-wide metrics registry: named counters, gauges and
+/// fixed-bucket histograms, designed so the hot path is a handful of
+/// relaxed atomic operations and *zero* allocation or locking.
+///
+/// Registration (looking a metric up by name) takes the registry mutex and
+/// may allocate — do it once at construction time and keep the returned
+/// reference, which stays valid for the registry's lifetime.  Observation
+/// (inc/set/observe) is lock-free.  Export (snapshot()) takes the mutex
+/// again and reads the atomics relaxed; values observed concurrently with a
+/// snapshot land in this snapshot or the next, which is all a monitoring
+/// scrape needs.
+///
+/// Metric identity is (name, labels): `labels` is a pre-rendered Prometheus
+/// label body such as `problem="kitem"` (no braces), so one logical metric
+/// family can fan out per label value — exactly how the planner keys its
+/// per-problem build-latency histograms.
+
+namespace logpc::obs {
+
+/// Process-wide telemetry kill switch, honored by the instrumented call
+/// sites (planner counters, spans, scoped timers).  Relaxed atomic: flips
+/// become visible promptly but not synchronously.  Default on.
+void set_enabled(bool on);
+[[nodiscard]] bool enabled();
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Point-in-time level that can move both ways.
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram: `bounds` are the inclusive upper bounds of the
+/// finite buckets (sorted ascending); one implicit +Inf bucket catches the
+/// rest.  observe() is a binary search plus three relaxed atomic adds.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries, last = +Inf bucket),
+  /// non-cumulative.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  [[nodiscard]] std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] double sum() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Latency bucket ladder the instrumented layers share: 100ns .. 1s in a
+/// 1-2.5-5 progression, in nanoseconds.
+[[nodiscard]] const std::vector<double>& default_latency_buckets_ns();
+
+/// Point-in-time value of one registered metric, for the exporters.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  std::string labels;  ///< label body without braces; may be empty
+  std::string help;
+  Kind kind = Kind::kCounter;
+  double value = 0;  ///< counter/gauge value (callbacks evaluated here)
+  // Histogram payload (empty otherwise):
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> bucket_counts;  ///< non-cumulative, +Inf last
+  std::uint64_t count = 0;
+  double sum = 0;
+};
+
+/// The registry.  Normally one per process (global()), but independently
+/// constructible for tests and isolated pipelines.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every built-in instrumentation site uses.
+  static MetricsRegistry& global();
+
+  /// The counter/gauge/histogram registered under (name, labels), created
+  /// on first use.  Returned references stay valid for the registry's
+  /// lifetime.  Re-registering the same identity as a different metric
+  /// kind throws std::logic_error; a histogram's bounds are fixed by the
+  /// first registration.
+  Counter& counter(const std::string& name, const std::string& help = "",
+                   const std::string& labels = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "",
+               const std::string& labels = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "",
+                       const std::string& labels = "");
+
+  /// Registers a gauge whose value is computed by `fn` at snapshot time —
+  /// zero cost between scrapes.  This is how the plan cache republishes its
+  /// internal counters without touching its hot path.  The callback must
+  /// stay valid until unregister(); it is invoked under the registry mutex.
+  void register_callback(const std::string& name, const std::string& help,
+                         std::function<double()> fn,
+                         const std::string& labels = "");
+
+  /// Drops the metric registered under (name, labels).  Returns whether it
+  /// existed.  Required for callback metrics whose closure outlives-checks
+  /// matter (e.g. a Planner unregistering its cache gauges on destruction);
+  /// plain metrics are usually left registered for the process lifetime.
+  bool unregister(const std::string& name, const std::string& labels = "");
+
+  /// Point-in-time values of every registered metric, callbacks evaluated,
+  /// sorted by (name, labels).
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::function<double()> callback;  ///< callback gauges only
+  };
+
+  using Key = std::pair<std::string, std::string>;  ///< (name, labels)
+
+  Entry& entry_for(const Key& key, MetricSnapshot::Kind kind,
+                   const std::string& help);
+
+  mutable std::mutex mu_;
+  std::map<Key, Entry> entries_;
+};
+
+}  // namespace logpc::obs

@@ -1,0 +1,96 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+namespace logpc::obs {
+
+namespace {
+
+/// A double in the exposition format: integral values without a fraction
+/// (counters read naturally), "+Inf" spelled Prometheus-style.
+std::string number(double v) {
+  if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+  if (std::isnan(v)) return "NaN";
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+    return buf;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+/// `name{labels}` or just `name`; `extra` label appended when non-empty.
+std::string series(const std::string& name, const std::string& labels,
+                   const std::string& extra = "") {
+  std::string body = labels;
+  if (!extra.empty()) body += body.empty() ? extra : ("," + extra);
+  return body.empty() ? name : name + "{" + body + "}";
+}
+
+/// HELP text with newlines/backslashes escaped per the exposition format.
+std::string escape_help(const std::string& help) {
+  std::string out;
+  for (const char c : help) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(const MetricsRegistry& registry, std::ostream& os) {
+  std::string last_family;
+  for (const MetricSnapshot& m : registry.snapshot()) {
+    // One HELP/TYPE header per family; snapshot() is name-sorted, so label
+    // variants of a family arrive consecutively.
+    if (m.name != last_family) {
+      last_family = m.name;
+      if (!m.help.empty()) {
+        os << "# HELP " << m.name << " " << escape_help(m.help) << "\n";
+      }
+      os << "# TYPE " << m.name << " ";
+      switch (m.kind) {
+        case MetricSnapshot::Kind::kCounter: os << "counter"; break;
+        case MetricSnapshot::Kind::kGauge: os << "gauge"; break;
+        case MetricSnapshot::Kind::kHistogram: os << "histogram"; break;
+      }
+      os << "\n";
+    }
+    if (m.kind != MetricSnapshot::Kind::kHistogram) {
+      os << series(m.name, m.labels) << " " << number(m.value) << "\n";
+      continue;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < m.bucket_counts.size(); ++i) {
+      cumulative += m.bucket_counts[i];
+      const double bound = i < m.bounds.size()
+                               ? m.bounds[i]
+                               : std::numeric_limits<double>::infinity();
+      os << series(m.name + "_bucket", m.labels,
+                   "le=\"" + number(bound) + "\"")
+         << " " << cumulative << "\n";
+    }
+    os << series(m.name + "_sum", m.labels) << " " << number(m.sum) << "\n";
+    os << series(m.name + "_count", m.labels) << " " << m.count << "\n";
+  }
+}
+
+std::string prometheus_text(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  write_prometheus(registry, os);
+  return os.str();
+}
+
+}  // namespace logpc::obs

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+/// \file prometheus.hpp
+/// Prometheus text exposition format (version 0.0.4) for a MetricsRegistry
+/// snapshot: what a /metrics endpoint would serve.  Counters end in their
+/// registered name, histograms expand to the conventional `_bucket{le=...}`
+/// (cumulative, with `+Inf`), `_sum` and `_count` series, and `# HELP` /
+/// `# TYPE` headers are emitted once per metric family.
+
+namespace logpc::obs {
+
+/// Writes every metric in `registry` (callbacks evaluated now) to `os`.
+void write_prometheus(const MetricsRegistry& registry, std::ostream& os);
+
+/// The same exposition as a string.
+[[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry);
+
+}  // namespace logpc::obs

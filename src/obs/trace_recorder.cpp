@@ -1,0 +1,103 @@
+#include "obs/trace_recorder.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace logpc::obs {
+
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : epoch_(std::chrono::steady_clock::now()),
+      capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_);
+}
+
+TraceRecorder& TraceRecorder::global() {
+  static TraceRecorder* recorder = new TraceRecorder;  // never destroyed
+  return *recorder;
+}
+
+void TraceRecorder::record(TraceEvent e) {
+  const std::scoped_lock lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(e));
+  } else {
+    ring_[first_] = std::move(e);
+    first_ = (first_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  const std::scoped_lock lock(mu_);
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(first_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::clear() {
+  const std::scoped_lock lock(mu_);
+  ring_.clear();
+  first_ = 0;
+}
+
+std::uint64_t TraceRecorder::recorded() const {
+  const std::scoped_lock lock(mu_);
+  return recorded_;
+}
+
+std::uint64_t TraceRecorder::dropped() const {
+  const std::scoped_lock lock(mu_);
+  return recorded_ - ring_.size();  // recorded_ >= retained, always
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+Span::Span(std::string_view name, std::string_view cat,
+           TraceRecorder* recorder) {
+  if (!enabled()) return;
+  recorder_ = recorder ? recorder : &TraceRecorder::global();
+  event_.name = std::string(name);
+  event_.cat = std::string(cat);
+  event_.tid = current_tid();
+  event_.ts_ns = recorder_->now_ns();
+}
+
+void Span::set_arg(std::string arg) {
+  if (recorder_) event_.arg = std::move(arg);
+}
+
+Span::~Span() {
+  if (!recorder_) return;
+  event_.dur_ns = recorder_->now_ns() - event_.ts_ns;
+  recorder_->record(std::move(event_));
+}
+
+ScopedTimer::ScopedTimer(Histogram& hist) {
+  if (!enabled()) return;
+  hist_ = &hist;
+  start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!hist_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  hist_->observe(static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+}
+
+}  // namespace logpc::obs

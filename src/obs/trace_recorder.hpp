@@ -1,0 +1,117 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+/// \file trace_recorder.hpp
+/// Scoped-span tracing: RAII `Span`s record named, timed events into a
+/// bounded ring-buffer `TraceRecorder`, which the Chrome-trace exporter
+/// (obs/chrome_trace.hpp) turns into a timeline loadable in
+/// chrome://tracing or Perfetto.
+///
+/// The ring is bounded by construction: a recorder never grows past its
+/// capacity, the oldest events are overwritten first, and `dropped()`
+/// reports how many were lost — an always-on tracer for a serving process,
+/// not an unbounded log.  Recording takes one short mutex-protected append;
+/// spans on the plan-cache *hit* path are intentionally absent (counters
+/// cover it), so the mutex only sees build-rate traffic.
+///
+/// obs::set_enabled(false) turns Span and ScopedTimer into no-ops at
+/// construction time (they hold no clock, no state).
+
+namespace logpc::obs {
+
+/// One completed span.  Timestamps are nanoseconds on the steady clock,
+/// relative to the recorder's construction ("epoch"), so traces from one
+/// process line up on one timeline.
+struct TraceEvent {
+  std::string name;  ///< e.g. "planner.build"
+  std::string cat;   ///< coarse grouping: "planner", "warmup", "comm", ...
+  std::string arg;   ///< free-form detail (a PlanKey string, ...)
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< small per-thread id (current_tid())
+};
+
+/// Stable small id of the calling thread (assigned on first use, dense
+/// from 0), so trace rows group by thread without 64-bit opaque ids.
+[[nodiscard]] std::uint32_t current_tid();
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(std::size_t capacity = 4096);
+
+  /// The process-wide recorder the built-in instrumentation writes to.
+  static TraceRecorder& global();
+
+  /// Appends `e`, overwriting the oldest event when full.
+  void record(TraceEvent e);
+
+  /// Oldest-to-newest snapshot of the retained events.
+  [[nodiscard]] std::vector<TraceEvent> events() const;
+
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events ever recorded (including overwritten ones).
+  [[nodiscard]] std::uint64_t recorded() const;
+  /// Events lost to ring wrap-around.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Nanoseconds since this recorder's epoch, on the steady clock.
+  [[nodiscard]] std::uint64_t now_ns() const;
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;  ///< ring_[ (first_ + i) % capacity_ ]
+  std::size_t first_ = 0;
+  std::uint64_t recorded_ = 0;
+};
+
+/// RAII span: constructed where the work starts, records one TraceEvent on
+/// destruction.  Inactive (zero-cost beyond a relaxed load) when telemetry
+/// is disabled at construction.
+class Span {
+ public:
+  /// \param recorder destination; nullptr means TraceRecorder::global().
+  explicit Span(std::string_view name, std::string_view cat = "",
+                TraceRecorder* recorder = nullptr);
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span();
+
+  /// Whether this span will record (telemetry was enabled at construction).
+  /// Gate expensive set_arg() payload construction on this.
+  [[nodiscard]] bool active() const { return recorder_ != nullptr; }
+
+  /// Attaches free-form detail, shown under the slice in the trace viewer.
+  void set_arg(std::string arg);
+
+ private:
+  TraceRecorder* recorder_ = nullptr;  ///< nullptr = span disabled
+  TraceEvent event_;
+};
+
+/// RAII latency probe: observes the elapsed nanoseconds into a histogram on
+/// destruction.  Inactive when telemetry is disabled at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist);
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer();
+
+ private:
+  Histogram* hist_ = nullptr;  ///< nullptr = timer disabled
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace logpc::obs

@@ -15,15 +15,15 @@ PlanCache::PlanCache(std::size_t capacity, std::size_t num_shards) {
   }
 }
 
-PlanPtr PlanCache::get(const PlanKey& key) {
+PlanPtr PlanCache::get(const PlanKey& key, bool count_stats) {
   Shard& shard = shard_for(key);
   const std::scoped_lock lock(shard.mu);
   const auto it = shard.map.find(key);
   if (it == shard.map.end()) {
-    ++shard.misses;
+    if (count_stats) ++shard.misses;
     return nullptr;
   }
-  ++shard.hits;
+  if (count_stats) ++shard.hits;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->second;
 }
@@ -64,6 +64,7 @@ std::size_t PlanCache::size() const {
 
 CacheStats PlanCache::stats() const {
   CacheStats s;
+  s.shard_entries.reserve(shards_.size());
   for (const auto& shard : shards_) {
     const std::scoped_lock lock(shard->mu);
     s.hits += shard->hits;
@@ -71,6 +72,7 @@ CacheStats PlanCache::stats() const {
     s.inserts += shard->inserts;
     s.evictions += shard->evictions;
     s.entries += shard->lru.size();
+    s.shard_entries.push_back(shard->lru.size());
   }
   return s;
 }

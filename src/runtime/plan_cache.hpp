@@ -42,12 +42,25 @@ struct Plan {
 using PlanPtr = std::shared_ptr<const Plan>;
 
 /// Point-in-time counter snapshot, aggregated over all shards.
+///
+/// Only get() moves hits/misses: contains() is a pure predicate that never
+/// perturbs recency or ratios (the plan-cache tests assert this), so
+/// monitoring code can probe membership without skewing the stats it reads.
 struct CacheStats {
   std::uint64_t hits = 0;
   std::uint64_t misses = 0;     ///< get() calls that found nothing
   std::uint64_t inserts = 0;    ///< put() calls that added a new key
   std::uint64_t evictions = 0;  ///< entries dropped to respect capacity
   std::size_t entries = 0;      ///< current size
+  std::vector<std::size_t> shard_entries;  ///< current size per shard
+
+  /// hits / (hits + misses); 0 before any lookup.
+  [[nodiscard]] double hit_ratio() const {
+    const std::uint64_t lookups = hits + misses;
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(lookups);
+  }
 };
 
 class PlanCache {
@@ -58,7 +71,10 @@ class PlanCache {
   explicit PlanCache(std::size_t capacity = 4096, std::size_t num_shards = 8);
 
   /// The cached plan for `key` (refreshing its recency), or nullptr.
-  [[nodiscard]] PlanPtr get(const PlanKey& key);
+  /// `count_stats = false` skips the hit/miss counters (recency still
+  /// refreshes): for internal re-probes that would otherwise double-count
+  /// one logical lookup, e.g. the planner's in-flight-lock recheck.
+  [[nodiscard]] PlanPtr get(const PlanKey& key, bool count_stats = true);
 
   /// Inserts (or refreshes) `plan` under `key`, evicting the shard's
   /// least-recently-used entry when full.  `plan` must not be null.

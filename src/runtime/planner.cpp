@@ -1,6 +1,7 @@
 #include "runtime/planner.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "baselines/bcast_baselines.hpp"
@@ -11,12 +12,22 @@
 #include "bcast/kitem_buffered.hpp"
 #include "bcast/reduction.hpp"
 #include "bcast/single_item.hpp"
+#include "obs/trace_recorder.hpp"
 #include "sched/metrics.hpp"
 #include "sum/summation_tree.hpp"
 
 namespace logpc::runtime {
 
 namespace {
+
+/// The per-problem build-latency histogram — registry lookup per call is
+/// fine here: this runs once per cache miss, next to a schedule build.
+obs::Histogram& build_latency_hist(Problem problem) {
+  return obs::MetricsRegistry::global().histogram(
+      "logpc_planner_build_latency_ns", obs::default_latency_buckets_ns(),
+      "Wall-clock nanoseconds spent building one plan, by problem",
+      "problem=\"" + std::string(problem_name(problem)) + "\"");
+}
 
 /// Scatter: item d leaves the root in destination order, serialized by g
 /// (any order is optimal — every message crosses the root's send port).
@@ -58,7 +69,70 @@ Time port_schedule_completion(const Params& params) {
 }  // namespace
 
 Planner::Planner(Options options)
-    : cache_(options.cache_capacity, options.cache_shards) {}
+    : cache_(options.cache_capacity, options.cache_shards) {
+  register_metrics();
+}
+
+void Planner::register_metrics() {
+  static std::atomic<int> next_id{0};
+  telemetry_id_ = next_id.fetch_add(1, std::memory_order_relaxed);
+  auto& reg = obs::MetricsRegistry::global();
+  dedup_waits_ =
+      &reg.counter("logpc_planner_dedup_waits_total",
+                   "plan() calls that waited on another thread's in-flight "
+                   "build instead of building or hitting the cache");
+
+  // Cache counters republished as callback gauges: evaluated only at
+  // export time, so the cache's hot path carries no extra telemetry cost.
+  const std::string labels =
+      "planner=\"" + std::to_string(telemetry_id_) + "\"";
+  const auto gauge = [&](const std::string& name, const std::string& help,
+                         std::function<double()> fn,
+                         const std::string& metric_labels) {
+    reg.register_callback(name, help, std::move(fn), metric_labels);
+    callback_metrics_.emplace_back(name, metric_labels);
+  };
+  gauge("logpc_plan_cache_hits", "PlanCache::get hits",
+        [this] { return static_cast<double>(cache_.stats().hits); }, labels);
+  gauge("logpc_plan_cache_misses", "PlanCache::get misses",
+        [this] { return static_cast<double>(cache_.stats().misses); }, labels);
+  gauge("logpc_plan_cache_inserts", "PlanCache::put insertions",
+        [this] { return static_cast<double>(cache_.stats().inserts); }, labels);
+  gauge("logpc_plan_cache_evictions", "LRU evictions",
+        [this] { return static_cast<double>(cache_.stats().evictions); },
+        labels);
+  gauge("logpc_plan_cache_entries", "cached plans",
+        [this] { return static_cast<double>(cache_.size()); }, labels);
+  gauge("logpc_plan_cache_hit_ratio", "hits / lookups since construction",
+        [this] { return cache_.stats().hit_ratio(); }, labels);
+  gauge("logpc_plan_cache_capacity", "configured entry budget",
+        [this] { return static_cast<double>(cache_.capacity()); }, labels);
+  gauge("logpc_planner_builds", "schedule builds by this planner",
+        [this] { return static_cast<double>(builds()); }, labels);
+  gauge("logpc_planner_requests",
+        "plan() calls resolved by this planner (cache hits + misses; each "
+        "logical lookup is counted exactly once)",
+        [this] {
+          const CacheStats s = cache_.stats();
+          return static_cast<double>(s.hits + s.misses);
+        },
+        labels);
+  for (std::size_t s = 0; s < cache_.num_shards(); ++s) {
+    gauge("logpc_plan_cache_shard_entries", "cached plans per shard",
+          [this, s] { return static_cast<double>(cache_.stats().shard_entries[s]); },
+          labels + ",shard=\"" + std::to_string(s) + "\"");
+  }
+}
+
+Planner::~Planner() {
+  // Callbacks capture `this`; drop them before any member is destroyed.
+  // unregister() synchronizes on the registry mutex, so no snapshot can be
+  // mid-callback once it returns.
+  auto& reg = obs::MetricsRegistry::global();
+  for (const auto& [name, labels] : callback_metrics_) {
+    reg.unregister(name, labels);
+  }
+}
 
 PlanPtr Planner::plan(Problem problem, const Params& params, std::int64_t k,
                       ProcId root) {
@@ -66,6 +140,9 @@ PlanPtr Planner::plan(Problem problem, const Params& params, std::int64_t k,
 }
 
 PlanPtr Planner::plan(const PlanKey& key) {
+  // Warm path: identical to the uninstrumented cache probe.  Request and
+  // hit/miss telemetry rides on the cache's own shard counters, which the
+  // registry reads only at export time (see register_metrics()).
   if (PlanPtr hit = cache_.get(key)) return hit;
 
   std::promise<PlanPtr> promise;
@@ -75,7 +152,8 @@ PlanPtr Planner::plan(const PlanKey& key) {
     const std::scoped_lock lock(inflight_mu_);
     // Re-probe under the lock: a racing builder may have published between
     // our miss and here (it erases its in-flight entry after caching).
-    if (PlanPtr hit = cache_.get(key)) return hit;
+    // Uncounted: the first probe already logged this lookup's miss.
+    if (PlanPtr hit = cache_.get(key, /*count_stats=*/false)) return hit;
     if (const auto it = inflight_.find(key); it != inflight_.end()) {
       result = it->second;
     } else {
@@ -84,11 +162,20 @@ PlanPtr Planner::plan(const PlanKey& key) {
       builder = true;
     }
   }
-  if (!builder) return result.get();  // rethrows the builder's exception
+  if (!builder) {
+    if (obs::enabled()) dedup_waits_->inc();
+    return result.get();  // rethrows the builder's exception
+  }
 
   try {
     builds_.fetch_add(1, std::memory_order_relaxed);
-    auto plan = std::make_shared<const Plan>(build_uncached(key));
+    PlanPtr plan;
+    {
+      obs::Span span("planner.build", "planner");
+      if (span.active()) span.set_arg(key.to_string());
+      const obs::ScopedTimer timer(build_latency_hist(key.problem));
+      plan = std::make_shared<const Plan>(build_uncached(key));
+    }
     cache_.put(key, plan);
     {
       // Publish-then-unregister: a thread missing the in-flight entry from

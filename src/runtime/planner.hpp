@@ -4,8 +4,12 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "obs/metrics.hpp"
 #include "runtime/plan_cache.hpp"
 
 /// \file planner.hpp
@@ -22,6 +26,15 @@
 ///
 /// Builder exceptions propagate to the building thread and every waiter;
 /// nothing is cached, so a later request retries.
+///
+/// Telemetry (src/obs): every planner shares the process-wide dedup-wait
+/// counter and the per-problem build-latency histograms
+/// (`logpc_planner_build_latency_ns{problem=...}`), and registers callback
+/// gauges republishing its cache's request/hit/miss/evict counters and
+/// per-shard occupancy under a `planner="<id>"` label (unregistered on
+/// destruction).  The warm hit path carries *zero* added telemetry work:
+/// hit/miss counts are the cache's own shard counters, read only at export
+/// time.  Spans, timers and counters run on the cold build path only.
 
 namespace logpc::runtime {
 
@@ -34,6 +47,9 @@ class Planner {
 
   Planner() : Planner(Options{}) {}
   explicit Planner(Options options);
+  ~Planner();
+  Planner(const Planner&) = delete;
+  Planner& operator=(const Planner&) = delete;
 
   /// The plan for `key`, from cache or built on first use (see file
   /// comment for the concurrency contract).
@@ -63,12 +79,22 @@ class Planner {
   /// one plan cache.
   [[nodiscard]] static const std::shared_ptr<Planner>& shared_default();
 
+  /// The `planner="<id>"` label value this instance's cache gauges carry in
+  /// the global metrics registry.
+  [[nodiscard]] int telemetry_id() const { return telemetry_id_; }
+
  private:
+  void register_metrics();
+
   PlanCache cache_;
   std::atomic<std::uint64_t> builds_{0};
   std::mutex inflight_mu_;
   std::unordered_map<PlanKey, std::shared_future<PlanPtr>, PlanKeyHash>
       inflight_;
+  int telemetry_id_ = 0;
+  obs::Counter* dedup_waits_ = nullptr;  ///< shared across planners
+  /// (name, labels) of the callback gauges to unregister on destruction.
+  std::vector<std::pair<std::string, std::string>> callback_metrics_;
 };
 
 }  // namespace logpc::runtime

@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "logp/fib.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace logpc::runtime {
 
@@ -35,6 +36,11 @@ WarmupReport warmup(Planner& planner, const std::vector<PlanKey>& keys,
   report.requested = keys.size();
   if (keys.empty()) return report;
 
+  obs::Span warmup_span("warmup", "warmup");
+  if (warmup_span.active()) {
+    warmup_span.set_arg(std::to_string(keys.size()) + " keys");
+  }
+
   // Share one Fibonacci table per postal latency across all workers before
   // they race: the builders' B(P)/k* queries then hit warm shared tables.
   std::set<Time> latencies;
@@ -59,6 +65,10 @@ WarmupReport warmup(Planner& planner, const std::vector<PlanKey>& keys,
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= keys.size()) return;
+      // One span per grid point: warmed keys show up as slices on the
+      // worker's trace row, already-cached ones as near-zero blips.
+      obs::Span span("warmup.plan", "warmup");
+      if (span.active()) span.set_arg(keys[i].to_string());
       try {
         (void)planner.plan(keys[i]);
         planned.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,229 @@
+#include "obs/chrome_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "obs/json.hpp"
+#include "sched/schedule.hpp"
+
+namespace logpc::obs {
+namespace {
+
+/// Minimal recursive-descent JSON validator, so the tests assert "valid
+/// JSON" structurally instead of grepping for brackets.  Accepts exactly
+/// RFC 8259 value grammar; no extensions.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : s_(text) {}
+
+  [[nodiscard]] bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 1; i <= 4; ++i) {
+            if (pos_ + static_cast<std::size_t>(i) >= s_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(
+                    s_[pos_ + static_cast<std::size_t>(i)]))) {
+              return false;
+            }
+          }
+          pos_ += 4;
+        } else if (std::string_view("\"\\/bfnrt").find(e) ==
+                   std::string_view::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (!digits()) return false;
+    if (peek() == '.') {
+      ++pos_;
+      if (!digits()) return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool digits() {
+    const std::size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool literal(std::string_view lit) {
+    if (s_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  std::string_view s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_escape(std::string_view("\x01", 1)), "\\u0001");
+  EXPECT_TRUE(JsonValidator(json_string("tricky \"\\\t\x02 payload")).valid());
+}
+
+TEST(ChromeTrace, EmptyWriterIsValidJson) {
+  ChromeTraceWriter w;
+  EXPECT_TRUE(JsonValidator(w.json()).valid());
+  EXPECT_NE(w.json().find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ChromeTrace, RecorderExportIsValidJsonWithSlices) {
+  TraceRecorder rec(16);
+  {
+    Span span("planner.build", "planner", &rec);
+    span.set_arg("kitem(P=9 L=3, k=4) with \"quotes\"");
+  }
+  ChromeTraceWriter w;
+  w.add(rec);
+  const std::string json = w.json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"planner.build\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+}
+
+TEST(ChromeTrace, SimTraceExportHasSendAndRecvSlices) {
+  // Figure 1 machine: o = 2, so every overhead interval is a real slice.
+  Schedule s(Params{3, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(4, 0, 2, 0);
+  const sim::Trace trace = sim::Trace::from(s);
+  ChromeTraceWriter w;
+  w.add(trace);
+  const std::string json = w.json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"send i0 -> p1\""), std::string::npos);
+  EXPECT_NE(json.find("\"recv i0 <- p0\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.send\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim.recv\""), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2"), std::string::npos);  // o = 2 cycles
+  EXPECT_NE(json.find("\"proc 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"proc 2\""), std::string::npos);
+}
+
+TEST(ChromeTrace, ZeroOverheadBecomesInstantEvents) {
+  // Postal machine: o = 0, zero-length intervals must render as instants.
+  Schedule s(Params::postal(2, 3), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  const sim::Trace trace = sim::Trace::from(s);
+  ChromeTraceWriter w;
+  w.add(trace);
+  const std::string json = w.json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ChromeTrace, CombinedSourcesShareOneValidFile) {
+  TraceRecorder rec(4);
+  { Span span("comm.bcast", "comm", &rec); }
+  Schedule s(Params{2, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  ChromeTraceWriter w;
+  w.add(rec, 1, "runtime");
+  w.add(sim::Trace::from(s), 2, "sim");
+  const std::string json = w.json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logpc::obs

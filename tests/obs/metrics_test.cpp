@@ -1,0 +1,174 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/prometheus.hpp"
+
+namespace logpc::obs {
+namespace {
+
+TEST(Counter, StartsAtZeroAndAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAddBothWays) {
+  Gauge g;
+  g.set(10.5);
+  EXPECT_DOUBLE_EQ(g.value(), 10.5);
+  g.add(-3.5);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Histogram, BucketsByUpperBoundInclusive) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.observe(0.5);    // <= 1
+  h.observe(1.0);    // <= 1 (inclusive)
+  h.observe(5.0);    // <= 10
+  h.observe(1000.0);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 0u);
+  EXPECT_EQ(counts[3], 1u);
+}
+
+TEST(Histogram, RejectsUnsortedBounds) {
+  EXPECT_THROW(Histogram({10.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, ConcurrentObservationsAllLand) {
+  Histogram h(default_latency_buckets_ns());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.observe(static_cast<double>(i));
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : h.bucket_counts()) total += c;
+  EXPECT_EQ(total, h.count());
+}
+
+TEST(Registry, SameIdentityReturnsSameMetric) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("requests", "help");
+  Counter& b = reg.counter("requests");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST(Registry, LabelsSeparateMetrics) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("reqs", "", "problem=\"bcast\"");
+  Counter& b = reg.counter("reqs", "", "problem=\"kitem\"");
+  EXPECT_NE(&a, &b);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(Registry, KindConflictThrows) {
+  MetricsRegistry reg;
+  (void)reg.counter("m");
+  EXPECT_THROW((void)reg.gauge("m"), std::logic_error);
+  EXPECT_THROW((void)reg.histogram("m", {1.0}), std::logic_error);
+}
+
+TEST(Registry, CallbackGaugeEvaluatedAtSnapshot) {
+  MetricsRegistry reg;
+  double level = 1.0;
+  reg.register_callback("level", "", [&level] { return level; });
+  level = 7.0;
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 1u);
+  EXPECT_EQ(snaps[0].kind, MetricSnapshot::Kind::kGauge);
+  EXPECT_DOUBLE_EQ(snaps[0].value, 7.0);
+}
+
+TEST(Registry, UnregisterDropsMetric) {
+  MetricsRegistry reg;
+  reg.register_callback("tmp", "", [] { return 0.0; }, "x=\"1\"");
+  EXPECT_TRUE(reg.unregister("tmp", "x=\"1\""));
+  EXPECT_FALSE(reg.unregister("tmp", "x=\"1\""));
+  EXPECT_EQ(reg.size(), 0u);
+}
+
+TEST(Registry, SnapshotSortedByNameThenLabels) {
+  MetricsRegistry reg;
+  (void)reg.counter("b");
+  (void)reg.counter("a", "", "l=\"2\"");
+  (void)reg.counter("a", "", "l=\"1\"");
+  const auto snaps = reg.snapshot();
+  ASSERT_EQ(snaps.size(), 3u);
+  EXPECT_EQ(snaps[0].name, "a");
+  EXPECT_EQ(snaps[0].labels, "l=\"1\"");
+  EXPECT_EQ(snaps[1].labels, "l=\"2\"");
+  EXPECT_EQ(snaps[2].name, "b");
+}
+
+TEST(EnabledFlag, TogglesProcessWide) {
+  EXPECT_TRUE(enabled());
+  set_enabled(false);
+  EXPECT_FALSE(enabled());
+  set_enabled(true);
+  EXPECT_TRUE(enabled());
+}
+
+TEST(Prometheus, CounterAndGaugeExposition) {
+  MetricsRegistry reg;
+  reg.counter("logpc_requests_total", "total requests").inc(3);
+  reg.gauge("logpc_depth", "queue depth", "shard=\"0\"").set(2.5);
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("# HELP logpc_requests_total total requests\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE logpc_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("logpc_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE logpc_depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("logpc_depth{shard=\"0\"} 2.5\n"), std::string::npos);
+}
+
+TEST(Prometheus, HistogramCumulativeBucketsWithInf) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat", {1.0, 10.0}, "latency");
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(50.0);
+  const std::string text = prometheus_text(reg);
+  EXPECT_NE(text.find("# TYPE lat histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 55.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+}
+
+TEST(Prometheus, LabeledHistogramMergesFamilyHeader) {
+  MetricsRegistry reg;
+  reg.histogram("lat", {1.0}, "latency", "problem=\"a\"").observe(0.5);
+  reg.histogram("lat", {1.0}, "latency", "problem=\"b\"").observe(2.0);
+  const std::string text = prometheus_text(reg);
+  // One TYPE header for the family, series for both label sets.
+  EXPECT_EQ(text.find("# TYPE lat histogram"),
+            text.rfind("# TYPE lat histogram"));
+  EXPECT_NE(text.find("lat_bucket{problem=\"a\",le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{problem=\"b\",le=\"+Inf\"} 1\n"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace logpc::obs

@@ -1,0 +1,142 @@
+#include "obs/trace_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace logpc::obs {
+namespace {
+
+TraceEvent event(const std::string& name, std::uint64_t ts = 0) {
+  TraceEvent e;
+  e.name = name;
+  e.ts_ns = ts;
+  return e;
+}
+
+TEST(TraceRecorder, RetainsInOrder) {
+  TraceRecorder rec(8);
+  rec.record(event("a"));
+  rec.record(event("b"));
+  rec.record(event("c"));
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "a");
+  EXPECT_EQ(events[2].name, "c");
+  EXPECT_EQ(rec.recorded(), 3u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST(TraceRecorder, RingOverwritesOldestAndCountsDropped) {
+  TraceRecorder rec(3);
+  for (int i = 0; i < 5; ++i) rec.record(event(std::to_string(i)));
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].name, "2");  // 0 and 1 overwritten
+  EXPECT_EQ(events[2].name, "4");
+  EXPECT_EQ(rec.recorded(), 5u);
+  EXPECT_EQ(rec.dropped(), 2u);
+}
+
+TEST(TraceRecorder, ClearKeepsTotalsButDropsEvents) {
+  TraceRecorder rec(4);
+  rec.record(event("a"));
+  rec.clear();
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.recorded(), 1u);
+  rec.record(event("b"));
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_EQ(rec.events()[0].name, "b");
+}
+
+TEST(TraceRecorder, ConcurrentRecordsNeverExceedCapacity) {
+  TraceRecorder rec(64);
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&rec] {
+      for (int i = 0; i < 1000; ++i) rec.record(event("x"));
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(rec.events().size(), 64u);
+  EXPECT_EQ(rec.recorded(), 4000u);
+  EXPECT_EQ(rec.dropped(), 4000u - 64u);
+}
+
+TEST(Span, RecordsNameCategoryArgAndDuration) {
+  TraceRecorder rec(8);
+  {
+    Span span("build", "planner", &rec);
+    ASSERT_TRUE(span.active());
+    span.set_arg("key=1");
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "build");
+  EXPECT_EQ(events[0].cat, "planner");
+  EXPECT_EQ(events[0].arg, "key=1");
+  EXPECT_EQ(events[0].tid, current_tid());
+}
+
+TEST(Span, MeasuresElapsedTime) {
+  TraceRecorder rec(8);
+  {
+    Span span("sleep", "", &rec);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(rec.events().size(), 1u);
+  EXPECT_GE(rec.events()[0].dur_ns, 4'000'000u);
+}
+
+TEST(Span, DisabledTelemetryRecordsNothing) {
+  TraceRecorder rec(8);
+  set_enabled(false);
+  {
+    Span span("invisible", "", &rec);
+    EXPECT_FALSE(span.active());
+    span.set_arg("ignored");
+  }
+  set_enabled(true);
+  EXPECT_TRUE(rec.events().empty());
+  EXPECT_EQ(rec.recorded(), 0u);
+}
+
+TEST(Span, NestedSpansBothRecorded) {
+  TraceRecorder rec(8);
+  {
+    Span outer("outer", "", &rec);
+    { Span inner("inner", "", &rec); }
+  }
+  const auto events = rec.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].name, "inner");  // inner closes first
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_LE(events[1].ts_ns, events[0].ts_ns);
+}
+
+TEST(ScopedTimer, ObservesIntoHistogram) {
+  Histogram h(default_latency_buckets_ns());
+  { const ScopedTimer timer(h); }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GE(h.sum(), 0.0);
+}
+
+TEST(ScopedTimer, DisabledTelemetrySkipsObservation) {
+  Histogram h(default_latency_buckets_ns());
+  set_enabled(false);
+  { const ScopedTimer timer(h); }
+  set_enabled(true);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST(CurrentTid, StablePerThreadDistinctAcross) {
+  const std::uint32_t mine = current_tid();
+  EXPECT_EQ(current_tid(), mine);
+  std::uint32_t other = mine;
+  std::thread([&other] { other = current_tid(); }).join();
+  EXPECT_NE(other, mine);
+}
+
+}  // namespace
+}  // namespace logpc::obs

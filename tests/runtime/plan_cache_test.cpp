@@ -116,6 +116,51 @@ TEST(PlanCache, RejectsNullPlans) {
   EXPECT_THROW(cache.put(key_for(0), nullptr), std::invalid_argument);
 }
 
+TEST(PlanCache, HitRatioTracksLookups) {
+  PlanCache cache(8, 2);
+  EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 0.0);  // no lookups yet
+  cache.put(key_for(0), plan_for(0));
+  ASSERT_NE(cache.get(key_for(0)), nullptr);  // hit
+  EXPECT_EQ(cache.get(key_for(1)), nullptr);  // miss
+  EXPECT_EQ(cache.get(key_for(2)), nullptr);  // miss
+  ASSERT_NE(cache.get(key_for(0)), nullptr);  // hit
+  EXPECT_DOUBLE_EQ(cache.stats().hit_ratio(), 0.5);
+}
+
+TEST(PlanCache, StatsExposePerShardOccupancy) {
+  PlanCache cache(8, 4);
+  for (int id = 0; id < 6; ++id) cache.put(key_for(id), plan_for(id));
+  const CacheStats s = cache.stats();
+  ASSERT_EQ(s.shard_entries.size(), cache.num_shards());
+  std::size_t total = 0;
+  for (const std::size_t n : s.shard_entries) total += n;
+  EXPECT_EQ(total, s.entries);
+  EXPECT_EQ(total, cache.size());
+}
+
+TEST(PlanCache, ContainsPerturbsNeitherCountersNorRecency) {
+  // One shard, capacity 2, so LRU order is global and observable.
+  PlanCache cache(2, 1);
+  cache.put(key_for(0), plan_for(0));
+  cache.put(key_for(1), plan_for(1));
+  const CacheStats before = cache.stats();
+  for (int round = 0; round < 10; ++round) {
+    EXPECT_TRUE(cache.contains(key_for(0)));
+    EXPECT_FALSE(cache.contains(key_for(9)));
+  }
+  const CacheStats after = cache.stats();
+  // Counters: contains() must not register as hit or miss.
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses);
+  EXPECT_DOUBLE_EQ(after.hit_ratio(), before.hit_ratio());
+  // Recency: 0 is still least-recently-used despite the contains() probes,
+  // so inserting a third key must evict 0, not 1.
+  cache.put(key_for(2), plan_for(2));
+  EXPECT_FALSE(cache.contains(key_for(0)));
+  EXPECT_TRUE(cache.contains(key_for(1)));
+  EXPECT_TRUE(cache.contains(key_for(2)));
+}
+
 TEST(PlanCache, ConcurrentMixedTrafficStaysConsistent) {
   PlanCache cache(64, 8);
   constexpr int kThreads = 8;

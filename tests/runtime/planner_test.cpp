@@ -130,6 +130,74 @@ TEST(Planner, ConcurrentHammerBuildsEachKeyExactlyOnce) {
   }
 }
 
+TEST(Planner, TelemetryObservesBuildLatencyPerProblem) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Histogram& bcast_hist = reg.histogram(
+      "logpc_planner_build_latency_ns", obs::default_latency_buckets_ns(), "",
+      "problem=\"broadcast\"");
+  // The registry is process-global and other tests plan too: assert deltas.
+  const std::uint64_t observed_before = bcast_hist.count();
+
+  Planner planner;
+  const PlanKey key = PlanKey::broadcast(Params{9, 4, 1, 2});
+  (void)planner.plan(key);  // miss -> one build, one latency observation
+  (void)planner.plan(key);  // hit -> no new observation
+  EXPECT_EQ(bcast_hist.count(), observed_before + 1);
+  EXPECT_GT(bcast_hist.sum(), 0.0);
+}
+
+TEST(Planner, RequestGaugeCountsEachLogicalLookupExactlyOnce) {
+  Planner planner;
+  const PlanKey key = PlanKey::broadcast(Params{9, 4, 1, 2});
+  (void)planner.plan(key);  // miss (the in-lock re-probe must not recount)
+  (void)planner.plan(key);  // hit
+  (void)planner.plan(key);  // hit
+  const CacheStats s = planner.cache().stats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_DOUBLE_EQ(s.hit_ratio(), 2.0 / 3.0);
+}
+
+TEST(Planner, TelemetryDisabledSkipsObservationsButStillPlans) {
+  auto& reg = obs::MetricsRegistry::global();
+  obs::Histogram& hist = reg.histogram(
+      "logpc_planner_build_latency_ns", obs::default_latency_buckets_ns(), "",
+      "problem=\"broadcast\"");
+  const std::uint64_t before = hist.count();
+  obs::set_enabled(false);
+  Planner planner;
+  const PlanPtr plan = planner.plan(PlanKey::broadcast(Params{5, 3, 1, 2}));
+  obs::set_enabled(true);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(hist.count(), before);  // ScopedTimer was inactive
+}
+
+TEST(Planner, CacheGaugesRegisteredPerInstanceAndUnregisteredOnDestruction) {
+  auto& reg = obs::MetricsRegistry::global();
+  std::string labels;
+  {
+    Planner planner;
+    labels = "planner=\"" + std::to_string(planner.telemetry_id()) + "\"";
+    (void)planner.plan(PlanKey::broadcast(Params{7, 3, 1, 2}));
+    bool found_hit_ratio = false;
+    bool found_shard = false;
+    for (const obs::MetricSnapshot& m : reg.snapshot()) {
+      if (m.labels.rfind(labels, 0) != 0) continue;
+      if (m.name == "logpc_plan_cache_hit_ratio") found_hit_ratio = true;
+      if (m.name == "logpc_plan_cache_shard_entries") found_shard = true;
+      if (m.name == "logpc_plan_cache_entries") {
+        EXPECT_EQ(m.value, 1.0);
+      }
+    }
+    EXPECT_TRUE(found_hit_ratio);
+    EXPECT_TRUE(found_shard);
+  }
+  // Destroyed planner: its gauges must be gone (no dangling callbacks).
+  for (const obs::MetricSnapshot& m : reg.snapshot()) {
+    EXPECT_NE(m.labels.rfind(labels, 0), 0u) << m.name;
+  }
+}
+
 TEST(Warmup, GridExpandsToDeduplicatedFeasibleKeys) {
   WarmupGrid grid;
   grid.problems = {Problem::kBroadcast, Problem::kKItemBroadcast};

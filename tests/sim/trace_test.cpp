@@ -60,6 +60,39 @@ TEST(Trace, BusyCyclesSumsOverheads) {
   EXPECT_EQ(t.busy_cycles(1), 2);  // one receive
 }
 
+TEST(Trace, EmptyScheduleYieldsEmptyRowsPerProcessor) {
+  // No sends at all: one (empty) activity row per processor, not zero rows.
+  Schedule s(Params{4, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  const Trace t = Trace::from(s);
+  ASSERT_EQ(t.per_proc.size(), 4u);
+  for (const auto& acts : t.per_proc) EXPECT_TRUE(acts.empty());
+}
+
+TEST(Trace, BusyCyclesZeroOnIdleProcessor) {
+  // Processor 2 never sends or receives; its busy time must be exactly 0.
+  Schedule s(Params{3, 6, 2, 4}, 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  const Trace t = Trace::from(s);
+  EXPECT_EQ(t.busy_cycles(2), 0);
+  EXPECT_TRUE(t.per_proc[2].empty());
+}
+
+TEST(Trace, ZeroOverheadBusyCyclesAreZero) {
+  // o == 0: intervals are kept as zero-length points, so busy time is 0
+  // even though the processor participated in transmissions.
+  Schedule s(Params::postal(3, 2), 1);
+  s.add_initial(0, 0, 0);
+  s.add_send(0, 0, 1, 0);
+  s.add_send(1, 0, 2, 0);
+  const Trace t = Trace::from(s);
+  ASSERT_EQ(t.per_proc[0].size(), 2u);
+  for (const auto& a : t.per_proc[0]) EXPECT_EQ(a.begin, a.end);
+  EXPECT_EQ(t.busy_cycles(0), 0);
+  EXPECT_EQ(t.busy_cycles(1), 0);
+}
+
 TEST(Trace, BufferedRecvUsesEffectiveTime) {
   Schedule s(Params{2, 6, 2, 4}, 1);
   s.add_initial(0, 0, 0);
