@@ -1,0 +1,176 @@
+/// The execution-engine bench: run planned collectives on real threads and
+/// close the predicted-vs-measured loop.  For a grid of machines (P >= 8)
+/// and the three collective shapes (single-item broadcast, all-to-all,
+/// summation), each plan executes on the shared-memory engine; we report
+/// the plan's predicted makespan in model cycles, the measured wall time,
+/// the implied cycle length, and the effective (L, o, g) fitted from the
+/// run's send/recv timestamps by exec::measure() — the same shape of
+/// answer sim::calibrate gives for the simulator.  Everything lands in
+/// BENCH_exec.json via the global JsonReport.
+
+#include "bench_util.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "api/communicator.hpp"
+#include "exec/measure.hpp"
+#include "sum/executor.hpp"
+
+namespace {
+
+using namespace logpc;
+using logpc::bench::Table;
+
+exec::Bytes payload_of(std::size_t size) {
+  exec::Bytes b(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    b[i] = static_cast<std::byte>(i & 0xFF);
+  }
+  return b;
+}
+
+exec::CombineFn add_u64() {
+  return [](exec::Bytes& acc, std::span<const std::byte> rhs) {
+    std::uint64_t a = 0, r = 0;
+    std::memcpy(&a, acc.data(), std::min(acc.size(), sizeof a));
+    std::memcpy(&r, rhs.data(), std::min(rhs.size(), sizeof r));
+    a += r;
+    acc.resize(sizeof a);
+    std::memcpy(acc.data(), &a, sizeof a);
+  };
+}
+
+/// Best-of-`reps` execution (thread wakeup jitter dominates single runs).
+template <typename RunFn>
+exec::ExecReport best_of(int reps, const RunFn& run) {
+  exec::ExecReport best = run();
+  for (int i = 1; i < reps; ++i) {
+    exec::ExecReport r = run();
+    if (r.wall_ns < best.wall_ns) best = std::move(r);
+  }
+  return best;
+}
+
+void add_point(Table& t, const Params& machine, const std::string& collective,
+               const exec::ExecReport& report) {
+  const exec::MeasuredLogP fit = exec::measure(report);
+  const double ns_per_cycle = exec::fitted_ns_per_cycle(report);
+  const sim::MeasuredParams quantized =
+      ns_per_cycle > 0 ? fit.as_measured_params(ns_per_cycle, machine)
+                       : sim::MeasuredParams{machine.P, 0, 0, 0};
+
+  t.row(machine.to_string(), collective, report.predicted_makespan,
+        report.wall_ns / 1000, ns_per_cycle,
+        static_cast<std::int64_t>(fit.L_ns),
+        static_cast<std::int64_t>(fit.o_ns),
+        static_cast<std::int64_t>(fit.g_ns),
+        quantized.as_params().to_string());
+
+  logpc::bench::global_report("exec").entry(
+      "exec_grid",
+      {{"machine", machine.to_string()}, {"collective", collective}},
+      {{"predicted_makespan_cycles",
+        static_cast<double>(report.predicted_makespan)},
+       {"measured_wall_ns", static_cast<double>(report.wall_ns)},
+       {"ns_per_cycle", ns_per_cycle},
+       {"messages", static_cast<double>(report.messages)},
+       {"payload_bytes", static_cast<double>(report.payload_bytes)},
+       {"max_mailbox_occupancy",
+        static_cast<double>(report.max_mailbox_occupancy)},
+       {"fitted_L_ns", fit.L_ns},
+       {"fitted_o_ns", fit.o_ns},
+       {"fitted_g_ns", fit.g_ns},
+       {"fitted_L_cycles", static_cast<double>(quantized.L)},
+       {"fitted_o_cycles", static_cast<double>(quantized.o)},
+       {"fitted_g_cycles", static_cast<double>(quantized.g)}});
+}
+
+void report() {
+  logpc::bench::section("exec: planned collectives on real threads");
+  constexpr int kReps = 5;
+  constexpr std::size_t kPayload = 1024;
+
+  Table t({"machine", "collective", "pred (cyc)", "wall (us)", "ns/cyc",
+           "L_ns", "o_ns", "g_ns", "fitted (cyc)"});
+  const std::vector<Params> machines = {
+      Params{8, 4, 1, 2},
+      Params{8, 8, 2, 3},
+      Params{12, 6, 1, 2},
+      Params::postal(16, 8),
+  };
+  for (const Params& machine : machines) {
+    const api::Communicator comm(machine);
+    exec::Engine engine;
+    const exec::Bytes payload = payload_of(kPayload);
+
+    add_point(t, machine, "broadcast", best_of(kReps, [&] {
+                return comm.run_broadcast(
+                    std::span<const std::byte>(payload), 0, &engine);
+              }));
+
+    std::vector<exec::Bytes> contributions(
+        static_cast<std::size_t>(machine.P), payload);
+    add_point(t, machine, "allgather", best_of(kReps, [&] {
+                return comm.run_allgather(contributions, &engine);
+              }));
+
+    const Count n = static_cast<Count>(machine.P) * 4;
+    const sum::SummationPlan plan = comm.reduce_operands(n);
+    const auto layout = sum::operand_layout(plan);
+    std::vector<std::vector<exec::Bytes>> operands(plan.procs.size());
+    std::uint64_t v = 1;
+    for (std::size_t i = 0; i < layout.size(); ++i) {
+      for (std::size_t j = 0; j < layout[i].total(); ++j) {
+        operands[i].push_back(payload_of(sizeof(std::uint64_t)));
+        std::memcpy(operands[i].back().data(), &v, sizeof v);
+        ++v;
+      }
+    }
+    add_point(t, machine, "summation", best_of(kReps, [&] {
+                return comm.run_reduce_operands(n, operands, add_u64(),
+                                                &engine);
+              }));
+  }
+  t.print();
+  std::cout << "\npred = plan makespan in model cycles; ns/cyc = wall/pred;\n"
+               "L/o/g_ns = effective parameters fitted from the run's\n"
+               "timestamps (exec::measure); fitted (cyc) = the same\n"
+               "quantized to model cycles for comparison with the machine\n"
+               "column.\n";
+}
+
+void BM_ExecBroadcast(benchmark::State& state) {
+  const api::Communicator comm(Params{8, 4, 1, 2});
+  static exec::Engine* engine = new exec::Engine;
+  const exec::Bytes payload = payload_of(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        comm.run_broadcast(std::span<const std::byte>(payload), 0, engine));
+  }
+}
+BENCHMARK(BM_ExecBroadcast);
+
+void BM_ExecSummation(benchmark::State& state) {
+  const api::Communicator comm(Params{8, 4, 1, 2});
+  static exec::Engine* engine = new exec::Engine;
+  const Count n = 32;
+  const sum::SummationPlan plan = comm.reduce_operands(n);
+  const auto layout = sum::operand_layout(plan);
+  std::vector<std::vector<exec::Bytes>> operands(plan.procs.size());
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    operands[i].assign(layout[i].total(), payload_of(sizeof(std::uint64_t)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        comm.run_reduce_operands(n, operands, add_u64(), engine));
+  }
+}
+BENCHMARK(BM_ExecSummation);
+
+}  // namespace
+
+LOGPC_BENCH_MAIN(report)

@@ -6,6 +6,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -168,10 +169,40 @@ class JsonReport {
   bool have_metrics_ = false;
 };
 
+/// Process-wide JsonReport slot.  A bench that wants BENCH_<name>.json
+/// written without managing the object itself calls
+/// `global_report("name")` and adds entries; LOGPC_BENCH_MAIN writes the
+/// file (with a registry snapshot attached) after the microbenchmarks run,
+/// so measurements from BENCHMARK() bodies can land in it too.
+inline std::unique_ptr<JsonReport>& global_report_slot() {
+  static std::unique_ptr<JsonReport> slot;
+  return slot;
+}
+
+/// Opens (first call, which fixes the name) or returns the global report.
+inline JsonReport& global_report(const std::string& bench_name) {
+  auto& slot = global_report_slot();
+  if (!slot) slot = std::make_unique<JsonReport>(bench_name);
+  return *slot;
+}
+
+/// Write hook for LOGPC_BENCH_MAIN: no-op unless global_report() was used.
+inline void write_global_report() {
+  auto& slot = global_report_slot();
+  if (!slot) return;
+  slot->attach_metrics(obs::MetricsRegistry::global());
+  const std::string path = slot->write();
+  std::cout << (path.empty() ? "FAILED to write bench json"
+                             : "bench json: " + path)
+            << "\n";
+  slot.reset();
+}
+
 }  // namespace logpc::bench
 
-/// Standard bench main: print the reproduction report, then run the
-/// microbenchmarks.  Define `void report();` before including via the
+/// Standard bench main: print the reproduction report, run the
+/// microbenchmarks, then flush the global JsonReport (if the bench opened
+/// one).  Define `void report();` before including via the
 /// LOGPC_BENCH_MAIN macro.
 #define LOGPC_BENCH_MAIN(report_fn)                          \
   int main(int argc, char** argv) {                          \
@@ -181,5 +212,6 @@ class JsonReport {
       return 1;                                              \
     ::benchmark::RunSpecifiedBenchmarks();                   \
     ::benchmark::Shutdown();                                 \
+    ::logpc::bench::write_global_report();                   \
     return 0;                                                \
   }

@@ -34,13 +34,17 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # partially-built tree reports every unbuilt target as NOT_BUILT.
   cmake --build build-tsan -j "$JOBS" \
     --target test_plan_cache test_planner test_snapshot test_fib \
-             test_obs_metrics test_obs_trace
+             test_obs_metrics test_obs_trace \
+             test_exec_mailbox test_exec_engine test_communicator_exec
   ./build-tsan/tests/test_plan_cache
   ./build-tsan/tests/test_planner
   ./build-tsan/tests/test_snapshot
   ./build-tsan/tests/test_fib --gtest_filter='SharedFib.*'
   ./build-tsan/tests/test_obs_metrics
   ./build-tsan/tests/test_obs_trace
+  ./build-tsan/tests/test_exec_mailbox
+  ./build-tsan/tests/test_exec_engine
+  ./build-tsan/tests/test_communicator_exec
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -49,13 +53,19 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   cmake -B build-asan -S . -DLOGPC_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS" \
     --target test_obs_metrics test_obs_trace test_obs_chrome \
-             test_plan_cache test_planner test_snapshot
+             test_plan_cache test_planner test_snapshot \
+             test_exec_mailbox test_exec_engine test_communicator_exec \
+             test_exec_property
   ./build-asan/tests/test_obs_metrics
   ./build-asan/tests/test_obs_trace
   ./build-asan/tests/test_obs_chrome
   ./build-asan/tests/test_plan_cache
   ./build-asan/tests/test_planner
   ./build-asan/tests/test_snapshot
+  ./build-asan/tests/test_exec_mailbox
+  ./build-asan/tests/test_exec_engine
+  ./build-asan/tests/test_communicator_exec
+  ./build-asan/tests/test_exec_property
 fi
 
 echo

@@ -135,4 +135,48 @@ Time Communicator::allreduce_time() const {
   return bcast::combining_time_for(postal.P, postal.L);
 }
 
+namespace {
+exec::Engine& engine_or_shared(exec::Engine* engine) {
+  return engine != nullptr ? *engine : exec::Engine::shared();
+}
+}  // namespace
+
+exec::ExecReport Communicator::run_broadcast(std::span<const std::byte> payload,
+                                             ProcId root,
+                                             exec::Engine* engine) const {
+  const obs::Span span("comm.run_broadcast", "comm");
+  const PlanPtr plan = planner_->plan(PlanKey::broadcast(params_, root));
+  const exec::Program program =
+      exec::compile_broadcast(plan->schedule, "bcast");
+  const std::vector<exec::Bytes> items{
+      exec::Bytes(payload.begin(), payload.end())};
+  return engine_or_shared(engine).run(program, items);
+}
+
+exec::ExecReport Communicator::run_reduce(const std::vector<exec::Bytes>& values,
+                                          const exec::CombineFn& op,
+                                          ProcId root,
+                                          exec::Engine* engine) const {
+  const obs::Span span("comm.run_reduce", "comm");
+  const exec::Program program = exec::compile_reduction(reduce(root));
+  return engine_or_shared(engine).run(program, values, op);
+}
+
+exec::ExecReport Communicator::run_allgather(
+    const std::vector<exec::Bytes>& contributions, exec::Engine* engine) const {
+  const obs::Span span("comm.run_allgather", "comm");
+  const PlanPtr plan = planner_->plan(PlanKey::alltoall(params_, 1));
+  const exec::Program program =
+      exec::compile_broadcast(plan->schedule, "allgather");
+  return engine_or_shared(engine).run(program, contributions);
+}
+
+exec::ExecReport Communicator::run_reduce_operands(
+    Count n, const std::vector<std::vector<exec::Bytes>>& operands,
+    const exec::CombineFn& op, exec::Engine* engine) const {
+  const obs::Span span("comm.run_reduce_operands", "comm");
+  const exec::Program program = exec::compile_summation(reduce_operands(n));
+  return engine_or_shared(engine).run(program, operands, op);
+}
+
 }  // namespace logpc::api

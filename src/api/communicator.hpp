@@ -2,6 +2,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 
 #include "bcast/all_to_all.hpp"
 #include "bcast/combining.hpp"
@@ -9,6 +10,7 @@
 #include "bcast/kitem_buffered.hpp"
 #include "bcast/reduction.hpp"
 #include "bcast/single_item.hpp"
+#include "exec/engine.hpp"
 #include "runtime/planner.hpp"
 #include "sum/summation_tree.hpp"
 
@@ -105,6 +107,42 @@ class Communicator {
   /// real processors and pad the rest with the operator identity.
   [[nodiscard]] bcast::CombiningSchedule allreduce() const;
   [[nodiscard]] Time allreduce_time() const;
+
+  // --- execution (plan, then run on real threads) -----------------------
+  // Each run_* method resolves its plan through the planner, compiles it
+  // to per-processor instruction streams and executes it on the exec
+  // engine — P OS threads exchanging payload bytes through bounded
+  // lock-free mailboxes.  Pass `engine` to control pooling/timeouts;
+  // nullptr uses the process-wide exec::Engine::shared().
+
+  /// Broadcasts `payload` (one item) from `root` to all P processors;
+  /// report.item_at(p, 0) holds every copy.
+  [[nodiscard]] exec::ExecReport run_broadcast(
+      std::span<const std::byte> payload, ProcId root = 0,
+      exec::Engine* engine = nullptr) const;
+
+  /// Message reduction of one value per processor (values[p] is p's
+  /// contribution), folded with `op` in the plan's arrival order;
+  /// report.folded_at(root) is the result.  `op` must be associative.
+  [[nodiscard]] exec::ExecReport run_reduce(
+      const std::vector<exec::Bytes>& values, const exec::CombineFn& op,
+      ProcId root = 0, exec::Engine* engine = nullptr) const;
+
+  /// All-gather via the Section 4.1 all-to-all broadcast: every processor
+  /// contributes contributions[p] and ends holding all P payloads
+  /// (report.item_at(p, q) == contributions[q] for all p, q).
+  [[nodiscard]] exec::ExecReport run_allgather(
+      const std::vector<exec::Bytes>& contributions,
+      exec::Engine* engine = nullptr) const;
+
+  /// Section 5 summation executed on real threads: plans reduce_operands(n)
+  /// and folds `operands` — laid out per sum::operand_layout of that plan
+  /// (operands[i] belongs to plan.procs[i]; counts must match or the engine
+  /// throws).  report.folded_at(plan root) equals the sequential left-fold
+  /// of the operands in sum::combination_order.
+  [[nodiscard]] exec::ExecReport run_reduce_operands(
+      Count n, const std::vector<std::vector<exec::Bytes>>& operands,
+      const exec::CombineFn& op, exec::Engine* engine = nullptr) const;
 
  private:
   Params params_;

@@ -1,0 +1,300 @@
+#include "exec/engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace logpc::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_since(Clock::time_point epoch) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           epoch)
+          .count());
+}
+
+/// Shared failure latch: the first error wins, everyone else bails out of
+/// their spin loops promptly.
+struct Failure {
+  std::atomic<bool> abort{false};
+  std::mutex mu;
+  std::string message;
+
+  void fail(const std::string& m) {
+    {
+      std::lock_guard lock(mu);
+      if (message.empty()) message = m;
+    }
+    abort.store(true, std::memory_order_release);
+  }
+};
+
+}  // namespace
+
+Engine& Engine::shared() {
+  static Engine* engine = new Engine();  // leaked: outlives static teardown
+  return *engine;
+}
+
+ExecReport Engine::run(const Program& program,
+                       const std::vector<Bytes>& item_values) {
+  if (program.mode != Mode::kMove) {
+    throw std::invalid_argument("Engine::run: program is not move-mode");
+  }
+  return run_impl(program, &item_values, nullptr, nullptr, nullptr);
+}
+
+ExecReport Engine::run(const Program& program, const std::vector<Bytes>& values,
+                       const CombineFn& op) {
+  if (program.mode != Mode::kFold) {
+    throw std::invalid_argument("Engine::run: program is not fold-mode");
+  }
+  return run_impl(program, nullptr, &values, nullptr, &op);
+}
+
+ExecReport Engine::run(const Program& program,
+                       const std::vector<std::vector<Bytes>>& operands,
+                       const CombineFn& op) {
+  if (program.mode != Mode::kSum) {
+    throw std::invalid_argument("Engine::run: program is not summation-mode");
+  }
+  return run_impl(program, nullptr, nullptr, &operands, &op);
+}
+
+ExecReport Engine::run_impl(const Program& program,
+                            const std::vector<Bytes>* item_values,
+                            const std::vector<Bytes>* fold_values,
+                            const std::vector<std::vector<Bytes>>* operands,
+                            const CombineFn* op) {
+  program.params.require_valid();
+  const auto P = static_cast<std::size_t>(program.params.P);
+  if (program.procs.size() != P) {
+    throw std::invalid_argument("Engine::run: program/params size mismatch");
+  }
+  const auto num_items = static_cast<std::size_t>(program.num_items);
+
+  // --- validate payload inputs against the program -----------------------
+  if (program.mode == Mode::kMove) {
+    if (item_values->size() != num_items) {
+      throw std::invalid_argument("Engine::run: expected " +
+                                  std::to_string(num_items) +
+                                  " item payloads, got " +
+                                  std::to_string(item_values->size()));
+    }
+  } else if (program.mode == Mode::kFold) {
+    if (fold_values->size() != P) {
+      throw std::invalid_argument(
+          "Engine::run: expected one value per processor");
+    }
+  } else {
+    for (const ProcProgram& pp : program.procs) {
+      if (pp.sum_index < 0) continue;
+      const auto idx = static_cast<std::size_t>(pp.sum_index);
+      if (idx >= operands->size() ||
+          (*operands)[idx].size() != pp.num_operands) {
+        throw std::invalid_argument(
+            "Engine::run: operand count mismatch at plan index " +
+            std::to_string(idx) + " (want " +
+            std::to_string(pp.num_operands) + ")");
+      }
+    }
+  }
+
+  // --- run state ---------------------------------------------------------
+  const std::size_t cap = opts_.mailbox_capacity != 0
+                              ? opts_.mailbox_capacity
+                              : static_cast<std::size_t>(
+                                    program.params.capacity());
+  std::vector<std::unique_ptr<SpscMailbox>> mailboxes;
+  mailboxes.reserve(program.links.size());
+  for (std::size_t i = 0; i < program.links.size(); ++i) {
+    mailboxes.push_back(std::make_unique<SpscMailbox>(cap));
+  }
+
+  ExecReport report;
+  report.params = program.params;
+  report.mode = program.mode;
+  report.label = program.label;
+  report.predicted_makespan = program.predicted_makespan;
+  report.messages = program.num_messages;
+  report.mailbox_capacity = cap;
+  report.events.resize(P);
+  report.deliveries.resize(P);
+  report.folded.resize(P);
+  if (program.mode == Mode::kMove) {
+    report.items.assign(P, std::vector<Bytes>(num_items));
+    for (const InitialPlacement& init : program.initials) {
+      report.items[static_cast<std::size_t>(init.proc)]
+                  [static_cast<std::size_t>(init.item)] =
+          (*item_values)[static_cast<std::size_t>(init.item)];
+    }
+  } else if (program.mode == Mode::kFold) {
+    for (std::size_t p = 0; p < P; ++p) report.folded[p] = (*fold_values)[p];
+  }
+
+  std::vector<std::size_t> bytes_moved(P, 0);
+  Failure failure;
+  const Clock::time_point start = Clock::now();
+  const Clock::time_point deadline =
+      start + std::chrono::milliseconds(opts_.timeout_ms);
+
+  auto worker = [&](int wi) {
+    const auto p = static_cast<std::size_t>(wi);
+    const ProcProgram& stream = program.procs[p];
+    obs::Span span("exec.worker", "exec");
+    if (span.active()) {
+      span.set_arg("p" + std::to_string(wi) + " " + program.label);
+    }
+
+    auto blocking = [&](auto&& attempt) -> bool {
+      int spins = 0;
+      while (!attempt()) {
+        if (failure.abort.load(std::memory_order_acquire)) return false;
+        if (++spins >= 256) {
+          spins = 0;
+          if (Clock::now() > deadline) {
+            failure.fail("exec::Engine: timeout at P" + std::to_string(wi) +
+                         " (" + program.label + ")");
+            return false;
+          }
+          std::this_thread::yield();
+        }
+      }
+      return true;
+    };
+
+    // kFold seeds the accumulator with the processor's own value (already
+    // copied into report.folded); kSum starts empty.
+    Bytes& acc = report.folded[p];
+    bool acc_have = program.mode == Mode::kFold;
+    std::size_t operand_pos = 0;
+    auto fold = [&](std::span<const std::byte> rhs) {
+      if (!acc_have) {
+        acc.assign(rhs.begin(), rhs.end());
+        acc_have = true;
+      } else {
+        (*op)(acc, rhs);
+      }
+    };
+
+    report.events[p].reserve(stream.instrs.size());
+    for (const Instr& ins : stream.instrs) {
+      switch (ins.op) {
+        case OpCode::kSend: {
+          ExecEvent ev;
+          ev.kind = ExecEvent::Kind::kSend;
+          ev.peer = ins.peer;
+          ev.item = ins.item;
+          ev.planned = ins.when;
+          ev.start_ns = ns_since(start);
+          const Bytes& payload =
+              program.mode == Mode::kMove
+                  ? report.items[p][static_cast<std::size_t>(ins.item)]
+                  : acc;
+          SpscMailbox& mb = *mailboxes[static_cast<std::size_t>(ins.link)];
+          const Message m{ins.item, payload.data(), payload.size()};
+          if (!blocking([&] { return mb.try_push(m); })) return;
+          ev.xfer_ns = ns_since(start);
+          ev.end_ns = ev.xfer_ns;
+          bytes_moved[p] += payload.size();
+          report.events[p].push_back(ev);
+          break;
+        }
+        case OpCode::kRecv: {
+          ExecEvent ev;
+          ev.kind = ExecEvent::Kind::kRecv;
+          ev.peer = ins.peer;
+          ev.item = ins.item;
+          ev.planned = ins.when;
+          ev.start_ns = ns_since(start);
+          SpscMailbox& mb = *mailboxes[static_cast<std::size_t>(ins.link)];
+          Message m;
+          if (!blocking([&] { return mb.try_pop(m); })) return;
+          ev.xfer_ns = ns_since(start);
+          if (m.item != ins.item) {
+            failure.fail("exec::Engine: P" + std::to_string(wi) +
+                         " expected item " + std::to_string(ins.item) +
+                         " from P" + std::to_string(ins.peer) + ", got " +
+                         std::to_string(m.item));
+            return;
+          }
+          if (program.mode == Mode::kMove) {
+            Bytes& slot = report.items[p][static_cast<std::size_t>(m.item)];
+            slot.assign(m.data, m.data + m.size);
+          } else {
+            fold(std::span<const std::byte>(m.data, m.size));
+          }
+          report.deliveries[p].push_back(
+              validate::DeliveryRecord{ins.peer, m.item});
+          ev.end_ns = ns_since(start);
+          report.events[p].push_back(ev);
+          break;
+        }
+        case OpCode::kCombineLocal: {
+          const auto& local =
+              (*operands)[static_cast<std::size_t>(stream.sum_index)];
+          for (std::int32_t c = 0; c < ins.count; ++c) {
+            fold(std::span<const std::byte>(local[operand_pos].data(),
+                                            local[operand_pos].size()));
+            ++operand_pos;
+          }
+          break;
+        }
+      }
+    }
+  };
+
+  {
+    obs::Span run_span("exec.run", "exec");
+    if (run_span.active()) {
+      run_span.set_arg(program.label + " P=" +
+                       std::to_string(program.params.P));
+    }
+    pool_.run(static_cast<int>(P), worker);
+    report.wall_ns = ns_since(start);
+  }
+
+  if (failure.abort.load(std::memory_order_acquire)) {
+    std::lock_guard lock(failure.mu);
+    throw std::runtime_error(failure.message);
+  }
+
+  for (const std::size_t b : bytes_moved) report.payload_bytes += b;
+  for (const auto& mb : mailboxes) {
+    report.max_mailbox_occupancy =
+        std::max(report.max_mailbox_occupancy, mb->max_occupancy());
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::MetricsRegistry::global();
+    const std::string labels = "collective=\"" + program.label + "\"";
+    reg.counter("logpc_exec_runs_total",
+                "collective executions on the real-thread engine", labels)
+        .inc();
+    reg.counter("logpc_exec_messages_total",
+                "messages moved through exec mailboxes", labels)
+        .inc(report.messages);
+    reg.counter("logpc_exec_payload_bytes_total",
+                "payload bytes moved through exec mailboxes", labels)
+        .inc(report.payload_bytes);
+    reg.histogram("logpc_exec_run_latency_ns",
+                  obs::default_latency_buckets_ns(),
+                  "wall-clock duration of one executed collective", labels)
+        .observe(static_cast<double>(report.wall_ns));
+  }
+  return report;
+}
+
+}  // namespace logpc::exec

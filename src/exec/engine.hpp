@@ -1,0 +1,131 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exec/mailbox.hpp"
+#include "exec/program.hpp"
+#include "exec/thread_pool.hpp"
+
+/// \file engine.hpp
+/// The shared-memory execution engine: runs a compiled Program on a pool
+/// of OS threads — one logical LogP processor per worker — moving real
+/// payload bytes through one bounded lock-free mailbox per directed link.
+///
+/// Execution is as-fast-as-possible: planned cycles order each stream but
+/// never pace it.  The model's constraints survive as *structure* — the
+/// per-processor instruction order, the per-link FIFO, and the mailbox
+/// bound of ceil(L/g) messages (the capacity constraint) — so a run is the
+/// plan's dependency graph executed raw, and the returned timestamps are
+/// what exec::measure() fits effective (L, o, g) from.
+///
+/// Every run records per-processor send/recv timestamps and the observed
+/// delivery sequence (cross-checkable with validate::check_delivery_order),
+/// increments the logpc_exec_* metrics, and wraps itself plus each worker
+/// in obs spans, so executions land in the Chrome-trace exporter next to
+/// sim::Trace timelines.
+
+namespace logpc::exec {
+
+using Bytes = std::vector<std::byte>;
+
+/// Left-fold step for kFold/kSum runs: acc <- op(acc, rhs).  Must be
+/// associative; need not be commutative — the engine folds in exactly the
+/// plan's combination order.  The very first contribution is assigned, not
+/// folded (the engine handles that; `op` never sees an empty accumulator).
+using CombineFn =
+    std::function<void(Bytes& acc, std::span<const std::byte> rhs)>;
+
+/// One timed operation on one processor.  Timestamps are nanoseconds on
+/// the steady clock, relative to the run's start.
+struct ExecEvent {
+  enum class Kind : std::uint8_t { kSend, kRecv };
+  Kind kind = Kind::kSend;
+  ProcId peer = kNoProc;
+  ItemId item = 0;
+  std::uint64_t start_ns = 0;  ///< op begin (includes any blocking wait)
+  std::uint64_t xfer_ns = 0;   ///< send: push accepted; recv: payload arrived
+  std::uint64_t end_ns = 0;    ///< payload copied / folded, op complete
+  Time planned = 0;            ///< planned cycle of this event
+};
+
+/// Everything a run produced: result buffers, measured timestamps, the
+/// observed delivery order, and the run-level tallies.
+struct ExecReport {
+  Params params;
+  Mode mode = Mode::kMove;
+  std::string label;
+  Time predicted_makespan = 0;     ///< plan cycles
+  std::uint64_t wall_ns = 0;       ///< measured makespan, dispatch to barrier
+  std::size_t messages = 0;
+  std::size_t payload_bytes = 0;   ///< bytes moved through mailboxes
+  std::size_t mailbox_capacity = 0;
+  std::size_t max_mailbox_occupancy = 0;  ///< high-water mark over all links
+  std::vector<std::vector<ExecEvent>> events;  ///< [proc], in stream order
+  std::vector<std::vector<validate::DeliveryRecord>> deliveries;  ///< [proc]
+  std::vector<std::vector<Bytes>> items;  ///< kMove results: [proc][item]
+  std::vector<Bytes> folded;  ///< kFold/kSum accumulators: [proc]
+
+  /// kMove: processor p's copy of `item`.
+  [[nodiscard]] const Bytes& item_at(ProcId p, ItemId item) const {
+    return items[static_cast<std::size_t>(p)][static_cast<std::size_t>(item)];
+  }
+  /// kFold/kSum: processor p's final accumulator (the collective's result
+  /// when p is the root).
+  [[nodiscard]] const Bytes& folded_at(ProcId p) const {
+    return folded[static_cast<std::size_t>(p)];
+  }
+};
+
+class Engine {
+ public:
+  struct Options {
+    /// Per-link mailbox bound; 0 means the model's capacity ceil(L/g).
+    std::size_t mailbox_capacity = 0;
+    /// Abort a run whose blocking wait exceeds this (a plan or engine bug
+    /// must fail loudly, not hang the pool).
+    std::uint64_t timeout_ms = 20000;
+  };
+
+  Engine() = default;
+  explicit Engine(Options options) : opts_(options) {}
+
+  /// kMove: `item_values[i]` is item i's payload (sizes may differ per
+  /// item).  Every processor named in an initial placement starts with its
+  /// items seeded; on return every processor's slots hold what the plan
+  /// delivered.
+  ExecReport run(const Program& program, const std::vector<Bytes>& item_values);
+
+  /// kFold: `values[p]` is processor p's initial value; receives fold with
+  /// `op` in arrival order.  The root's accumulator is the result.
+  ExecReport run(const Program& program, const std::vector<Bytes>& values,
+                 const CombineFn& op);
+
+  /// kSum: `operands[i]` are the local operands of plan.procs[i] (counts
+  /// must match sum::operand_layout; throws otherwise), folded with `op` in
+  /// the plan's combination order.
+  ExecReport run(const Program& program,
+                 const std::vector<std::vector<Bytes>>& operands,
+                 const CombineFn& op);
+
+  /// The process-wide engine api::Communicator's run_* entry points use by
+  /// default.  Thread-safe: concurrent runs serialize on the pool.
+  static Engine& shared();
+
+  [[nodiscard]] ThreadPool& pool() { return pool_; }
+
+ private:
+  ExecReport run_impl(const Program& program,
+                      const std::vector<Bytes>* item_values,
+                      const std::vector<Bytes>* fold_values,
+                      const std::vector<std::vector<Bytes>>* operands,
+                      const CombineFn* op);
+
+  Options opts_;
+  ThreadPool pool_;
+};
+
+}  // namespace logpc::exec

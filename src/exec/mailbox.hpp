@@ -1,0 +1,97 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "logp/time.hpp"
+
+/// \file mailbox.hpp
+/// The execution engine's only communication primitive: a bounded,
+/// lock-free single-producer/single-consumer ring, one per *directed link*
+/// (ordered processor pair) a compiled program uses.
+///
+/// The bound is the LogP network capacity constraint made physical: the
+/// model admits at most ceil(L/g) messages in transit from (or to) any one
+/// processor, so a mailbox of capacity ceil(L/g) can never reject a send
+/// that a valid schedule performs — and a sender that runs far ahead of its
+/// receiver blocks exactly where the model says the network would stall it.
+/// Engine::run sizes every mailbox with Params::capacity().
+///
+/// Concurrency: the classic Lamport ring.  The producer owns `tail_`, the
+/// consumer owns `head_`; each publishes its index with a release store and
+/// reads the other's with an acquire load, so the slot payload written
+/// before a push is visible after the matching pop with no locks and no
+/// waiting on either side (both operations are a handful of instructions).
+
+namespace logpc::exec {
+
+/// One in-flight message: the item id plus a view of the sender's payload
+/// bytes.  The pointer refers into the sending processor's buffers, which
+/// the engine keeps immutable from push until the end of the run, so the
+/// receiver may copy (or fold) from it directly — the release/acquire pair
+/// on the ring index orders the payload writes before the read.
+struct Message {
+  ItemId item = 0;
+  const std::byte* data = nullptr;
+  std::size_t size = 0;
+};
+
+class SpscMailbox {
+ public:
+  explicit SpscMailbox(std::size_t capacity)
+      : cap_(capacity == 0 ? 1 : capacity), slots_(cap_) {}
+
+  SpscMailbox(const SpscMailbox&) = delete;
+  SpscMailbox& operator=(const SpscMailbox&) = delete;
+
+  /// Producer side.  False when the ring is full (capacity messages
+  /// pushed and not yet popped) — the caller decides how to wait.
+  bool try_push(const Message& m) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t used = t - head_.load(std::memory_order_acquire);
+    if (used == cap_) return false;
+    slots_[t % cap_] = m;
+    tail_.store(t + 1, std::memory_order_release);
+    std::size_t seen = max_occupancy_.load(std::memory_order_relaxed);
+    while (seen < used + 1 &&
+           !max_occupancy_.compare_exchange_weak(seen, used + 1,
+                                                 std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
+  /// Consumer side.  False when empty.
+  bool try_pop(Message& out) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == h) return false;
+    out = slots_[h % cap_];
+    head_.store(h + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return cap_; }
+
+  /// Messages currently queued (racy outside the producer/consumer pair;
+  /// exact once both sides are quiescent).
+  [[nodiscard]] std::size_t size() const {
+    return tail_.load(std::memory_order_acquire) -
+           head_.load(std::memory_order_acquire);
+  }
+
+  /// High-water mark of queued messages, as observed by the producer.  The
+  /// engine tests assert this never exceeds ceil(L/g): the executed
+  /// schedule honored the model's capacity constraint.
+  [[nodiscard]] std::size_t max_occupancy() const {
+    return max_occupancy_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t cap_;
+  std::vector<Message> slots_;
+  alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
+  alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
+  alignas(64) std::atomic<std::size_t> max_occupancy_{0};
+};
+
+}  // namespace logpc::exec

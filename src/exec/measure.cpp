@@ -1,0 +1,98 @@
+#include "exec/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace logpc::exec {
+
+sim::MeasuredParams MeasuredLogP::as_measured_params(
+    double ns_per_cycle, const Params& machine) const {
+  sim::MeasuredParams m;
+  m.P = machine.P;
+  if (ns_per_cycle <= 0) {
+    m.L = 1;
+    m.o = 0;
+    m.g = 1;
+    return m;
+  }
+  const auto cycles = [ns_per_cycle](double ns, Time floor_at) {
+    return std::max(floor_at,
+                    static_cast<Time>(std::llround(ns / ns_per_cycle)));
+  };
+  m.L = cycles(L_ns, 1);
+  m.o = cycles(o_ns, 0);
+  m.g = cycles(g_ns, 1);
+  return m;
+}
+
+MeasuredLogP measure(const ExecReport& report) {
+  MeasuredLogP fit;
+  double latency_sum = 0, overhead_sum = 0, gap_sum = 0;
+
+  // Per-link FIFO matching: the i-th push on a link pairs with the i-th
+  // pop, so wire latency is recv.xfer - send.xfer of the matched pair.
+  std::map<std::pair<ProcId, ProcId>, std::vector<std::uint64_t>> pushes;
+  for (std::size_t p = 0; p < report.events.size(); ++p) {
+    for (const ExecEvent& ev : report.events[p]) {
+      if (ev.kind == ExecEvent::Kind::kSend) {
+        pushes[{static_cast<ProcId>(p), ev.peer}].push_back(ev.xfer_ns);
+      }
+    }
+  }
+  std::map<std::pair<ProcId, ProcId>, std::size_t> popped;
+  for (std::size_t p = 0; p < report.events.size(); ++p) {
+    std::uint64_t prev_send_start = 0;
+    bool have_prev_send = false;
+    for (const ExecEvent& ev : report.events[p]) {
+      if (ev.kind == ExecEvent::Kind::kRecv) {
+        // Receive overhead: payload-arrived to folded/stored.
+        overhead_sum += static_cast<double>(ev.end_ns - ev.xfer_ns);
+        ++fit.overhead_samples;
+        const auto link = std::make_pair(ev.peer, static_cast<ProcId>(p));
+        auto it = pushes.find(link);
+        if (it != pushes.end()) {
+          const std::size_t i = popped[link]++;
+          if (i < it->second.size() && ev.xfer_ns >= it->second[i]) {
+            latency_sum += static_cast<double>(ev.xfer_ns - it->second[i]);
+            ++fit.latency_samples;
+          }
+        }
+      } else {
+        // Send overhead: op begin to push accepted (includes backpressure
+        // stalls, exactly as a saturated LogP port would charge them).
+        overhead_sum += static_cast<double>(ev.xfer_ns - ev.start_ns);
+        ++fit.overhead_samples;
+        if (have_prev_send) {
+          gap_sum += static_cast<double>(ev.start_ns - prev_send_start);
+          ++fit.gap_samples;
+        }
+        prev_send_start = ev.start_ns;
+        have_prev_send = true;
+      }
+    }
+  }
+
+  if (fit.latency_samples > 0) {
+    fit.L_ns = latency_sum / static_cast<double>(fit.latency_samples);
+  }
+  if (fit.overhead_samples > 0) {
+    fit.o_ns = overhead_sum / static_cast<double>(fit.overhead_samples);
+  }
+  if (fit.gap_samples > 0) {
+    fit.g_ns = gap_sum / static_cast<double>(fit.gap_samples);
+  }
+  // The model requires g >= the per-message port occupancy.
+  fit.g_ns = std::max(fit.g_ns, fit.o_ns);
+  return fit;
+}
+
+double fitted_ns_per_cycle(const ExecReport& report) {
+  if (report.predicted_makespan <= 0) return 0;
+  return static_cast<double>(report.wall_ns) /
+         static_cast<double>(report.predicted_makespan);
+}
+
+}  // namespace logpc::exec

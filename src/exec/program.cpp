@@ -1,0 +1,223 @@
+#include "exec/program.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+
+#include "sum/executor.hpp"
+
+namespace logpc::exec {
+
+namespace {
+
+/// Interns directed links: one mailbox index per (from, to) pair.
+class LinkTable {
+ public:
+  std::int32_t intern(ProcId from, ProcId to) {
+    const std::uint64_t key = (static_cast<std::uint64_t>(
+                                   static_cast<std::uint32_t>(from))
+                               << 32) |
+                              static_cast<std::uint32_t>(to);
+    auto [it, inserted] = index_.try_emplace(key, links_.size());
+    if (inserted) links_.push_back(Link{from, to});
+    return static_cast<std::int32_t>(it->second);
+  }
+
+  std::vector<Link> take() { return std::move(links_); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::vector<Link> links_;
+};
+
+/// Plan-time ordering key: receives sort by payload-available cycle and
+/// before a send starting the same cycle (the send may forward the item
+/// that just landed); schedule position breaks remaining ties.
+struct Keyed {
+  Time when = 0;
+  int is_send = 0;
+  std::size_t pos = 0;
+  Instr instr;
+
+  friend bool operator<(const Keyed& a, const Keyed& b) {
+    return std::tie(a.when, a.is_send, a.pos) <
+           std::tie(b.when, b.is_send, b.pos);
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<validate::DeliveryRecord>>
+Program::expected_deliveries() const {
+  std::vector<std::vector<validate::DeliveryRecord>> out(procs.size());
+  for (std::size_t p = 0; p < procs.size(); ++p) {
+    for (const Instr& ins : procs[p].instrs) {
+      if (ins.op == OpCode::kRecv) {
+        out[p].push_back(validate::DeliveryRecord{ins.peer, ins.item});
+      }
+    }
+  }
+  return out;
+}
+
+Program compile_broadcast(const Schedule& s, std::string label) {
+  s.params().require_valid();
+  const auto P = static_cast<std::size_t>(s.params().P);
+  Program prog;
+  prog.params = s.params();
+  prog.mode = Mode::kMove;
+  prog.label = std::move(label);
+  prog.num_items = s.num_items();
+  prog.predicted_makespan = s.makespan();
+  prog.num_messages = s.sends().size();
+  prog.initials = s.initials();
+  prog.procs.resize(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    prog.procs[p].proc = static_cast<ProcId>(p);
+  }
+
+  LinkTable links;
+  std::vector<std::vector<Keyed>> streams(P);
+  const auto& sends = s.sends();
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    const SendOp& op = sends[i];
+    const std::int32_t link = links.intern(op.from, op.to);
+    streams[static_cast<std::size_t>(op.from)].push_back(
+        Keyed{op.start, 1, i,
+              Instr{OpCode::kSend, op.to, op.item, 0, link, op.start}});
+    streams[static_cast<std::size_t>(op.to)].push_back(
+        Keyed{s.available_at(op), 0, i,
+              Instr{OpCode::kRecv, op.from, op.item, 0, link,
+                    s.available_at(op)}});
+  }
+
+  // Availability check in stream order: refuse to compile a plan that would
+  // block forever on an item its sender never obtains.
+  std::vector<std::vector<char>> have(
+      P, std::vector<char>(static_cast<std::size_t>(prog.num_items), 0));
+  for (const auto& init : s.initials()) {
+    have[static_cast<std::size_t>(init.proc)]
+        [static_cast<std::size_t>(init.item)] = 1;
+  }
+  for (std::size_t p = 0; p < P; ++p) {
+    std::sort(streams[p].begin(), streams[p].end());
+    prog.procs[p].instrs.reserve(streams[p].size());
+    for (const Keyed& k : streams[p]) prog.procs[p].instrs.push_back(k.instr);
+  }
+  // Sends must follow the reception (or initial placement) of their item in
+  // the same stream — stream order is exactly what executes.
+  for (std::size_t p = 0; p < P; ++p) {
+    for (const Instr& ins : prog.procs[p].instrs) {
+      char& slot = have[p][static_cast<std::size_t>(ins.item)];
+      if (ins.op == OpCode::kSend) {
+        if (slot == 0) {
+          throw std::invalid_argument(
+              "exec::compile_broadcast: P" + std::to_string(p) +
+              " sends item " + std::to_string(ins.item) +
+              " before holding it");
+        }
+      } else if (ins.op == OpCode::kRecv) {
+        slot = 1;
+      }
+    }
+  }
+  prog.links = links.take();
+  return prog;
+}
+
+Program compile_reduction(const bcast::ReductionPlan& plan) {
+  const Schedule& s = plan.schedule;
+  s.params().require_valid();
+  const auto P = static_cast<std::size_t>(s.params().P);
+  Program prog;
+  prog.params = s.params();
+  prog.mode = Mode::kFold;
+  prog.label = "reduce";
+  prog.num_items = 1;
+  prog.predicted_makespan = plan.completion;
+  prog.num_messages = s.sends().size();
+  prog.procs.resize(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    prog.procs[p].proc = static_cast<ProcId>(p);
+  }
+
+  LinkTable links;
+  std::vector<std::vector<Keyed>> streams(P);
+  const auto& sends = s.sends();
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    const SendOp& op = sends[i];
+    const std::int32_t link = links.intern(op.from, op.to);
+    streams[static_cast<std::size_t>(op.from)].push_back(
+        Keyed{op.start, 1, i,
+              Instr{OpCode::kSend, op.to, op.item, 0, link, op.start}});
+    streams[static_cast<std::size_t>(op.to)].push_back(
+        Keyed{s.available_at(op), 0, i,
+              Instr{OpCode::kRecv, op.from, op.item, 0, link,
+                    s.available_at(op)}});
+  }
+  for (std::size_t p = 0; p < P; ++p) {
+    std::sort(streams[p].begin(), streams[p].end());
+    bool sent = false;
+    for (const Keyed& k : streams[p]) {
+      if (k.instr.op == OpCode::kRecv && sent) {
+        throw std::invalid_argument(
+            "exec::compile_reduction: P" + std::to_string(p) +
+            " receives after its send — not a reduction plan");
+      }
+      sent = sent || k.instr.op == OpCode::kSend;
+      prog.procs[p].instrs.push_back(k.instr);
+    }
+  }
+  prog.links = links.take();
+  return prog;
+}
+
+Program compile_summation(const sum::SummationPlan& plan) {
+  plan.params.require_valid();
+  const auto P = static_cast<std::size_t>(plan.params.P);
+  Program prog;
+  prog.params = plan.params;
+  prog.mode = Mode::kSum;
+  prog.label = "summation";
+  prog.num_items = 1;
+  prog.predicted_makespan = plan.t;
+  prog.procs.resize(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    prog.procs[p].proc = static_cast<ProcId>(p);
+  }
+
+  const std::vector<sum::ProcLayout> layout = sum::operand_layout(plan);
+  LinkTable links;
+  for (std::size_t i = 0; i < plan.procs.size(); ++i) {
+    const sum::ProcPlan& pp = plan.procs[i];
+    const auto p = static_cast<std::size_t>(pp.proc);
+    ProcProgram& stream = prog.procs[p];
+    stream.sum_index = static_cast<std::int32_t>(i);
+    stream.num_operands = layout[i].total();
+    const auto& chunks = layout[i].chunk_sizes;
+    auto add_chunk = [&stream](std::size_t count, Time when) {
+      if (count == 0) return;
+      stream.instrs.push_back(Instr{OpCode::kCombineLocal, kNoProc, 0,
+                                    static_cast<std::int32_t>(count), -1,
+                                    when});
+    };
+    add_chunk(chunks[0], 0);
+    for (std::size_t j = 0; j < pp.recv_from.size(); ++j) {
+      const std::int32_t link = links.intern(pp.recv_from[j], pp.proc);
+      stream.instrs.push_back(Instr{OpCode::kRecv, pp.recv_from[j], 0, 0,
+                                    link, pp.recv_times[j]});
+      add_chunk(chunks[j + 1], pp.recv_times[j]);
+    }
+    if (pp.send_to != kNoProc) {
+      const std::int32_t link = links.intern(pp.proc, pp.send_to);
+      stream.instrs.push_back(
+          Instr{OpCode::kSend, pp.send_to, 0, 0, link, pp.send_time});
+      ++prog.num_messages;
+    }
+  }
+  prog.links = links.take();
+  return prog;
+}
+
+}  // namespace logpc::exec

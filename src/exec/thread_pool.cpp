@@ -1,0 +1,74 @@
+#include "exec/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace logpc::exec {
+
+ThreadPool::ThreadPool(unsigned initial) {
+  std::unique_lock lock(mu_);
+  ensure_unlocked(initial);
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::ensure_unlocked(unsigned n) {
+  while (threads_.size() < n) {
+    const auto index = static_cast<unsigned>(threads_.size());
+    threads_.emplace_back([this, index] { worker_loop(index); });
+  }
+}
+
+unsigned ThreadPool::size() const {
+  std::unique_lock lock(mu_);
+  return static_cast<unsigned>(threads_.size());
+}
+
+void ThreadPool::run(int tasks, const std::function<void(int)>& fn) {
+  if (tasks <= 0) return;
+  std::unique_lock serial(run_mu_);
+  std::unique_lock lock(mu_);
+  ensure_unlocked(static_cast<unsigned>(tasks));
+  fn_ = &fn;
+  tasks_ = tasks;
+  done_ = 0;
+  ++epoch_;
+  ++epoch_count_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return done_ == tasks_; });
+  fn_ = nullptr;
+  tasks_ = 0;
+}
+
+void ThreadPool::worker_loop(unsigned index) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(int)>* fn = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      if (static_cast<int>(index) < tasks_) {
+        fn = fn_;
+      } else {
+        // Not part of this epoch; wait for the next one.
+        continue;
+      }
+    }
+    (*fn)(static_cast<int>(index));
+    {
+      std::unique_lock lock(mu_);
+      ++done_;
+      if (done_ == tasks_) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace logpc::exec

@@ -1,0 +1,63 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// A reusable pool of OS worker threads dispatched in *epochs*: run(n, fn)
+/// wakes workers 0..n-1, each executes fn(i) exactly once, and run returns
+/// when all have arrived at the epoch barrier.  The engine maps logical
+/// LogP processor i onto worker i, so a pool is the machine — grown once,
+/// reused across every execution instead of paying thread start-up per
+/// collective.
+///
+/// The dispatch handshake is mutex/condvar (it runs once per collective,
+/// not per message); all per-message communication goes through the
+/// lock-free mailboxes.  The completion handshake also publishes every
+/// write the workers made, so the caller reads result buffers and
+/// timestamp logs without further synchronization.
+
+namespace logpc::exec {
+
+class ThreadPool {
+ public:
+  /// Workers are spawned lazily by run(); `initial` pre-spawns that many.
+  explicit ThreadPool(unsigned initial = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Executes fn(0) .. fn(tasks-1), one worker thread per index, blocking
+  /// until all return.  Grows the pool to `tasks` workers if needed.  One
+  /// epoch runs at a time; concurrent callers serialize.
+  void run(int tasks, const std::function<void(int)>& fn);
+
+  /// Workers currently alive.
+  [[nodiscard]] unsigned size() const;
+
+  /// Epochs dispatched so far.
+  [[nodiscard]] std::uint64_t epochs() const { return epoch_count_; }
+
+ private:
+  void worker_loop(unsigned index);
+  void ensure_unlocked(unsigned n);  ///< requires mu_ held
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::mutex run_mu_;  ///< serializes run() callers
+
+  std::vector<std::thread> threads_;
+  std::uint64_t epoch_ = 0;        ///< bumped per dispatch
+  std::uint64_t epoch_count_ = 0;
+  int tasks_ = 0;                  ///< indices live this epoch
+  int done_ = 0;                   ///< workers finished this epoch
+  const std::function<void(int)>* fn_ = nullptr;
+  bool stop_ = false;
+};
+
+}  // namespace logpc::exec

@@ -253,4 +253,64 @@ bool is_valid(const Schedule& s, CheckOptions options) {
   return check(s, options).ok();
 }
 
+std::vector<std::vector<DeliveryRecord>> planned_deliveries(
+    const Schedule& plan) {
+  std::vector<std::vector<DeliveryRecord>> out(
+      static_cast<std::size_t>(plan.params().P));
+  // (available cycle, schedule position) orders each processor's receives;
+  // position breaks ties deterministically for o == 0 machines.
+  std::vector<std::vector<std::pair<std::pair<Time, std::size_t>,
+                                    DeliveryRecord>>>
+      keyed(out.size());
+  const auto& sends = plan.sends();
+  for (std::size_t i = 0; i < sends.size(); ++i) {
+    const SendOp& op = sends[i];
+    keyed[static_cast<std::size_t>(op.to)].push_back(
+        {{plan.available_at(op), i}, DeliveryRecord{op.from, op.item}});
+  }
+  for (std::size_t p = 0; p < out.size(); ++p) {
+    std::sort(keyed[p].begin(), keyed[p].end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    out[p].reserve(keyed[p].size());
+    for (const auto& [key, rec] : keyed[p]) out[p].push_back(rec);
+  }
+  return out;
+}
+
+CheckResult check_delivery_order(
+    const Schedule& plan,
+    const std::vector<std::vector<DeliveryRecord>>& observed) {
+  CheckResult result;
+  const auto expected = planned_deliveries(plan);
+  auto add = [&result](std::string detail) {
+    result.violations.push_back(
+        Violation{Rule::kDeliveryOrder, std::move(detail)});
+  };
+  if (observed.size() != expected.size()) {
+    add("observed " + std::to_string(observed.size()) +
+        " processors, plan has " + std::to_string(expected.size()));
+    return result;
+  }
+  for (std::size_t p = 0; p < expected.size(); ++p) {
+    const auto& exp = expected[p];
+    const auto& obs = observed[p];
+    if (exp.size() != obs.size()) {
+      add("P" + std::to_string(p) + ": " + std::to_string(obs.size()) +
+          " receptions executed, plan prescribes " +
+          std::to_string(exp.size()));
+      continue;
+    }
+    for (std::size_t i = 0; i < exp.size(); ++i) {
+      if (!(exp[i] == obs[i])) {
+        add("P" + std::to_string(p) + " reception " + std::to_string(i) +
+            ": got item " + std::to_string(obs[i].item) + " from P" +
+            std::to_string(obs[i].from) + ", plan says item " +
+            std::to_string(exp[i].item) + " from P" +
+            std::to_string(exp[i].from));
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace logpc::validate

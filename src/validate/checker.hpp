@@ -55,4 +55,29 @@ struct CheckOptions {
 /// Convenience used pervasively in tests: check(s, options).ok().
 [[nodiscard]] bool is_valid(const Schedule& s, CheckOptions options = {});
 
+/// One observed reception during real execution (src/exec): who the payload
+/// came from and which item it carried, in the order the processor accepted
+/// it.  Kept here (not in exec) so the checker stays an independent
+/// implementation of the model's semantics.
+struct DeliveryRecord {
+  ProcId from = kNoProc;
+  ItemId item = 0;
+
+  friend bool operator==(const DeliveryRecord&, const DeliveryRecord&) =
+      default;
+};
+
+/// The reception sequence `plan` prescribes for each processor: its
+/// receives ordered by payload-available cycle (ties by schedule order).
+[[nodiscard]] std::vector<std::vector<DeliveryRecord>> planned_deliveries(
+    const Schedule& plan);
+
+/// Cross-checks an execution against its plan: processor by processor, the
+/// observed reception sequence must equal planned_deliveries(plan).  Every
+/// divergence (missing, extra, or reordered reception) is reported as a
+/// kDeliveryOrder violation.
+[[nodiscard]] CheckResult check_delivery_order(
+    const Schedule& plan,
+    const std::vector<std::vector<DeliveryRecord>>& observed);
+
 }  // namespace logpc::validate

@@ -19,6 +19,7 @@ std::string_view rule_name(Rule r) {
     case Rule::kDuplicateReceive: return "duplicate-receive";
     case Rule::kCapacity: return "capacity";
     case Rule::kIncomplete: return "incomplete";
+    case Rule::kDeliveryOrder: return "delivery-order";
   }
   return "unknown";
 }

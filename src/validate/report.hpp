@@ -23,6 +23,7 @@ enum class Rule {
   kDuplicateReceive, ///< a processor receives the same item twice
   kCapacity,         ///< more than ceil(L/g) messages in flight from/to a proc
   kIncomplete,       ///< some item never reaches some processor
+  kDeliveryOrder,    ///< executed delivery sequence diverges from the plan
 };
 
 [[nodiscard]] std::string_view rule_name(Rule r);

@@ -1,0 +1,302 @@
+#include "exec/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bcast/all_to_all.hpp"
+#include "bcast/reduction.hpp"
+#include "bcast/single_item.hpp"
+#include "exec/measure.hpp"
+#include "exec_test_util.hpp"
+#include "runtime/planner.hpp"
+#include "sum/executor.hpp"
+#include "sum/summation_tree.hpp"
+#include "validate/checker.hpp"
+
+namespace logpc::exec {
+namespace {
+
+namespace tu = testutil;
+using runtime::PlanKey;
+using runtime::Planner;
+
+TEST(CompileBroadcast, LowersScheduleToStreams) {
+  const Params params{8, 4, 1, 2};
+  const Schedule s = bcast::optimal_single_item(params);
+  const Program prog = compile_broadcast(s);
+  ASSERT_EQ(prog.procs.size(), 8u);
+  EXPECT_EQ(prog.mode, Mode::kMove);
+  EXPECT_EQ(prog.num_messages, s.sends().size());
+  EXPECT_EQ(prog.predicted_makespan, s.makespan());
+  // Exactly P-1 receives across all streams (everyone but the root learns
+  // the item once), and one link per transmission in a tree.
+  std::size_t recvs = 0;
+  for (const auto& pp : prog.procs) {
+    for (const auto& ins : pp.instrs) {
+      if (ins.op == OpCode::kRecv) ++recvs;
+    }
+  }
+  EXPECT_EQ(recvs, 7u);
+  EXPECT_EQ(prog.links.size(), s.sends().size());
+}
+
+TEST(CompileBroadcast, RefusesPlanSendingUnheldItem) {
+  Schedule s(Params{2, 2, 0, 1}, 1);
+  s.add_send(0, /*from=*/0, /*to=*/1, /*item=*/0);  // no initial placement
+  EXPECT_THROW((void)compile_broadcast(s), std::invalid_argument);
+}
+
+TEST(Engine, SingleItemBroadcastDeliversBytesEverywhere) {
+  const Params params{8, 4, 1, 2};
+  const Schedule s = bcast::optimal_single_item(params);
+  const Program prog = compile_broadcast(s);
+  Engine engine;
+  const Bytes payload = tu::of_str("the one true datum");
+  const ExecReport report = engine.run(prog, {payload});
+
+  for (ProcId p = 0; p < params.P; ++p) {
+    EXPECT_EQ(report.item_at(p, 0), payload) << "P" << p;
+  }
+  EXPECT_EQ(report.messages, s.sends().size());
+  EXPECT_GT(report.wall_ns, 0u);
+  EXPECT_EQ(report.predicted_makespan, s.makespan());
+  EXPECT_TRUE(validate::check_delivery_order(s, report.deliveries).ok());
+  EXPECT_LE(report.max_mailbox_occupancy, report.mailbox_capacity);
+}
+
+TEST(Engine, KItemBroadcastDeliversEveryItemOnce) {
+  const Params physical{9, 3, 1, 2};
+  const auto plan =
+      Planner::build_uncached(PlanKey::kitem(physical, 6));
+  const Program prog = compile_broadcast(plan.schedule, "kitem");
+  Engine engine;
+  std::vector<Bytes> items;
+  for (int i = 0; i < plan.schedule.num_items(); ++i) {
+    items.push_back(tu::of_str("item-" + std::to_string(i)));
+  }
+  const ExecReport report = engine.run(prog, items);
+
+  const int P = plan.schedule.params().P;
+  for (ProcId p = 0; p < P; ++p) {
+    for (int i = 0; i < plan.schedule.num_items(); ++i) {
+      EXPECT_EQ(report.item_at(p, i), items[static_cast<std::size_t>(i)])
+          << "P" << p << " item " << i;
+    }
+  }
+  EXPECT_TRUE(
+      validate::check_delivery_order(plan.schedule, report.deliveries).ok());
+  EXPECT_LE(report.max_mailbox_occupancy, report.mailbox_capacity);
+}
+
+TEST(Engine, AllToAllKDeliversAllItems) {
+  const Params params{8, 6, 1, 2};
+  const int k = 2;
+  const Schedule s = bcast::all_to_all_k(params, k);
+  const Program prog = compile_broadcast(s, "alltoall");
+  Engine engine;
+  std::vector<Bytes> items;
+  for (int i = 0; i < s.num_items(); ++i) {
+    items.push_back(tu::of_u64(1000u + static_cast<std::uint64_t>(i)));
+  }
+  const ExecReport report = engine.run(prog, items);
+  for (ProcId p = 0; p < params.P; ++p) {
+    for (int i = 0; i < s.num_items(); ++i) {
+      EXPECT_EQ(tu::to_u64(report.item_at(p, i)),
+                1000u + static_cast<std::uint64_t>(i));
+    }
+  }
+  EXPECT_TRUE(validate::check_delivery_order(s, report.deliveries).ok());
+  EXPECT_LE(report.max_mailbox_occupancy, report.mailbox_capacity);
+}
+
+TEST(Engine, ScatterAndGatherMoveDistinctItems) {
+  const Params params{8, 4, 1, 2};
+  Engine engine;
+  {
+    const auto plan = Planner::build_uncached(PlanKey::scatter(params, 0));
+    const Program prog = compile_broadcast(plan.schedule, "scatter");
+    std::vector<Bytes> items;
+    for (int i = 0; i < params.P; ++i) {
+      items.push_back(tu::of_str("shard" + std::to_string(i)));
+    }
+    const ExecReport report = engine.run(prog, items);
+    for (ProcId p = 0; p < params.P; ++p) {
+      EXPECT_EQ(tu::to_str(report.item_at(p, p)),
+                "shard" + std::to_string(p));
+    }
+  }
+  {
+    const auto plan = Planner::build_uncached(PlanKey::gather(params, 0));
+    const Program prog = compile_broadcast(plan.schedule, "gather");
+    std::vector<Bytes> items;
+    for (int i = 0; i < params.P; ++i) {
+      items.push_back(tu::of_str("part" + std::to_string(i)));
+    }
+    const ExecReport report = engine.run(prog, items);
+    for (ProcId p = 0; p < params.P; ++p) {
+      EXPECT_EQ(tu::to_str(report.item_at(0, p)), "part" + std::to_string(p));
+    }
+  }
+}
+
+TEST(Engine, ReductionFoldsInArrivalOrder) {
+  const Params params{8, 4, 1, 2};
+  const bcast::ReductionPlan plan = bcast::optimal_reduction(params, 0);
+  const Program prog = compile_reduction(plan);
+  Engine engine;
+
+  // Commutative check: sum of all contributions.
+  {
+    std::vector<Bytes> values;
+    std::uint64_t total = 0;
+    for (int p = 0; p < params.P; ++p) {
+      values.push_back(tu::of_u64(static_cast<std::uint64_t>(p * p + 1)));
+      total += static_cast<std::uint64_t>(p * p + 1);
+    }
+    const ExecReport report = engine.run(prog, values, tu::add_u64());
+    EXPECT_EQ(tu::to_u64(report.folded_at(0)), total);
+  }
+
+  // Non-commutative check: the engine's fold must equal the plan replay's.
+  {
+    std::vector<Bytes> values;
+    std::vector<std::string> strings;
+    for (int p = 0; p < params.P; ++p) {
+      strings.push_back("<" + std::to_string(p) + ">");
+      values.push_back(tu::of_str(strings.back()));
+    }
+    const std::string expected = bcast::execute_reduction<std::string>(
+        plan, strings,
+        [](const std::string& a, const std::string& b) { return a + b; });
+    const ExecReport report = engine.run(prog, values, tu::concat());
+    EXPECT_EQ(tu::to_str(report.folded_at(0)), expected);
+  }
+}
+
+TEST(Engine, SummationMatchesSequentialFoldInCombinationOrder) {
+  const Params params{8, 4, 1, 2};  // g >= o + 1
+  const Time t = 30;
+  const sum::SummationPlan plan = sum::optimal_summation(params, t);
+  ASSERT_GT(plan.total_operands, 0u);
+  const Program prog = compile_summation(plan);
+  Engine engine;
+
+  const auto layout = sum::operand_layout(plan);
+  std::vector<std::vector<Bytes>> operands(plan.procs.size());
+  std::vector<std::vector<std::string>> op_strings(plan.procs.size());
+  int next = 0;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    for (std::size_t j = 0; j < layout[i].total(); ++j) {
+      op_strings[i].push_back("[" + std::to_string(next++) + "]");
+      operands[i].push_back(tu::of_str(op_strings[i].back()));
+    }
+  }
+
+  std::string expected;
+  for (const auto& [proc, idx] : sum::combination_order(plan)) {
+    // combination_order is in (processor id, local index) space; map the
+    // processor id back to its plan index.
+    for (std::size_t i = 0; i < plan.procs.size(); ++i) {
+      if (plan.procs[i].proc == proc) {
+        expected += op_strings[i][idx];
+        break;
+      }
+    }
+  }
+
+  const ExecReport report = engine.run(prog, operands, tu::concat());
+  EXPECT_EQ(tu::to_str(report.folded_at(plan.root)), expected);
+
+  // And the commutative sanity: iota operands, compare with the reference
+  // value-level executor.
+  std::vector<std::vector<Bytes>> iota(plan.procs.size());
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < layout.size(); ++i) {
+    for (std::size_t j = 0; j < layout[i].total(); ++j) {
+      iota[i].push_back(tu::of_u64(n++));
+    }
+  }
+  const ExecReport sums = engine.run(prog, iota, tu::add_u64());
+  EXPECT_EQ(tu::to_u64(sums.folded_at(plan.root)),
+            static_cast<std::uint64_t>(sum::execute_iota_sum(plan)));
+}
+
+TEST(Engine, MeasureFitsPlausibleParameters) {
+  const Params params{8, 6, 1, 2};
+  const Schedule s = bcast::all_to_all(params);
+  Engine engine;
+  std::vector<Bytes> items;
+  for (int i = 0; i < params.P; ++i) items.push_back(tu::of_u64(1));
+  const ExecReport report =
+      engine.run(compile_broadcast(s, "alltoall"), items);
+
+  const MeasuredLogP fit = measure(report);
+  EXPECT_GT(fit.overhead_samples, 0u);
+  EXPECT_GT(fit.gap_samples, 0u);  // every proc sends P-1 times
+  EXPECT_GT(fit.latency_samples, 0u);
+  EXPECT_GE(fit.L_ns, 0.0);
+  EXPECT_GE(fit.o_ns, 0.0);
+  EXPECT_GE(fit.g_ns, fit.o_ns);
+
+  const double ns_per_cycle = fitted_ns_per_cycle(report);
+  EXPECT_GT(ns_per_cycle, 0.0);
+  const sim::MeasuredParams mp = fit.as_measured_params(ns_per_cycle, params);
+  EXPECT_EQ(mp.P, params.P);
+  EXPECT_GE(mp.L, 1);
+  EXPECT_GE(mp.o, 0);
+  EXPECT_GE(mp.g, 1);
+}
+
+TEST(Engine, ReusesPoolAcrossRunsAndSizes) {
+  Engine engine;
+  for (const int P : {2, 8, 5, 8, 12}) {
+    const Params params{P, 4, 1, 2};
+    const Schedule s = bcast::optimal_single_item(params);
+    const ExecReport report =
+        engine.run(compile_broadcast(s), {tu::of_str("x")});
+    for (ProcId p = 0; p < P; ++p) {
+      EXPECT_EQ(tu::to_str(report.item_at(p, 0)), "x");
+    }
+  }
+  EXPECT_GE(engine.pool().size(), 12u);
+  EXPECT_EQ(engine.pool().epochs(), 5u);
+}
+
+TEST(Engine, ModeMismatchThrows) {
+  const Params params{4, 2, 1, 1};
+  const Program prog = compile_broadcast(bcast::optimal_single_item(params));
+  Engine engine;
+  EXPECT_THROW((void)engine.run(prog, {tu::of_u64(1)}, tu::add_u64()),
+               std::invalid_argument);
+}
+
+TEST(Engine, WrongPayloadCountThrows) {
+  const Params params{4, 2, 1, 1};
+  const Program prog = compile_broadcast(bcast::optimal_single_item(params));
+  Engine engine;
+  EXPECT_THROW((void)engine.run(prog, std::vector<Bytes>{}),
+               std::invalid_argument);
+}
+
+TEST(Engine, TimesOutInsteadOfHangingOnImpossibleProgram) {
+  // A hand-built program whose receive has no matching send: the engine
+  // must abort the run with an error, not hang the pool.
+  Program prog;
+  prog.params = Params{2, 2, 0, 1};
+  prog.mode = Mode::kMove;
+  prog.label = "impossible";
+  prog.num_items = 1;
+  prog.procs.resize(2);
+  prog.procs[0].proc = 0;
+  prog.procs[1].proc = 1;
+  prog.links.push_back(Link{1, 0});
+  prog.procs[0].instrs.push_back(
+      Instr{OpCode::kRecv, /*peer=*/1, /*item=*/0, 0, /*link=*/0, 0});
+  Engine engine(Engine::Options{.mailbox_capacity = 0, .timeout_ms = 100});
+  EXPECT_THROW((void)engine.run(prog, {tu::of_u64(1)}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace logpc::exec

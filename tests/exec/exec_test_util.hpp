@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "exec/engine.hpp"
+
+/// Shared payload helpers for the exec test suites: fixed-width integers
+/// and variable-length strings in and out of exec::Bytes, plus the two
+/// combine operators the paper's summation footnote distinguishes (a
+/// commutative one and a non-commutative one).
+
+namespace logpc::exec::testutil {
+
+inline Bytes of_u64(std::uint64_t v) {
+  Bytes b(sizeof v);
+  std::memcpy(b.data(), &v, sizeof v);
+  return b;
+}
+
+inline std::uint64_t to_u64(const Bytes& b) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, b.data(), std::min(b.size(), sizeof v));
+  return v;
+}
+
+inline Bytes of_str(const std::string& s) {
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return Bytes(p, p + s.size());
+}
+
+inline std::string to_str(const Bytes& b) {
+  return std::string(reinterpret_cast<const char*>(b.data()), b.size());
+}
+
+/// Commutative: 64-bit addition.
+inline CombineFn add_u64() {
+  return [](Bytes& acc, std::span<const std::byte> rhs) {
+    std::uint64_t a = 0, r = 0;
+    std::memcpy(&a, acc.data(), std::min(acc.size(), sizeof a));
+    std::memcpy(&r, rhs.data(), std::min(rhs.size(), sizeof r));
+    a += r;
+    acc.resize(sizeof a);
+    std::memcpy(acc.data(), &a, sizeof a);
+  };
+}
+
+/// Associative but NOT commutative: byte concatenation.  Any reordering of
+/// the fold shows up as a different string.
+inline CombineFn concat() {
+  return [](Bytes& acc, std::span<const std::byte> rhs) {
+    acc.insert(acc.end(), rhs.begin(), rhs.end());
+  };
+}
+
+}  // namespace logpc::exec::testutil
