@@ -35,7 +35,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS" \
     --target test_plan_cache test_planner test_snapshot test_fib \
              test_obs_metrics test_obs_trace \
-             test_exec_mailbox test_exec_engine test_communicator_exec
+             test_exec_mailbox test_exec_engine test_communicator_exec \
+             test_fault
   ./build-tsan/tests/test_plan_cache
   ./build-tsan/tests/test_planner
   ./build-tsan/tests/test_snapshot
@@ -45,6 +46,12 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/test_exec_mailbox
   ./build-tsan/tests/test_exec_engine
   ./build-tsan/tests/test_communicator_exec
+  # Fault-injection suite at the CI seed matrix: fault decisions are pure
+  # hashes of the seed, so each seed exercises a different drop/delay
+  # pattern through the same retry and recovery paths.
+  for seed in 1 7 1993; do
+    LOGPC_FAULT_SEED="$seed" ./build-tsan/tests/test_fault
+  done
 fi
 
 if [[ "$RUN_ASAN" == 1 ]]; then
@@ -55,7 +62,7 @@ if [[ "$RUN_ASAN" == 1 ]]; then
     --target test_obs_metrics test_obs_trace test_obs_chrome \
              test_plan_cache test_planner test_snapshot \
              test_exec_mailbox test_exec_engine test_communicator_exec \
-             test_exec_property
+             test_exec_property test_fault
   ./build-asan/tests/test_obs_metrics
   ./build-asan/tests/test_obs_trace
   ./build-asan/tests/test_obs_chrome
@@ -66,6 +73,9 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   ./build-asan/tests/test_exec_engine
   ./build-asan/tests/test_communicator_exec
   ./build-asan/tests/test_exec_property
+  for seed in 1 7 1993; do
+    LOGPC_FAULT_SEED="$seed" ./build-asan/tests/test_fault
+  done
 fi
 
 echo

@@ -1,9 +1,12 @@
 #include "api/communicator.hpp"
 
+#include <chrono>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
 #include "bcast/kitem_bounds.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace_recorder.hpp"
 
 namespace logpc::api {
@@ -169,6 +172,104 @@ exec::ExecReport Communicator::run_allgather(
   const exec::Program program =
       exec::compile_broadcast(plan->schedule, "allgather");
   return engine_or_shared(engine).run(program, contributions);
+}
+
+FtRunResult Communicator::run_broadcast_ft(std::span<const std::byte> payload,
+                                           ProcId root,
+                                           const FtRunOptions& options) const {
+  const obs::Span span("comm.run_broadcast_ft", "comm");
+  if (root < 0 || root >= params_.P) {
+    throw std::invalid_argument("Communicator::run_broadcast_ft: bad root");
+  }
+  exec::Engine::Options eng_opts = options.engine;
+  eng_opts.recovery.enabled = true;
+  exec::Engine engine(eng_opts);
+
+  fault::FaultSpec spec = options.faults.value_or(fault::FaultSpec{});
+  const bool inject = options.faults.has_value();
+  const std::vector<exec::Bytes> items{
+      exec::Bytes(payload.begin(), payload.end())};
+
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point first_failure{};
+
+  FtRunResult res;
+  std::uint64_t mask = 0;  // 0 = full membership
+  for (;;) {
+    ++res.attempts;
+    res.plan = planner_->plan(PlanKey::make(runtime::Problem::kBroadcast,
+                                            params_, 1, root, mask));
+    res.survivors = res.plan->key.live_ranks();
+    const exec::Program program =
+        exec::compile_broadcast(res.plan->schedule, "bcast-ft");
+    std::optional<fault::Injector> injector;
+    if (inject) injector.emplace(spec);
+    try {
+      res.report =
+          engine.run(program, items, injector ? &*injector : nullptr);
+    } catch (const exec::RankFailure& failure) {
+      if (options.policy == FailurePolicy::kAbort) throw;
+      if (res.failed_ranks.empty()) first_failure = Clock::now();
+      // The engine reports the rank in the *current* (compacted) program's
+      // rank space; map it back to the physical machine before excluding.
+      const ProcId virtual_dead = failure.rank();
+      const ProcId physical_dead =
+          res.survivors[static_cast<std::size_t>(virtual_dead)];
+      res.failed_ranks.push_back(physical_dead);
+      obs::Span recover_span("exec.recover", "exec");
+      if (recover_span.active()) {
+        recover_span.set_arg("rank " + std::to_string(physical_dead) +
+                             " dead, re-planning on " +
+                             std::to_string(res.survivors.size() - 1) +
+                             " survivors");
+      }
+      if (obs::enabled()) {
+        obs::MetricsRegistry::global()
+            .counter("logpc_fault_recoveries_total",
+                     "rank failures survived by degraded re-planning")
+            .inc();
+      }
+      if (physical_dead == root) {
+        res.status = RunStatus::kFailed;
+        res.error = std::string("root rank died: ") + failure.what();
+        return res;
+      }
+      if (params_.P > 64) {
+        res.status = RunStatus::kFailed;
+        res.error = "recovery requires P <= 64 (membership mask is one word)";
+        return res;
+      }
+      if (static_cast<int>(res.failed_ranks.size()) > options.max_recoveries) {
+        res.status = RunStatus::kFailed;
+        res.error = "recovery budget exhausted (" +
+                    std::to_string(options.max_recoveries) +
+                    " re-plans): " + failure.what();
+        return res;
+      }
+      const std::uint64_t full =
+          params_.P == 64 ? ~0ull : (1ull << params_.P) - 1;
+      mask = (mask == 0 ? full : mask) & ~(1ull << physical_dead);
+      // The spec addresses ranks of the program that just ran: drop the
+      // dead rank and shift the survivors down to the next program's space.
+      spec = fault::remap_without(spec, virtual_dead);
+      continue;
+    }
+    if (!res.failed_ranks.empty()) {
+      res.status = RunStatus::kRecovered;
+      res.recovery_ns = static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               first_failure)
+              .count());
+      if (obs::enabled()) {
+        obs::MetricsRegistry::global()
+            .histogram("logpc_fault_recovery_latency_ns",
+                       obs::default_latency_buckets_ns(),
+                       "first rank failure to degraded completion")
+            .observe(static_cast<double>(res.recovery_ns));
+      }
+    }
+    return res;
+  }
 }
 
 exec::ExecReport Communicator::run_reduce_operands(

@@ -34,6 +34,45 @@ namespace logpc::api {
 /// messages serialized by g, the last landing after a full transfer.
 [[nodiscard]] Time scatter_time(const Params& params);
 
+/// What to do when the engine's failure detector declares a rank dead
+/// mid-collective.
+enum class FailurePolicy : std::uint8_t {
+  kAbort,   ///< rethrow exec::RankFailure to the caller
+  kReplan,  ///< exclude the rank, re-plan on the survivors, run again
+};
+
+/// How a fault-tolerant run ended.
+enum class RunStatus : std::uint8_t {
+  kOk,         ///< completed on the full machine, no rank lost
+  kRecovered,  ///< one or more ranks died; completed on the survivors
+  kFailed,     ///< unrecoverable (root died, budget exhausted, P > 64)
+};
+
+/// Options for run_broadcast_ft.
+struct FtRunOptions {
+  FailurePolicy policy = FailurePolicy::kReplan;
+  /// Faults to inject (deterministic in FaultSpec::seed); nullopt runs
+  /// fault-free but still under acked delivery + failure detection.
+  std::optional<fault::FaultSpec> faults;
+  /// Rank deaths to survive before giving up (kFailed past this).
+  int max_recoveries = 2;
+  /// Engine knobs for the run; `engine.recovery.enabled` is forced on.
+  exec::Engine::Options engine;
+};
+
+/// Outcome of a fault-tolerant run.  `report` processor i is physical rank
+/// survivors[i] — on the fault-free path survivors is just 0..P-1.
+struct FtRunResult {
+  RunStatus status = RunStatus::kOk;
+  exec::ExecReport report;          ///< the completed (possibly degraded) run
+  std::vector<ProcId> survivors;    ///< physical rank of each report proc
+  std::vector<ProcId> failed_ranks; ///< physical ranks excluded, in order
+  int attempts = 0;                 ///< engine runs performed (1 = no failure)
+  std::uint64_t recovery_ns = 0;    ///< first failure -> degraded completion
+  std::string error;                ///< set when status == kFailed
+  runtime::PlanPtr plan;            ///< the plan the final run executed
+};
+
 /// A machine-bound planner for the paper's collectives.
 ///
 /// All methods are const, deterministic and thread-safe; schedules use
@@ -134,6 +173,20 @@ class Communicator {
   [[nodiscard]] exec::ExecReport run_allgather(
       const std::vector<exec::Bytes>& contributions,
       exec::Engine* engine = nullptr) const;
+
+  /// Fault-tolerant broadcast: runs under the engine's acked-delivery
+  /// protocol (with `options.faults` injected when set) and, under
+  /// FailurePolicy::kReplan, survives rank deaths by asking the planner
+  /// for a fresh optimal schedule over the survivors — the key gains a
+  /// membership mask, the 𝔅 tree is universal so the degraded plan is
+  /// itself optimal — and re-running until the collective completes or the
+  /// recovery budget is spent.  Requires P <= 64 to recover (the mask is
+  /// one machine word); a dead root is unrecoverable by construction.
+  /// Builds a private engine from `options.engine`, so a deliberately
+  /// killed rank never poisons the shared pool.
+  [[nodiscard]] FtRunResult run_broadcast_ft(
+      std::span<const std::byte> payload, ProcId root = 0,
+      const FtRunOptions& options = {}) const;
 
   /// Section 5 summation executed on real threads: plans reduce_operands(n)
   /// and folds `operands` — laid out per sum::operand_layout of that plan

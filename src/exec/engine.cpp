@@ -1,6 +1,7 @@
 #include "exec/engine.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <memory>
@@ -26,9 +27,12 @@ std::uint64_t ns_since(Clock::time_point epoch) {
 }
 
 /// Shared failure latch: the first error wins, everyone else bails out of
-/// their spin loops promptly.
+/// their spin loops promptly.  `failed_rank` distinguishes a declared rank
+/// death (recoverable: run_broadcast_ft re-plans around it) from a plain
+/// engine error.
 struct Failure {
   std::atomic<bool> abort{false};
+  std::atomic<ProcId> failed_rank{kNoProc};
   std::mutex mu;
   std::string message;
 
@@ -39,6 +43,22 @@ struct Failure {
     }
     abort.store(true, std::memory_order_release);
   }
+
+  void fail_rank(ProcId rank, const std::string& m) {
+    ProcId expected = kNoProc;
+    failed_rank.compare_exchange_strong(expected, rank,
+                                        std::memory_order_relaxed);
+    fail(m);
+  }
+};
+
+/// One heartbeat counter per logical processor, cache-line padded.  A live
+/// worker bumps its own slot on every instruction and every spin-wait tick;
+/// a peer blocked on rank r accuses r dead only after r's slot has stayed
+/// frozen for Recovery::suspect_after_ms — so a slow-but-alive rank (which
+/// keeps bumping while it stalls) is never excluded.
+struct alignas(64) Heartbeat {
+  std::atomic<std::uint64_t> v{0};
 };
 
 }  // namespace
@@ -49,35 +69,37 @@ Engine& Engine::shared() {
 }
 
 ExecReport Engine::run(const Program& program,
-                       const std::vector<Bytes>& item_values) {
+                       const std::vector<Bytes>& item_values,
+                       const fault::Injector* injector) {
   if (program.mode != Mode::kMove) {
     throw std::invalid_argument("Engine::run: program is not move-mode");
   }
-  return run_impl(program, &item_values, nullptr, nullptr, nullptr);
+  return run_impl(program, &item_values, nullptr, nullptr, nullptr, injector);
 }
 
 ExecReport Engine::run(const Program& program, const std::vector<Bytes>& values,
-                       const CombineFn& op) {
+                       const CombineFn& op, const fault::Injector* injector) {
   if (program.mode != Mode::kFold) {
     throw std::invalid_argument("Engine::run: program is not fold-mode");
   }
-  return run_impl(program, nullptr, &values, nullptr, &op);
+  return run_impl(program, nullptr, &values, nullptr, &op, injector);
 }
 
 ExecReport Engine::run(const Program& program,
                        const std::vector<std::vector<Bytes>>& operands,
-                       const CombineFn& op) {
+                       const CombineFn& op, const fault::Injector* injector) {
   if (program.mode != Mode::kSum) {
     throw std::invalid_argument("Engine::run: program is not summation-mode");
   }
-  return run_impl(program, nullptr, nullptr, &operands, &op);
+  return run_impl(program, nullptr, nullptr, &operands, &op, injector);
 }
 
 ExecReport Engine::run_impl(const Program& program,
                             const std::vector<Bytes>* item_values,
                             const std::vector<Bytes>* fold_values,
                             const std::vector<std::vector<Bytes>>* operands,
-                            const CombineFn* op) {
+                            const CombineFn* op,
+                            const fault::Injector* injector) {
   program.params.require_valid();
   const auto P = static_cast<std::size_t>(program.params.P);
   if (program.procs.size() != P) {
@@ -112,15 +134,52 @@ ExecReport Engine::run_impl(const Program& program,
     }
   }
 
-  // --- run state ---------------------------------------------------------
   const std::size_t cap = opts_.mailbox_capacity != 0
                               ? opts_.mailbox_capacity
                               : static_cast<std::size_t>(
                                     program.params.capacity());
+  if (cap == 0) {
+    throw std::invalid_argument(
+        "Engine::run: mailbox capacity is 0 for " +
+        program.params.to_string() +
+        " — a network admitting no in-flight message cannot run any "
+        "schedule; fix the machine parameters instead of clamping");
+  }
+
+  const bool reliable = injector != nullptr || opts_.recovery.enabled;
+  const Recovery& rec = opts_.recovery;
+
+  // Serialize runs on this engine *before* starting the watchdog clock:
+  // a run queued behind another must not burn its timeout budget waiting
+  // for the pool (the latent bug this PR fixes — the deadline used to be
+  // captured here and then spent inside pool_.run's internal queue).
+  std::lock_guard run_lock(run_mu_);
+
+  // --- run state ---------------------------------------------------------
   std::vector<std::unique_ptr<SpscMailbox>> mailboxes;
   mailboxes.reserve(program.links.size());
   for (std::size_t i = 0; i < program.links.size(); ++i) {
     mailboxes.push_back(std::make_unique<SpscMailbox>(cap));
+  }
+  // Reliable-mode state, one slot per link.  Each slot is touched by only
+  // one side of its link (seq/acked by the producer, accepted/attempts by
+  // the consumer), so plain vectors are race-free.
+  std::vector<std::unique_ptr<AckRing>> acks;
+  std::vector<std::uint64_t> send_seq;   // producer: last seq pushed
+  std::vector<std::uint64_t> acked;      // producer: highest acked seq seen
+  std::vector<std::uint64_t> accepted;   // consumer: highest seq accepted
+  std::vector<std::uint64_t> attempts;   // consumer: arrivals of expected seq
+  std::unique_ptr<Heartbeat[]> hearts;
+  if (reliable) {
+    acks.reserve(program.links.size());
+    for (std::size_t i = 0; i < program.links.size(); ++i) {
+      acks.push_back(std::make_unique<AckRing>(cap));
+    }
+    send_seq.assign(program.links.size(), 0);
+    acked.assign(program.links.size(), 0);
+    accepted.assign(program.links.size(), 0);
+    attempts.assign(program.links.size(), 0);
+    hearts = std::make_unique<Heartbeat[]>(P);
   }
 
   ExecReport report;
@@ -132,6 +191,7 @@ ExecReport Engine::run_impl(const Program& program,
   report.mailbox_capacity = cap;
   report.events.resize(P);
   report.deliveries.resize(P);
+  report.fault_events.resize(P);
   report.folded.resize(P);
   if (program.mode == Mode::kMove) {
     report.items.assign(P, std::vector<Bytes>(num_items));
@@ -145,19 +205,61 @@ ExecReport Engine::run_impl(const Program& program,
   }
 
   std::vector<std::size_t> bytes_moved(P, 0);
+  std::vector<std::size_t> retries(P, 0);
+  std::vector<std::size_t> duplicates(P, 0);
+  std::vector<std::vector<double>> backoffs_ns(P);  // lapsed retransmit waits
   Failure failure;
   const Clock::time_point start = Clock::now();
   const Clock::time_point deadline =
       start + std::chrono::milliseconds(opts_.timeout_ms);
+  const auto suspect_after = std::chrono::milliseconds(rec.suspect_after_ms);
 
   auto worker = [&](int wi) {
     const auto p = static_cast<std::size_t>(wi);
+    const auto rank = static_cast<ProcId>(wi);
     const ProcProgram& stream = program.procs[p];
     obs::Span span("exec.worker", "exec");
     if (span.active()) {
       span.set_arg("p" + std::to_string(wi) + " " + program.label);
     }
 
+    auto beat = [&] {
+      if (reliable) hearts[p].v.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    // Liveness watch on one peer: last observed heartbeat + when it last
+    // moved.  suspect() accuses the peer dead once the heartbeat has been
+    // frozen for suspect_after_ms of blocked waiting.
+    struct Watch {
+      std::uint64_t hb;
+      Clock::time_point changed;
+    };
+    auto watch_of = [&](ProcId peer) {
+      return Watch{hearts[static_cast<std::size_t>(peer)].v.load(
+                       std::memory_order_relaxed),
+                   Clock::now()};
+    };
+    auto suspect = [&](ProcId peer, Watch& w) -> bool {
+      const std::uint64_t cur =
+          hearts[static_cast<std::size_t>(peer)].v.load(
+              std::memory_order_relaxed);
+      const Clock::time_point now = Clock::now();
+      if (cur != w.hb) {
+        w.hb = cur;
+        w.changed = now;
+        return false;
+      }
+      if (now - w.changed < suspect_after) return false;
+      failure.fail_rank(
+          peer, "exec::Engine: rank " + std::to_string(peer) +
+                    " declared dead (heartbeat frozen while P" +
+                    std::to_string(wi) + " waited on it, " + program.label +
+                    ")");
+      return true;
+    };
+
+    // Plain blocking wait (fault-free path): spin, then yield, honoring
+    // the abort latch and the watchdog deadline.
     auto blocking = [&](auto&& attempt) -> bool {
       int spins = 0;
       while (!attempt()) {
@@ -168,6 +270,100 @@ ExecReport Engine::run_impl(const Program& program,
             failure.fail("exec::Engine: timeout at P" + std::to_string(wi) +
                          " (" + program.label + ")");
             return false;
+          }
+          std::this_thread::yield();
+        }
+      }
+      return true;
+    };
+
+    // Reliable blocking wait: additionally keeps our heartbeat moving and
+    // runs the failure detector against the peer we are blocked on.
+    auto blocking_on = [&](ProcId peer, auto&& attempt) -> bool {
+      Watch w = watch_of(peer);
+      int spins = 0;
+      while (!attempt()) {
+        beat();
+        if (failure.abort.load(std::memory_order_acquire)) return false;
+        if (++spins >= 256) {
+          spins = 0;
+          if (Clock::now() > deadline) {
+            failure.fail("exec::Engine: timeout at P" + std::to_string(wi) +
+                         " (" + program.label + ")");
+            return false;
+          }
+          if (suspect(peer, w)) return false;
+          std::this_thread::yield();
+        }
+      }
+      return true;
+    };
+
+    // Busy-stall (injected delay / slow-rank stall) that stays alive to
+    // the failure detector.
+    auto stall = [&](std::uint64_t ns) -> bool {
+      const Clock::time_point until =
+          Clock::now() + std::chrono::nanoseconds(ns);
+      while (Clock::now() < until) {
+        beat();
+        if (failure.abort.load(std::memory_order_acquire)) return false;
+        std::this_thread::yield();
+      }
+      return true;
+    };
+
+    // Sender side of acked delivery: drain cumulative acks; once the ack
+    // timeout lapses, retransmit with exponential backoff (max_retries
+    // ramp steps, then a steady max_backoff cadence) until the ack lands
+    // or the heartbeat detector / watchdog ends the wait.
+    auto await_ack = [&](ProcId peer, std::size_t link, const Message& m,
+                         SpscMailbox& mb) -> bool {
+      AckRing& ar = *acks[link];
+      auto drained = [&] {
+        std::uint64_t a = 0;
+        while (ar.try_pop(a)) acked[link] = std::max(acked[link], a);
+        return acked[link] >= m.seq;
+      };
+      Watch w = watch_of(peer);
+      auto backoff = std::chrono::microseconds(rec.ack_timeout_us);
+      const auto max_backoff = std::chrono::microseconds(rec.max_backoff_us);
+      Clock::time_point next_retx = Clock::now() + backoff;
+      int retries_left = rec.max_retries;
+      int spins = 0;
+      while (!drained()) {
+        beat();
+        if (failure.abort.load(std::memory_order_acquire)) return false;
+        if (++spins >= 64) {
+          spins = 0;
+          const Clock::time_point now = Clock::now();
+          if (now > deadline) {
+            failure.fail("exec::Engine: ack timeout at P" +
+                         std::to_string(wi) + " (" + program.label + ")");
+            return false;
+          }
+          if (suspect(peer, w)) return false;
+          if (now >= next_retx) {
+            // Retransmit for as long as the ack is missing: a receiver
+            // that was busy on another link while the exponential ramp
+            // ran out may still drop the queued copies, and a sender
+            // that stops resending would deadlock the pair until the
+            // watchdog.  max_retries bounds the backoff RAMP; past it
+            // the cadence stays at max_backoff until the ack lands, the
+            // peer is declared dead, or the deadline fires.
+            backoffs_ns[p].push_back(static_cast<double>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(backoff)
+                    .count()));
+            // try_push: if the ring is full the original copy is still
+            // queued, so there is nothing to retransmit past.
+            if (mb.try_push(m)) ++retries[p];
+            if (retries_left > 0) {
+              --retries_left;
+              backoff = std::min(backoff * static_cast<std::int64_t>(
+                                               std::max<std::uint64_t>(
+                                                   rec.backoff_factor, 1)),
+                                 max_backoff);
+            }
+            next_retx = now + backoff;
           }
           std::this_thread::yield();
         }
@@ -189,8 +385,26 @@ ExecReport Engine::run_impl(const Program& program,
       }
     };
 
+    const bool slow = injector != nullptr && injector->is_slow(rank);
+    if (slow && !stream.instrs.empty()) {
+      report.fault_events[p].push_back(
+          fault::FaultEvent{fault::FaultKind::kSlow, rank, kNoProc, 0});
+    }
+
     report.events[p].reserve(stream.instrs.size());
+    std::size_t ii = 0;
     for (const Instr& ins : stream.instrs) {
+      const std::size_t instr_index = ii++;
+      beat();
+      if (injector != nullptr && injector->dies_at(rank, instr_index)) {
+        // Crash-stop: no more sends, receives, acks, or heartbeats.  The
+        // peers' failure detectors take it from here.
+        report.fault_events[p].push_back(fault::FaultEvent{
+            fault::FaultKind::kDead, rank, kNoProc, instr_index});
+        return;
+      }
+      if (slow && !stall(injector->slow_stall_ns())) return;
+
       switch (ins.op) {
         case OpCode::kSend: {
           ExecEvent ev;
@@ -203,11 +417,28 @@ ExecReport Engine::run_impl(const Program& program,
               program.mode == Mode::kMove
                   ? report.items[p][static_cast<std::size_t>(ins.item)]
                   : acc;
-          SpscMailbox& mb = *mailboxes[static_cast<std::size_t>(ins.link)];
-          const Message m{ins.item, payload.data(), payload.size()};
-          if (!blocking([&] { return mb.try_push(m); })) return;
-          ev.xfer_ns = ns_since(start);
-          ev.end_ns = ev.xfer_ns;
+          const auto link = static_cast<std::size_t>(ins.link);
+          SpscMailbox& mb = *mailboxes[link];
+          Message m{ins.item, payload.data(), payload.size(), 0};
+          if (reliable) {
+            m.seq = ++send_seq[link];
+            const std::uint64_t delay =
+                injector != nullptr
+                    ? injector->send_delay_ns(rank, ins.link, m.seq)
+                    : 0;
+            if (delay > 0) {
+              report.fault_events[p].push_back(fault::FaultEvent{
+                  fault::FaultKind::kDelay, rank, ins.peer, m.seq});
+              if (!stall(delay)) return;
+            }
+            if (!blocking_on(ins.peer, [&] { return mb.try_push(m); })) return;
+            ev.xfer_ns = ns_since(start);
+            if (!await_ack(ins.peer, link, m, mb)) return;
+          } else {
+            if (!blocking([&] { return mb.try_push(m); })) return;
+            ev.xfer_ns = ns_since(start);
+          }
+          ev.end_ns = ns_since(start);
           bytes_moved[p] += payload.size();
           report.events[p].push_back(ev);
           break;
@@ -219,9 +450,51 @@ ExecReport Engine::run_impl(const Program& program,
           ev.item = ins.item;
           ev.planned = ins.when;
           ev.start_ns = ns_since(start);
-          SpscMailbox& mb = *mailboxes[static_cast<std::size_t>(ins.link)];
+          const auto link = static_cast<std::size_t>(ins.link);
+          SpscMailbox& mb = *mailboxes[link];
           Message m;
-          if (!blocking([&] { return mb.try_pop(m); })) return;
+          if (reliable) {
+            AckRing& ar = *acks[link];
+            const std::uint64_t expect = accepted[link] + 1;
+            for (;;) {
+              if (!blocking_on(ins.peer, [&] { return mb.try_pop(m); })) {
+                return;
+              }
+              if (m.seq < expect) {
+                // A retransmitted copy of a message already accepted:
+                // discard exactly-once, re-ack best-effort so the sender
+                // stops resending.
+                ++duplicates[p];
+                ar.try_push(accepted[link]);
+                continue;
+              }
+              if (m.seq > expect) {
+                failure.fail("exec::Engine: P" + std::to_string(wi) +
+                             " sequence gap on link from P" +
+                             std::to_string(ins.peer) + " (got " +
+                             std::to_string(m.seq) + ", expected " +
+                             std::to_string(expect) + ")");
+                return;
+              }
+              const std::uint64_t attempt = ++attempts[link];
+              if (injector != nullptr &&
+                  injector->drop_delivery(rank, ins.link, m.seq, attempt)) {
+                // Discarded in transit: no ack, so the sender retransmits.
+                report.fault_events[p].push_back(fault::FaultEvent{
+                    fault::FaultKind::kDrop, rank, ins.peer, m.seq});
+                continue;
+              }
+              break;
+            }
+            accepted[link] = m.seq;
+            attempts[link] = 0;
+            if (!blocking_on(ins.peer,
+                             [&] { return ar.try_push(accepted[link]); })) {
+              return;
+            }
+          } else {
+            if (!blocking([&] { return mb.try_pop(m); })) return;
+          }
           ev.xfer_ns = ns_since(start);
           if (m.item != ins.item) {
             failure.fail("exec::Engine: P" + std::to_string(wi) +
@@ -266,9 +539,37 @@ ExecReport Engine::run_impl(const Program& program,
     report.wall_ns = ns_since(start);
   }
 
+  for (const std::size_t r : retries) report.retries += r;
+  for (const std::size_t d : duplicates) report.duplicates += d;
+
   if (failure.abort.load(std::memory_order_acquire)) {
-    std::lock_guard lock(failure.mu);
-    throw std::runtime_error(failure.message);
+    // All workers have rejoined the epoch barrier, so nothing is producing
+    // or consuming: drain every ring so an aborted run leaves no stale
+    // message (or stale ack) behind for a later run to trip on.
+    Message m;
+    for (const auto& mb : mailboxes) {
+      while (mb->try_pop(m)) {
+      }
+    }
+    std::uint64_t a = 0;
+    for (const auto& ar : acks) {
+      while (ar->try_pop(a)) {
+      }
+    }
+    const ProcId fr = failure.failed_rank.load(std::memory_order_relaxed);
+    std::string message;
+    {
+      std::lock_guard lock(failure.mu);
+      message = failure.message;
+    }
+    if (obs::enabled() && fr != kNoProc) {
+      obs::MetricsRegistry::global()
+          .counter("logpc_fault_rank_failures_total",
+                   "ranks declared dead by the engine failure detector")
+          .inc();
+    }
+    if (fr != kNoProc) throw RankFailure(fr, message);
+    throw std::runtime_error(message);
   }
 
   for (const std::size_t b : bytes_moved) report.payload_bytes += b;
@@ -293,6 +594,38 @@ ExecReport Engine::run_impl(const Program& program,
                   obs::default_latency_buckets_ns(),
                   "wall-clock duration of one executed collective", labels)
         .observe(static_cast<double>(report.wall_ns));
+    if (reliable) {
+      std::array<std::size_t, 4> by_kind{};
+      for (const auto& evs : report.fault_events) {
+        for (const fault::FaultEvent& fe : evs) {
+          ++by_kind[static_cast<std::size_t>(fe.kind)];
+        }
+      }
+      for (std::size_t k = 0; k < by_kind.size(); ++k) {
+        if (by_kind[k] == 0) continue;
+        const auto kind = static_cast<fault::FaultKind>(k);
+        reg.counter("logpc_fault_injected_total", "injected faults by kind",
+                    "kind=\"" + std::string(fault::fault_kind_name(kind)) +
+                        "\"")
+            .inc(by_kind[k]);
+      }
+      if (report.retries > 0) {
+        reg.counter("logpc_fault_retries_total",
+                    "retransmissions under acked delivery")
+            .inc(report.retries);
+      }
+      if (report.duplicates > 0) {
+        reg.counter("logpc_fault_duplicates_total",
+                    "retransmitted duplicates discarded exactly-once")
+            .inc(report.duplicates);
+      }
+      auto& backoff_hist = reg.histogram(
+          "logpc_fault_backoff_ns", obs::default_latency_buckets_ns(),
+          "retransmit backoff lapsed before each retry");
+      for (const auto& per_worker : backoffs_ns) {
+        for (const double b : per_worker) backoff_hist.observe(b);
+      }
+    }
   }
   return report;
 }

@@ -2,13 +2,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "exec/mailbox.hpp"
 #include "exec/program.hpp"
 #include "exec/thread_pool.hpp"
+#include "fault/fault.hpp"
 
 /// \file engine.hpp
 /// The shared-memory execution engine: runs a compiled Program on a pool
@@ -27,6 +30,19 @@
 /// increments the logpc_exec_* metrics, and wraps itself plus each worker
 /// in obs spans, so executions land in the Chrome-trace exporter next to
 /// sim::Trace timelines.
+///
+/// Fault tolerance: pass a fault::Injector to run() (or enable
+/// Options::recovery) and the engine switches every link to *acked
+/// delivery*: messages carry per-link sequence numbers, receivers
+/// acknowledge acceptance on a reverse ring, senders retransmit after a
+/// timeout with exponential backoff, and receivers discard retransmitted
+/// duplicates exactly-once.  A rank whose heartbeat freezes while a peer
+/// waits on it past the retry budget is declared dead: the run aborts with
+/// RankFailure naming the rank, all workers are signalled, joined at the
+/// epoch barrier, and every mailbox is drained before the error returns —
+/// api::Communicator::run_broadcast_ft catches it and re-plans over the
+/// survivors.  Without an injector and with recovery disabled, the fast
+/// path is byte-identical to the unreliable engine.
 
 namespace logpc::exec {
 
@@ -52,6 +68,20 @@ struct ExecEvent {
   Time planned = 0;            ///< planned cycle of this event
 };
 
+/// Thrown by Engine::run when the failure detector declares a rank dead:
+/// a peer waited past the retry budget while the rank's heartbeat stayed
+/// frozen.  The recovery layer excludes rank() and re-plans; everyone else
+/// treats it as the runtime_error it is.
+class RankFailure : public std::runtime_error {
+ public:
+  RankFailure(ProcId rank, const std::string& what)
+      : std::runtime_error(what), rank_(rank) {}
+  [[nodiscard]] ProcId rank() const { return rank_; }
+
+ private:
+  ProcId rank_;
+};
+
 /// Everything a run produced: result buffers, measured timestamps, the
 /// observed delivery order, and the run-level tallies.
 struct ExecReport {
@@ -64,8 +94,15 @@ struct ExecReport {
   std::size_t payload_bytes = 0;   ///< bytes moved through mailboxes
   std::size_t mailbox_capacity = 0;
   std::size_t max_mailbox_occupancy = 0;  ///< high-water mark over all links
+  std::size_t retries = 0;     ///< retransmissions under acked delivery
+  std::size_t duplicates = 0;  ///< retransmitted copies discarded exactly-once
   std::vector<std::vector<ExecEvent>> events;  ///< [proc], in stream order
   std::vector<std::vector<validate::DeliveryRecord>> deliveries;  ///< [proc]
+  /// Injected faults, per processor in injection order.  Decisions are
+  /// deterministic in the fault seed, so two same-seed runs produce equal
+  /// logs (duplicate discards, which depend on retransmit timing, are
+  /// counted in `duplicates` instead).
+  std::vector<std::vector<fault::FaultEvent>> fault_events;
   std::vector<std::vector<Bytes>> items;  ///< kMove results: [proc][item]
   std::vector<Bytes> folded;  ///< kFold/kSum accumulators: [proc]
 
@@ -82,12 +119,28 @@ struct ExecReport {
 
 class Engine {
  public:
+  /// Knobs of the acked-delivery protocol (active when a fault::Injector is
+  /// passed to run() or `enabled` is set).  Defaults suit the fault tests:
+  /// sub-millisecond retransmits, tens of milliseconds to a death verdict.
+  struct Recovery {
+    bool enabled = false;
+    std::uint64_t ack_timeout_us = 200;  ///< first retransmit after this
+    std::uint64_t backoff_factor = 2;    ///< exponential retransmit backoff
+    std::uint64_t max_backoff_us = 5000;
+    int max_retries = 6;  ///< exponential-ramp steps; then steady cadence
+    /// A peer whose heartbeat has not moved for this long — while someone
+    /// is blocked on it — is declared dead.
+    std::uint64_t suspect_after_ms = 25;
+  };
+
   struct Options {
     /// Per-link mailbox bound; 0 means the model's capacity ceil(L/g).
     std::size_t mailbox_capacity = 0;
     /// Abort a run whose blocking wait exceeds this (a plan or engine bug
-    /// must fail loudly, not hang the pool).
+    /// must fail loudly, not hang the pool).  The clock starts when the
+    /// run is dispatched, not while it queues behind another run.
     std::uint64_t timeout_ms = 20000;
+    Recovery recovery;
   };
 
   Engine() = default;
@@ -96,20 +149,22 @@ class Engine {
   /// kMove: `item_values[i]` is item i's payload (sizes may differ per
   /// item).  Every processor named in an initial placement starts with its
   /// items seeded; on return every processor's slots hold what the plan
-  /// delivered.
-  ExecReport run(const Program& program, const std::vector<Bytes>& item_values);
+  /// delivered.  `injector` (optional, non-owning, must outlive the call)
+  /// enables fault injection plus the acked-delivery protocol.
+  ExecReport run(const Program& program, const std::vector<Bytes>& item_values,
+                 const fault::Injector* injector = nullptr);
 
   /// kFold: `values[p]` is processor p's initial value; receives fold with
   /// `op` in arrival order.  The root's accumulator is the result.
   ExecReport run(const Program& program, const std::vector<Bytes>& values,
-                 const CombineFn& op);
+                 const CombineFn& op, const fault::Injector* injector = nullptr);
 
   /// kSum: `operands[i]` are the local operands of plan.procs[i] (counts
   /// must match sum::operand_layout; throws otherwise), folded with `op` in
   /// the plan's combination order.
   ExecReport run(const Program& program,
                  const std::vector<std::vector<Bytes>>& operands,
-                 const CombineFn& op);
+                 const CombineFn& op, const fault::Injector* injector = nullptr);
 
   /// The process-wide engine api::Communicator's run_* entry points use by
   /// default.  Thread-safe: concurrent runs serialize on the pool.
@@ -122,10 +177,13 @@ class Engine {
                       const std::vector<Bytes>* item_values,
                       const std::vector<Bytes>* fold_values,
                       const std::vector<std::vector<Bytes>>* operands,
-                      const CombineFn* op);
+                      const CombineFn* op, const fault::Injector* injector);
 
   Options opts_;
   ThreadPool pool_;
+  /// Serializes runs on this engine *before* the watchdog clock starts, so
+  /// a run queued behind a long one gets its full timeout budget.
+  std::mutex run_mu_;
 };
 
 }  // namespace logpc::exec

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <stdexcept>
 #include <vector>
 
 #include "logp/time.hpp"
@@ -16,13 +17,21 @@
 /// processor, so a mailbox of capacity ceil(L/g) can never reject a send
 /// that a valid schedule performs — and a sender that runs far ahead of its
 /// receiver blocks exactly where the model says the network would stall it.
-/// Engine::run sizes every mailbox with Params::capacity().
+/// Engine::run sizes every mailbox with Params::capacity().  A capacity of
+/// zero is a caller bug — a machine whose network admits no message cannot
+/// run any schedule — and is rejected loudly rather than silently clamped
+/// to a different network than the model prescribes.
 ///
 /// Concurrency: the classic Lamport ring.  The producer owns `tail_`, the
 /// consumer owns `head_`; each publishes its index with a release store and
 /// reads the other's with an acquire load, so the slot payload written
 /// before a push is visible after the matching pop with no locks and no
 /// waiting on either side (both operations are a handful of instructions).
+///
+/// Under fault injection the engine runs an acked-delivery protocol: each
+/// data mailbox is paired with a reverse AckRing carrying the highest
+/// sequence number the receiver has accepted, so a sender can retransmit a
+/// dropped message after a timeout (see engine.cpp).
 
 namespace logpc::exec {
 
@@ -30,24 +39,37 @@ namespace logpc::exec {
 /// bytes.  The pointer refers into the sending processor's buffers, which
 /// the engine keeps immutable from push until the end of the run, so the
 /// receiver may copy (or fold) from it directly — the release/acquire pair
-/// on the ring index orders the payload writes before the read.
+/// on the ring index orders the payload writes before the read.  `seq` is
+/// the 1-based per-link sequence number used by the acked-delivery
+/// protocol; 0 when the run executes without reliability.
 struct Message {
   ItemId item = 0;
   const std::byte* data = nullptr;
   std::size_t size = 0;
+  std::uint64_t seq = 0;
 };
 
-class SpscMailbox {
+/// Bounded lock-free SPSC ring over trivially-copyable slots.  Throws
+/// std::invalid_argument on capacity == 0: every legal LogP machine admits
+/// at least one in-flight message, so a zero capacity is always a bug at
+/// the call site, not a configuration to round up.
+template <typename T>
+class SpscRing {
  public:
-  explicit SpscMailbox(std::size_t capacity)
-      : cap_(capacity == 0 ? 1 : capacity), slots_(cap_) {}
+  explicit SpscRing(std::size_t capacity) : cap_(capacity), slots_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument(
+          "SpscRing: capacity must be >= 1 (the LogP capacity constraint "
+          "ceil(L/g) is at least 1 on every valid machine)");
+    }
+  }
 
-  SpscMailbox(const SpscMailbox&) = delete;
-  SpscMailbox& operator=(const SpscMailbox&) = delete;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
 
   /// Producer side.  False when the ring is full (capacity messages
   /// pushed and not yet popped) — the caller decides how to wait.
-  bool try_push(const Message& m) {
+  bool try_push(const T& m) {
     const std::size_t t = tail_.load(std::memory_order_relaxed);
     const std::size_t used = t - head_.load(std::memory_order_acquire);
     if (used == cap_) return false;
@@ -62,7 +84,7 @@ class SpscMailbox {
   }
 
   /// Consumer side.  False when empty.
-  bool try_pop(Message& out) {
+  bool try_pop(T& out) {
     const std::size_t h = head_.load(std::memory_order_relaxed);
     if (tail_.load(std::memory_order_acquire) == h) return false;
     out = slots_[h % cap_];
@@ -88,10 +110,20 @@ class SpscMailbox {
 
  private:
   std::size_t cap_;
-  std::vector<Message> slots_;
+  std::vector<T> slots_;
   alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
   alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor
   alignas(64) std::atomic<std::size_t> max_occupancy_{0};
 };
+
+/// The per-link payload channel.
+class SpscMailbox : public SpscRing<Message> {
+ public:
+  using SpscRing<Message>::SpscRing;
+};
+
+/// The per-link reverse acknowledgment channel: values are cumulative — the
+/// highest per-link sequence number the receiver has accepted.
+using AckRing = SpscRing<std::uint64_t>;
 
 }  // namespace logpc::exec

@@ -1,0 +1,101 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace logpc::fault {
+
+namespace {
+
+/// SplitMix64: the decision hash.  Good avalanche from tiny code, so one
+/// mixed word per decision point is enough for injection probabilities.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Uniform [0, 1) from a chain of decision-point words.
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t mix(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                  std::uint64_t b, std::uint64_t c, std::uint64_t d) {
+  std::uint64_t h = splitmix64(seed ^ (tag * 0x9e3779b97f4a7c15ull));
+  h = splitmix64(h ^ a);
+  h = splitmix64(h ^ b);
+  h = splitmix64(h ^ c);
+  h = splitmix64(h ^ d);
+  return h;
+}
+
+constexpr std::uint64_t kDelayTag = 1;
+constexpr std::uint64_t kDropTag = 2;
+
+}  // namespace
+
+std::string_view fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDrop:  return "drop";
+    case FaultKind::kSlow:  return "slow";
+    case FaultKind::kDead:  return "dead";
+  }
+  return "unknown";
+}
+
+FaultSpec remap_without(const FaultSpec& spec, ProcId removed) {
+  FaultSpec out = spec;
+  const auto shift = [removed](ProcId r) -> ProcId {
+    return r > removed ? r - 1 : r;
+  };
+  out.slow_ranks.clear();
+  for (const ProcId r : spec.slow_ranks) {
+    if (r != removed) out.slow_ranks.push_back(shift(r));
+  }
+  if (spec.dead_rank == removed) {
+    out.dead_rank = kNoProc;  // already fired
+  } else if (spec.dead_rank != kNoProc) {
+    out.dead_rank = shift(spec.dead_rank);
+  }
+  return out;
+}
+
+Injector::Injector(FaultSpec spec) : spec_(std::move(spec)) {
+  for (const ProcId r : spec_.slow_ranks) {
+    if (r >= 0 && r < 64) slow_mask_ |= 1ull << r;
+  }
+}
+
+std::uint64_t Injector::send_delay_ns(ProcId from, std::int32_t link,
+                                      std::uint64_t seq) const {
+  if (spec_.delay_prob <= 0.0 || spec_.delay_ns == 0) return 0;
+  const std::uint64_t h =
+      mix(spec_.seed, kDelayTag, static_cast<std::uint64_t>(from),
+          static_cast<std::uint64_t>(link), seq, 0);
+  return to_unit(h) < spec_.delay_prob ? spec_.delay_ns : 0;
+}
+
+bool Injector::drop_delivery(ProcId to, std::int32_t link, std::uint64_t seq,
+                             std::uint64_t attempt) const {
+  if (spec_.drop_prob <= 0.0) return false;
+  if (attempt > static_cast<std::uint64_t>(
+                    std::max(0, spec_.max_drops_per_message))) {
+    return false;
+  }
+  const std::uint64_t h =
+      mix(spec_.seed, kDropTag, static_cast<std::uint64_t>(to),
+          static_cast<std::uint64_t>(link), seq, attempt);
+  return to_unit(h) < spec_.drop_prob;
+}
+
+bool Injector::is_slow(ProcId rank) const {
+  if (spec_.slow_stall_ns == 0) return false;
+  if (rank >= 0 && rank < 64) return (slow_mask_ >> rank) & 1;
+  return std::find(spec_.slow_ranks.begin(), spec_.slow_ranks.end(), rank) !=
+         spec_.slow_ranks.end();
+}
+
+}  // namespace logpc::fault

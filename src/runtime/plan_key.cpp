@@ -82,7 +82,7 @@ bool is_postal_problem(Problem p) {
 }
 
 PlanKey PlanKey::make(Problem problem, const Params& params, std::int64_t k,
-                      ProcId root) {
+                      ProcId root, std::uint64_t mask) {
   params.require_valid();
   if (k < 1) throw std::invalid_argument("PlanKey: k must be >= 1");
   if (root < 0 || root >= params.P) {
@@ -95,6 +95,22 @@ PlanKey PlanKey::make(Problem problem, const Params& params, std::int64_t k,
                    : params;
   key.k = uses_k(problem) ? k : 1;
   key.root = uses_root(problem) ? root : 0;
+  if (mask != 0) {
+    if (params.P > 64) {
+      throw std::invalid_argument(
+          "PlanKey: membership masks require P <= 64");
+    }
+    const std::uint64_t full =
+        params.P == 64 ? ~0ull : (1ull << params.P) - 1;
+    if ((mask & ~full) != 0) {
+      throw std::invalid_argument("PlanKey: mask has bits >= P set");
+    }
+    if (uses_root(problem) && ((mask >> key.root) & 1) == 0) {
+      throw std::invalid_argument(
+          "PlanKey: mask excludes the root of a rooted problem");
+    }
+    key.mask = mask == full ? 0 : mask;  // full membership is the fast path
+  }
   return key;
 }
 
@@ -148,12 +164,17 @@ std::size_t PlanKey::hash() const {
   mix(static_cast<std::uint64_t>(params.g));
   mix(static_cast<std::uint64_t>(k));
   mix(static_cast<std::uint64_t>(root));
+  mix(mask);
   return static_cast<std::size_t>(h);
 }
 
 std::ostream& operator<<(std::ostream& os, const PlanKey& key) {
   os << problem_name(key.problem) << "(" << key.params << ", k=" << key.k
-     << ", root=" << key.root << ")";
+     << ", root=" << key.root;
+  if (key.mask != 0) {
+    os << ", mask=0x" << std::hex << key.mask << std::dec;
+  }
+  os << ")";
   return os;
 }
 

@@ -1,9 +1,11 @@
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "logp/params.hpp"
 
@@ -69,14 +71,45 @@ struct PlanKey {
   Params params;       ///< canonical machine (postal-projected when due)
   std::int64_t k = 1;  ///< item / operand count (1 when irrelevant)
   ProcId root = 0;     ///< source or destination (0 when irrelevant)
+  /// Membership mask: bit r set means physical rank r participates.  0 is
+  /// the common fast path meaning "all P ranks".  A non-zero mask (the
+  /// recovery layer's degraded re-plan over the survivors of a rank
+  /// failure) requires P <= 64, every set bit < P, and — for rooted
+  /// problems — the root bit set; an all-ones mask normalizes back to 0 so
+  /// the degenerate spelling cannot split the cache.
+  std::uint64_t mask = 0;
 
   /// Builds the canonical key for a request stated on the *physical*
   /// machine `params` (normalization applied here).  Throws
-  /// std::invalid_argument for an invalid machine, a root out of range, or
-  /// k < 1.  Idempotent: make(key.problem, key.params, key.k, key.root)
-  /// returns the key unchanged.
+  /// std::invalid_argument for an invalid machine, a root out of range,
+  /// k < 1, or an ill-formed membership mask.  Idempotent:
+  /// make(key.problem, key.params, key.k, key.root, key.mask) returns the
+  /// key unchanged.
   [[nodiscard]] static PlanKey make(Problem problem, const Params& params,
-                                    std::int64_t k = 1, ProcId root = 0);
+                                    std::int64_t k = 1, ProcId root = 0,
+                                    std::uint64_t mask = 0);
+
+  /// Participating ranks: popcount of the mask, or P when the mask is 0.
+  [[nodiscard]] int live_count() const {
+    return mask == 0 ? params.P : std::popcount(mask);
+  }
+
+  /// Participating physical ranks in increasing order.  Index i of this
+  /// vector is the plan's processor i: the masked plan is built on the
+  /// compacted machine of live_count() processors, and this is the map
+  /// from plan (virtual) ranks back to physical ones.
+  [[nodiscard]] std::vector<ProcId> live_ranks() const {
+    std::vector<ProcId> out;
+    out.reserve(static_cast<std::size_t>(live_count()));
+    if (mask == 0) {
+      for (ProcId r = 0; r < params.P; ++r) out.push_back(r);
+    } else {
+      for (ProcId r = 0; r < params.P; ++r) {
+        if ((mask >> r) & 1) out.push_back(r);
+      }
+    }
+    return out;
+  }
 
   // Conveniences mirroring the api::Communicator surface.
   [[nodiscard]] static PlanKey broadcast(const Params& p, ProcId root = 0);

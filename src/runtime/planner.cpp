@@ -1,5 +1,6 @@
 #include "runtime/planner.hpp"
 
+#include <bit>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -196,6 +197,22 @@ PlanPtr Planner::plan(const PlanKey& key) {
 }
 
 Plan Planner::build_uncached(const PlanKey& key) {
+  if (key.mask != 0) {
+    // Degraded membership (the recovery layer re-planning around dead
+    // ranks): build on the compacted machine of the survivors — the
+    // paper's constructions are universal in P, so the plan over the
+    // live_count() processors is itself optimal — then stamp the masked
+    // key back on.  Plan processor i is physical rank live_ranks()[i]; the
+    // caller (api::Communicator::run_broadcast_ft) owns that mapping.
+    Params compact = key.params;
+    compact.P = key.live_count();
+    const std::uint64_t below_root = key.mask & ((1ull << key.root) - 1);
+    const auto virtual_root = static_cast<ProcId>(std::popcount(below_root));
+    Plan plan = build_uncached(
+        PlanKey::make(key.problem, compact, key.k, virtual_root));
+    plan.key = key;
+    return plan;
+  }
   const Params& m = key.params;
   const int k = static_cast<int>(key.k);
   Plan plan;

@@ -10,7 +10,10 @@ namespace logpc::runtime {
 
 namespace {
 
-constexpr char kHeader[] = "logpc-plansnap v1\n";
+// v2 appends the membership mask to each key (after root); v1 snapshots
+// still load, with mask = 0 (a v1 file can only hold full-membership keys).
+constexpr char kHeader[] = "logpc-plansnap v2\n";
+constexpr char kHeaderV1[] = "logpc-plansnap v1\n";
 constexpr std::size_t kHeaderLen = 18;
 
 [[noreturn]] void fail(const std::string& what) {
@@ -58,6 +61,7 @@ void write_plan(std::ostream& os, const Plan& plan) {
   put_i64(os, plan.key.params.g);
   put_i64(os, plan.key.k);
   put_i64(os, plan.key.root);
+  put_i64(os, static_cast<std::int64_t>(plan.key.mask));
   put_i64(os, plan.completion);
   put_i64(os, plan.slack);
   put_i64(os, plan.max_buffer_depth);
@@ -66,7 +70,7 @@ void write_plan(std::ostream& os, const Plan& plan) {
   write_binary(os, plan.schedule);
 }
 
-Plan read_plan(std::istream& is) {
+Plan read_plan(std::istream& is, int version) {
   const std::int64_t problem = get_i64(is);
   if (problem < 0 || problem >= kNumProblems) fail("unknown problem id");
   Params params;
@@ -76,15 +80,20 @@ Plan read_plan(std::istream& is) {
   params.g = get_i64(is);
   const std::int64_t k = get_i64(is);
   const auto root = static_cast<ProcId>(get_i64(is));
+  const std::uint64_t mask =
+      version >= 2 ? static_cast<std::uint64_t>(get_i64(is)) : 0;
   Plan plan;
   try {
     // Re-canonicalize: a key that round-trips differently (or is garbage)
     // must not enter the cache under a mismatched slot.
-    plan.key = PlanKey::make(static_cast<Problem>(problem), params, k, root);
+    plan.key =
+        PlanKey::make(static_cast<Problem>(problem), params, k, root, mask);
   } catch (const std::invalid_argument& e) {
     fail(std::string("bad key: ") + e.what());
   }
-  if (plan.key.params != params) fail("key not canonical");
+  if (plan.key.params != params || plan.key.mask != mask) {
+    fail("key not canonical");
+  }
   plan.completion = get_i64(is);
   plan.slack = static_cast<int>(get_i64(is));
   plan.max_buffer_depth = static_cast<int>(get_i64(is));
@@ -118,14 +127,20 @@ std::size_t save_snapshot(const PlanCache& cache, const std::string& path) {
 
 std::size_t load_snapshot(PlanCache& cache, std::istream& is) {
   char header[kHeaderLen];
-  if (!is.read(header, kHeaderLen) ||
-      std::string(header, kHeaderLen) != std::string(kHeader, kHeaderLen)) {
+  if (!is.read(header, kHeaderLen)) fail("bad header");
+  const std::string got(header, kHeaderLen);
+  int version = 0;
+  if (got == std::string(kHeader, kHeaderLen)) {
+    version = 2;
+  } else if (got == std::string(kHeaderV1, kHeaderLen)) {
+    version = 1;
+  } else {
     fail("bad header");
   }
   const std::int64_t count = get_i64(is);
   if (count < 0) fail("negative entry count");
   for (std::int64_t i = 0; i < count; ++i) {
-    auto plan = std::make_shared<const Plan>(read_plan(is));
+    auto plan = std::make_shared<const Plan>(read_plan(is, version));
     cache.put(plan->key, plan);
   }
   return static_cast<std::size_t>(count);

@@ -11,7 +11,8 @@
 /// process can start hot — save on shutdown (or from a cron'd warmer), load
 /// before taking traffic, then warm only the difference.
 ///
-/// Format: header "logpc-plansnap v1\n", a 64-bit entry count, then per
+/// Format: header "logpc-plansnap v2\n" (v1 files, which predate the
+/// membership mask, still load), a 64-bit entry count, then per
 /// entry the canonical key, the scalar metadata, and the schedule in the
 /// sched/io binary form.  Loading re-canonicalizes each key through
 /// PlanKey::make and structurally validates each schedule, so a corrupt or

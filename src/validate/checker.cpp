@@ -313,4 +313,26 @@ CheckResult check_delivery_order(
   return result;
 }
 
+CheckResult check_exactly_once(
+    const std::vector<std::vector<DeliveryRecord>>& observed) {
+  CheckResult result;
+  for (std::size_t p = 0; p < observed.size(); ++p) {
+    const auto& obs = observed[p];
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      for (std::size_t j = i + 1; j < obs.size(); ++j) {
+        if (obs[i] == obs[j]) {
+          result.violations.push_back(Violation{
+              Rule::kDuplicateReceive,
+              "P" + std::to_string(p) + " accepted item " +
+                  std::to_string(obs[i].item) + " from P" +
+                  std::to_string(obs[i].from) + " twice (receptions " +
+                  std::to_string(i) + " and " + std::to_string(j) +
+                  ") — a retransmitted duplicate leaked through"});
+        }
+      }
+    }
+  }
+  return result;
+}
+
 }  // namespace logpc::validate

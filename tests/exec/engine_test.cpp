@@ -294,8 +294,48 @@ TEST(Engine, TimesOutInsteadOfHangingOnImpossibleProgram) {
   prog.links.push_back(Link{1, 0});
   prog.procs[0].instrs.push_back(
       Instr{OpCode::kRecv, /*peer=*/1, /*item=*/0, 0, /*link=*/0, 0});
-  Engine engine(Engine::Options{.mailbox_capacity = 0, .timeout_ms = 100});
+  Engine::Options short_fuse;
+  short_fuse.timeout_ms = 100;
+  Engine engine(short_fuse);
   EXPECT_THROW((void)engine.run(prog, {tu::of_u64(1)}), std::runtime_error);
+}
+
+TEST(Engine, TimeoutJoinsWorkersAndLeavesThePoolReusable) {
+  // The watchdog fix: when a run times out, every worker must have been
+  // signalled and rejoined the pool barrier and all mailboxes drained
+  // BEFORE the error propagates — no thread may still be blocked on a
+  // dead run's state.  Under TSan this doubles as a leak/race check.
+  Program impossible;
+  impossible.params = Params{2, 2, 0, 1};
+  impossible.mode = Mode::kMove;
+  impossible.label = "impossible";
+  impossible.num_items = 1;
+  impossible.procs.resize(2);
+  impossible.procs[0].proc = 0;
+  impossible.procs[1].proc = 1;
+  impossible.links.push_back(Link{1, 0});
+  impossible.procs[0].instrs.push_back(
+      Instr{OpCode::kRecv, /*peer=*/1, /*item=*/0, 0, /*link=*/0, 0});
+
+  Engine::Options short_fuse;
+  short_fuse.timeout_ms = 100;
+  Engine engine(short_fuse);
+  EXPECT_THROW((void)engine.run(impossible, {tu::of_u64(1)}),
+               std::runtime_error);
+  const std::size_t workers = engine.pool().size();
+  const std::uint64_t epochs = engine.pool().epochs();
+
+  // The same engine must run a real collective immediately afterwards:
+  // the abort left no stuck worker and no stale message behind.
+  const Params params{8, 4, 1, 2};
+  const Schedule s = bcast::optimal_single_item(params);
+  const ExecReport report =
+      engine.run(compile_broadcast(s), {tu::of_str("alive")});
+  for (ProcId p = 0; p < params.P; ++p) {
+    EXPECT_EQ(tu::to_str(report.item_at(p, 0)), "alive");
+  }
+  EXPECT_GE(engine.pool().size(), workers);
+  EXPECT_EQ(engine.pool().epochs(), epochs + 1);
 }
 
 }  // namespace

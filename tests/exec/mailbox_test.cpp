@@ -23,11 +23,26 @@ TEST(Mailbox, StartsEmpty) {
   EXPECT_FALSE(mb.try_pop(out));
 }
 
-TEST(Mailbox, ZeroCapacityClampsToOne) {
-  SpscMailbox mb(0);
-  EXPECT_EQ(mb.capacity(), 1u);
-  EXPECT_TRUE(mb.try_push(msg(7)));
-  EXPECT_FALSE(mb.try_push(msg(8)));
+/// Capacity 0 used to be silently clamped to 1, masking degenerate LogP
+/// parameters (ceil(L/g) >= 1 on every valid machine).  Now it is rejected
+/// loudly so the caller fixes the machine instead of relying on a ring
+/// that the model says cannot exist.
+TEST(Mailbox, ZeroCapacityIsRejected) {
+  EXPECT_THROW(SpscMailbox mb(0), std::invalid_argument);
+  EXPECT_THROW(AckRing ar(0), std::invalid_argument);
+}
+
+TEST(AckRing, CarriesCumulativeSequenceNumbers) {
+  AckRing ar(2);
+  EXPECT_TRUE(ar.try_push(1));
+  EXPECT_TRUE(ar.try_push(3));
+  EXPECT_FALSE(ar.try_push(4));  // full — sender falls back to retransmit
+  std::uint64_t seq = 0;
+  ASSERT_TRUE(ar.try_pop(seq));
+  EXPECT_EQ(seq, 1u);
+  ASSERT_TRUE(ar.try_pop(seq));
+  EXPECT_EQ(seq, 3u);
+  EXPECT_FALSE(ar.try_pop(seq));
 }
 
 TEST(Mailbox, RejectsPushWhenFull) {

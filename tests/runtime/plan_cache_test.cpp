@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <thread>
 #include <vector>
 
@@ -114,6 +115,16 @@ TEST(PlanCache, ShardCountIsClampedToCapacity) {
 TEST(PlanCache, RejectsNullPlans) {
   PlanCache cache(4, 1);
   EXPECT_THROW(cache.put(key_for(0), nullptr), std::invalid_argument);
+}
+
+TEST(PlanCache, FreshStatsHitRatioIsZeroNotNaN) {
+  // Regression: hit_ratio() divides hits by lookups; with zero lookups the
+  // naive quotient is 0/0 = NaN, which poisons dashboards and any
+  // comparison downstream.  A fresh stats block must report exactly 0.0.
+  const CacheStats fresh{};
+  EXPECT_EQ(fresh.hits + fresh.misses, 0u);
+  EXPECT_FALSE(std::isnan(fresh.hit_ratio()));
+  EXPECT_DOUBLE_EQ(fresh.hit_ratio(), 0.0);
 }
 
 TEST(PlanCache, HitRatioTracksLookups) {
