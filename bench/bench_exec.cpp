@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "api/communicator.hpp"
+#include "exec/mailbox.hpp"
 #include "exec/measure.hpp"
 #include "sum/executor.hpp"
 
@@ -170,6 +171,50 @@ void BM_ExecSummation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ExecSummation);
+
+/// Producer hot-path regression gauge for the mailbox stats flag: push/pop
+/// cycles through a ring with occupancy tracking on (Arg(1)) vs off
+/// (Arg(0)).  The off lane must never be slower — it exists to shed the
+/// high-water bookkeeping from the fast path.
+void BM_MailboxPush(benchmark::State& state) {
+  const bool stats = state.range(0) != 0;
+  exec::SpscMailbox mb(64, stats);
+  const exec::Bytes payload = payload_of(64);
+  const exec::Message m{0, payload.data(), payload.size(), 0};
+  exec::Message out;
+  for (auto _ : state) {
+    if (!mb.try_push(m)) {
+      while (mb.try_pop(out)) benchmark::DoNotOptimize(out.item);
+    }
+  }
+  state.SetLabel(stats ? "stats_on" : "stats_off");
+}
+BENCHMARK(BM_MailboxPush)->Arg(0)->Arg(1);
+
+/// Bulk vs single-message drain on a full ring.
+void BM_MailboxDrain(benchmark::State& state) {
+  const bool bulk = state.range(0) != 0;
+  exec::SpscMailbox mb(64, false);
+  const exec::Bytes payload = payload_of(64);
+  const exec::Message m{0, payload.data(), payload.size(), 0};
+  std::vector<exec::Message> pending;
+  pending.reserve(64);
+  for (auto _ : state) {
+    while (mb.try_push(m)) {
+    }
+    if (bulk) {
+      pending.clear();
+      while (mb.pop_bulk(pending, 64) > 0) {
+      }
+      benchmark::DoNotOptimize(pending.data());
+    } else {
+      exec::Message out;
+      while (mb.try_pop(out)) benchmark::DoNotOptimize(out.item);
+    }
+  }
+  state.SetLabel(bulk ? "bulk" : "single");
+}
+BENCHMARK(BM_MailboxDrain)->Arg(0)->Arg(1);
 
 }  // namespace
 

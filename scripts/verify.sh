@@ -35,8 +35,8 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   cmake --build build-tsan -j "$JOBS" \
     --target test_plan_cache test_planner test_snapshot test_fib \
              test_obs_metrics test_obs_trace \
-             test_exec_mailbox test_exec_engine test_communicator_exec \
-             test_fault
+             test_exec_mailbox test_exec_kernels test_exec_engine \
+             test_communicator_exec test_fault
   ./build-tsan/tests/test_plan_cache
   ./build-tsan/tests/test_planner
   ./build-tsan/tests/test_snapshot
@@ -44,6 +44,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/test_obs_metrics
   ./build-tsan/tests/test_obs_trace
   ./build-tsan/tests/test_exec_mailbox
+  ./build-tsan/tests/test_exec_kernels
   ./build-tsan/tests/test_exec_engine
   ./build-tsan/tests/test_communicator_exec
   # Fault-injection suite at the CI seed matrix: fault decisions are pure
@@ -61,8 +62,8 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   cmake --build build-asan -j "$JOBS" \
     --target test_obs_metrics test_obs_trace test_obs_chrome \
              test_plan_cache test_planner test_snapshot \
-             test_exec_mailbox test_exec_engine test_communicator_exec \
-             test_exec_property test_fault
+             test_exec_mailbox test_exec_kernels test_exec_engine \
+             test_communicator_exec test_exec_property test_fault
   ./build-asan/tests/test_obs_metrics
   ./build-asan/tests/test_obs_trace
   ./build-asan/tests/test_obs_chrome
@@ -70,6 +71,7 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   ./build-asan/tests/test_planner
   ./build-asan/tests/test_snapshot
   ./build-asan/tests/test_exec_mailbox
+  ./build-asan/tests/test_exec_kernels
   ./build-asan/tests/test_exec_engine
   ./build-asan/tests/test_communicator_exec
   ./build-asan/tests/test_exec_property

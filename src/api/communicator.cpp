@@ -165,6 +165,15 @@ exec::ExecReport Communicator::run_reduce(const std::vector<exec::Bytes>& values
   return engine_or_shared(engine).run(program, values, op);
 }
 
+exec::ExecReport Communicator::run_reduce(const std::vector<exec::Bytes>& values,
+                                          const exec::Combiner& op,
+                                          ProcId root,
+                                          exec::Engine* engine) const {
+  const obs::Span span("comm.run_reduce", "comm");
+  const exec::Program program = exec::compile_reduction(reduce(root));
+  return engine_or_shared(engine).run(program, values, op);
+}
+
 exec::ExecReport Communicator::run_allgather(
     const std::vector<exec::Bytes>& contributions, exec::Engine* engine) const {
   const obs::Span span("comm.run_allgather", "comm");
@@ -275,6 +284,14 @@ FtRunResult Communicator::run_broadcast_ft(std::span<const std::byte> payload,
 exec::ExecReport Communicator::run_reduce_operands(
     Count n, const std::vector<std::vector<exec::Bytes>>& operands,
     const exec::CombineFn& op, exec::Engine* engine) const {
+  const obs::Span span("comm.run_reduce_operands", "comm");
+  const exec::Program program = exec::compile_summation(reduce_operands(n));
+  return engine_or_shared(engine).run(program, operands, op);
+}
+
+exec::ExecReport Communicator::run_reduce_operands(
+    Count n, const std::vector<std::vector<exec::Bytes>>& operands,
+    const exec::Combiner& op, exec::Engine* engine) const {
   const obs::Span span("comm.run_reduce_operands", "comm");
   const exec::Program program = exec::compile_summation(reduce_operands(n));
   return engine_or_shared(engine).run(program, operands, op);

@@ -166,6 +166,12 @@ class Communicator {
   [[nodiscard]] exec::ExecReport run_reduce(
       const std::vector<exec::Bytes>& values, const exec::CombineFn& op,
       ProcId root = 0, exec::Engine* engine = nullptr) const;
+  /// As above with a typed combiner: folds whose operand sizes match take
+  /// the fused SIMD kernel for op.spec() (exec::ExecReport::kernel_folds
+  /// counts them); mismatched sizes fall back to the scalar lane.
+  [[nodiscard]] exec::ExecReport run_reduce(
+      const std::vector<exec::Bytes>& values, const exec::Combiner& op,
+      ProcId root = 0, exec::Engine* engine = nullptr) const;
 
   /// All-gather via the Section 4.1 all-to-all broadcast: every processor
   /// contributes contributions[p] and ends holding all P payloads
@@ -196,6 +202,11 @@ class Communicator {
   [[nodiscard]] exec::ExecReport run_reduce_operands(
       Count n, const std::vector<std::vector<exec::Bytes>>& operands,
       const exec::CombineFn& op, exec::Engine* engine = nullptr) const;
+  /// Typed-combiner variant: size-matched folds run on the SIMD kernel,
+  /// still in the plan's (possibly non-commutative) combination order.
+  [[nodiscard]] exec::ExecReport run_reduce_operands(
+      Count n, const std::vector<std::vector<exec::Bytes>>& operands,
+      const exec::Combiner& op, exec::Engine* engine = nullptr) const;
 
  private:
   Params params_;

@@ -1,0 +1,67 @@
+#include "exec/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace logpc::exec {
+
+namespace {
+
+constexpr std::size_t align_up(std::size_t n, std::size_t a) noexcept {
+  return (n + a - 1) / a * a;
+}
+
+}  // namespace
+
+BufferArena::Chunk& BufferArena::grow(std::size_t at_least) {
+  const std::size_t cap =
+      std::min(kMaxChunk, std::max(next_chunk_, align_up(at_least, kAlignment)));
+  // Chunks never shrink the growth cursor: the doubling schedule bounds the
+  // chunk count at O(log total) however allocation sizes interleave.
+  next_chunk_ = std::min(kMaxChunk, std::max(next_chunk_ * 2, cap));
+  Chunk c;
+  c.mem.reset(static_cast<std::byte*>(
+      ::operator new[](cap, std::align_val_t{kAlignment})));
+  c.cap = cap;
+  reserved_ += cap;
+  chunks_.push_back(std::move(c));
+  return chunks_.back();
+}
+
+std::byte* BufferArena::allocate(std::size_t n) {
+  const std::size_t need = align_up(std::max<std::size_t>(n, 1), kAlignment);
+  if (need > kMaxChunk) {
+    // Oversized request: dedicated chunk, exact fit.
+    Chunk c;
+    c.mem.reset(static_cast<std::byte*>(
+        ::operator new[](need, std::align_val_t{kAlignment})));
+    c.cap = need;
+    c.used = need;
+    reserved_ += need;
+    used_ += need;
+    // The oversized chunk is born full; the active cursor stays on the
+    // current bump chunk so small allocations keep filling it.
+    chunks_.push_back(std::move(c));
+    return chunks_.back().mem.get();
+  }
+  while (active_ < chunks_.size() && chunks_[active_].cap - chunks_[active_].used < need) {
+    ++active_;
+  }
+  if (active_ >= chunks_.size()) {
+    grow(need);
+    active_ = chunks_.size() - 1;
+  }
+  Chunk& c = chunks_[active_];
+  std::byte* p = c.mem.get() + c.used;
+  c.used += need;
+  used_ += need;
+  return p;
+}
+
+void BufferArena::reset() noexcept {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+  used_ = 0;
+}
+
+}  // namespace logpc::exec

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+/// \file arena.hpp
+/// Per-run bump-pointer buffer arena for the execution engine's payload
+/// staging.  A run needs one byte slot per (processor, item) pair that the
+/// plan actually touches; before this arena each slot was its own heap
+/// `std::vector<std::byte>`, allocated lazily inside the receive hot path.
+/// The arena carves all slots out of a handful of 64-byte-aligned chunks on
+/// the main thread *before* workers are dispatched, so the per-message path
+/// is a plain memcpy into cache-line-aligned memory — no allocator, no
+/// lock, and typed combine kernels always see aligned operands.
+///
+/// Concurrency contract: allocate() is called only while the run is
+/// single-threaded (setup).  Workers then write through the returned
+/// pointers — each slot has exactly one owning worker, and the thread-pool
+/// completion barrier publishes the bytes back to the main thread.  The
+/// arena must outlive every pointer it handed out (the engine keeps it on
+/// the run's stack frame, which outlives the pool epoch).
+
+namespace logpc::exec {
+
+class BufferArena {
+ public:
+  static constexpr std::size_t kAlignment = 64;
+
+  /// `initial_chunk` is the first chunk's payload capacity in bytes;
+  /// later chunks double until kMaxChunk.
+  explicit BufferArena(std::size_t initial_chunk = 1 << 16)
+      : next_chunk_(initial_chunk < kAlignment ? kAlignment : initial_chunk) {}
+
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+  BufferArena(BufferArena&&) = default;
+  BufferArena& operator=(BufferArena&&) = default;
+
+  /// 64-byte-aligned bump allocation; never returns nullptr (throws
+  /// std::bad_alloc when the chunk allocation itself fails).  A zero-size
+  /// request still returns a unique aligned pointer so empty payload slots
+  /// stay distinguishable.
+  std::byte* allocate(std::size_t n);
+
+  /// Rewinds every chunk without releasing memory: the next run on the
+  /// same arena reuses the reserved chunks.
+  void reset() noexcept;
+
+  /// Total bytes handed out (after per-allocation alignment rounding).
+  [[nodiscard]] std::size_t bytes_used() const noexcept { return used_; }
+  /// Total chunk capacity currently reserved.
+  [[nodiscard]] std::size_t bytes_reserved() const noexcept {
+    return reserved_;
+  }
+  [[nodiscard]] std::size_t chunk_count() const noexcept {
+    return chunks_.size();
+  }
+
+ private:
+  static constexpr std::size_t kMaxChunk = std::size_t{1} << 26;  // 64 MiB
+
+  struct AlignedDelete {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete[](p, std::align_val_t{kAlignment});
+    }
+  };
+  struct Chunk {
+    std::unique_ptr<std::byte[], AlignedDelete> mem;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+  };
+
+  Chunk& grow(std::size_t at_least);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< index of the chunk being bumped
+  std::size_t next_chunk_;
+  std::size_t used_ = 0;
+  std::size_t reserved_ = 0;
+};
+
+}  // namespace logpc::exec

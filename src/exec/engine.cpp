@@ -4,12 +4,14 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
 
+#include "exec/arena.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_recorder.hpp"
 
@@ -56,9 +58,29 @@ struct Failure {
 /// worker bumps its own slot on every instruction and every spin-wait tick;
 /// a peer blocked on rank r accuses r dead only after r's slot has stayed
 /// frozen for Recovery::suspect_after_ms — so a slow-but-alive rank (which
-/// keeps bumping while it stalls) is never excluded.
+/// keeps bumping while it stalls) is never excluded.  A parked worker
+/// (WaitPolicy::Mode::kPark) wakes on every ParkGate tick and bumps, so
+/// parking never looks like death.
 struct alignas(64) Heartbeat {
   std::atomic<std::uint64_t> v{0};
+};
+
+/// kMove payload staging: one arena-carved, 64-byte-aligned region per
+/// (processor, item) slot the plan touches.  Workers memcpy into their own
+/// slots; the pool's completion barrier publishes the bytes, and the
+/// epilogue copies filled slots into the report's user-facing vectors.
+struct Slot {
+  std::byte* data = nullptr;
+  std::size_t size = 0;
+};
+
+/// Consumer-side drain buffer, one per link (each link has exactly one
+/// consumer).  pop_bulk refills it with every message the stream is about
+/// to consume back-to-back (Instr::chain), amortizing the ring's
+/// acquire/release pair across the batch.
+struct PendingQ {
+  std::vector<Message> buf;
+  std::size_t head = 0;
 };
 
 }  // namespace
@@ -78,27 +100,44 @@ ExecReport Engine::run(const Program& program,
 }
 
 ExecReport Engine::run(const Program& program, const std::vector<Bytes>& values,
-                       const CombineFn& op, const fault::Injector* injector) {
+                       const Combiner& op, const fault::Injector* injector) {
   if (program.mode != Mode::kFold) {
     throw std::invalid_argument("Engine::run: program is not fold-mode");
   }
+  if (!op.valid()) {
+    throw std::invalid_argument("Engine::run: combiner has no operator");
+  }
   return run_impl(program, nullptr, &values, nullptr, &op, injector);
+}
+
+ExecReport Engine::run(const Program& program, const std::vector<Bytes>& values,
+                       const CombineFn& op, const fault::Injector* injector) {
+  return run(program, values, Combiner(op), injector);
+}
+
+ExecReport Engine::run(const Program& program,
+                       const std::vector<std::vector<Bytes>>& operands,
+                       const Combiner& op, const fault::Injector* injector) {
+  if (program.mode != Mode::kSum) {
+    throw std::invalid_argument("Engine::run: program is not summation-mode");
+  }
+  if (!op.valid()) {
+    throw std::invalid_argument("Engine::run: combiner has no operator");
+  }
+  return run_impl(program, nullptr, nullptr, &operands, &op, injector);
 }
 
 ExecReport Engine::run(const Program& program,
                        const std::vector<std::vector<Bytes>>& operands,
                        const CombineFn& op, const fault::Injector* injector) {
-  if (program.mode != Mode::kSum) {
-    throw std::invalid_argument("Engine::run: program is not summation-mode");
-  }
-  return run_impl(program, nullptr, nullptr, &operands, &op, injector);
+  return run(program, operands, Combiner(op), injector);
 }
 
 ExecReport Engine::run_impl(const Program& program,
                             const std::vector<Bytes>* item_values,
                             const std::vector<Bytes>* fold_values,
                             const std::vector<std::vector<Bytes>>* operands,
-                            const CombineFn* op,
+                            const Combiner* op,
                             const fault::Injector* injector) {
   program.params.require_valid();
   const auto P = static_cast<std::size_t>(program.params.P);
@@ -148,19 +187,23 @@ ExecReport Engine::run_impl(const Program& program,
 
   const bool reliable = injector != nullptr || opts_.recovery.enabled;
   const Recovery& rec = opts_.recovery;
+  const WaitPolicy& wait = opts_.wait;
+  const KernelFn kernel = op != nullptr ? op->kernel() : nullptr;
 
   // Serialize runs on this engine *before* starting the watchdog clock:
   // a run queued behind another must not burn its timeout budget waiting
-  // for the pool (the latent bug this PR fixes — the deadline used to be
-  // captured here and then spent inside pool_.run's internal queue).
+  // for the pool.
   std::lock_guard run_lock(run_mu_);
 
   // --- run state ---------------------------------------------------------
   std::vector<std::unique_ptr<SpscMailbox>> mailboxes;
   mailboxes.reserve(program.links.size());
   for (std::size_t i = 0; i < program.links.size(); ++i) {
-    mailboxes.push_back(std::make_unique<SpscMailbox>(cap));
+    mailboxes.push_back(std::make_unique<SpscMailbox>(cap, opts_.mailbox_stats));
   }
+  std::vector<PendingQ> pending(program.links.size());
+  for (PendingQ& pq : pending) pq.buf.reserve(cap);
+
   // Reliable-mode state, one slot per link.  Each slot is touched by only
   // one side of its link (seq/acked by the producer, accepted/attempts by
   // the consumer), so plain vectors are race-free.
@@ -173,7 +216,7 @@ ExecReport Engine::run_impl(const Program& program,
   if (reliable) {
     acks.reserve(program.links.size());
     for (std::size_t i = 0; i < program.links.size(); ++i) {
-      acks.push_back(std::make_unique<AckRing>(cap));
+      acks.push_back(std::make_unique<AckRing>(cap, opts_.mailbox_stats));
     }
     send_seq.assign(program.links.size(), 0);
     acked.assign(program.links.size(), 0);
@@ -193,22 +236,63 @@ ExecReport Engine::run_impl(const Program& program,
   report.deliveries.resize(P);
   report.fault_events.resize(P);
   report.folded.resize(P);
+
+  // --- kMove payload staging: the per-run buffer arena -------------------
+  // Every (processor, item) slot the plan touches is carved 64-byte-aligned
+  // out of one bump arena before workers start, so the receive hot path is
+  // a plain memcpy — no allocator calls on any worker thread.  The arena
+  // lives on this frame and outlives the pool epoch below.
+  std::vector<Slot> slots;
+  std::vector<char> slot_filled;  // 1 = slot holds delivered/seeded bytes
+  auto slot_index = [num_items](std::size_t p, std::size_t item) {
+    return p * num_items + item;
+  };
+  BufferArena arena;
   if (program.mode == Mode::kMove) {
     report.items.assign(P, std::vector<Bytes>(num_items));
+    slots.resize(P * num_items);
+    slot_filled.assign(P * num_items, 0);
+    std::vector<char> used(P * num_items, 0);
     for (const InitialPlacement& init : program.initials) {
-      report.items[static_cast<std::size_t>(init.proc)]
-                  [static_cast<std::size_t>(init.item)] =
-          (*item_values)[static_cast<std::size_t>(init.item)];
+      used[slot_index(static_cast<std::size_t>(init.proc),
+                      static_cast<std::size_t>(init.item))] = 1;
+    }
+    for (std::size_t p = 0; p < P; ++p) {
+      for (const Instr& ins : program.procs[p].instrs) {
+        if (ins.op == OpCode::kRecv) {
+          used[slot_index(p, static_cast<std::size_t>(ins.item))] = 1;
+        }
+      }
+    }
+    for (std::size_t p = 0; p < P; ++p) {
+      for (std::size_t i = 0; i < num_items; ++i) {
+        if (!used[slot_index(p, i)]) continue;
+        const std::size_t size = (*item_values)[i].size();
+        slots[slot_index(p, i)] = Slot{arena.allocate(size), size};
+      }
+    }
+    for (const InitialPlacement& init : program.initials) {
+      const Slot& s = slots[slot_index(static_cast<std::size_t>(init.proc),
+                                       static_cast<std::size_t>(init.item))];
+      const Bytes& v = (*item_values)[static_cast<std::size_t>(init.item)];
+      if (!v.empty()) std::memcpy(s.data, v.data(), v.size());
+      slot_filled[slot_index(static_cast<std::size_t>(init.proc),
+                             static_cast<std::size_t>(init.item))] = 1;
     }
   } else if (program.mode == Mode::kFold) {
     for (std::size_t p = 0; p < P; ++p) report.folded[p] = (*fold_values)[p];
   }
+  report.arena_bytes = arena.bytes_used();
 
   std::vector<std::size_t> bytes_moved(P, 0);
   std::vector<std::size_t> retries(P, 0);
   std::vector<std::size_t> duplicates(P, 0);
+  std::vector<std::size_t> kernel_folds(P, 0);
+  std::vector<std::size_t> generic_folds(P, 0);
+  std::vector<std::size_t> kernel_bytes(P, 0);
   std::vector<std::vector<double>> backoffs_ns(P);  // lapsed retransmit waits
   Failure failure;
+  ParkGate park_gate;
   const Clock::time_point start = Clock::now();
   const Clock::time_point deadline =
       start + std::chrono::milliseconds(opts_.timeout_ms);
@@ -258,20 +342,20 @@ ExecReport Engine::run_impl(const Program& program,
       return true;
     };
 
-    // Plain blocking wait (fault-free path): spin, then yield, honoring
-    // the abort latch and the watchdog deadline.
+    // Plain blocking wait (fault-free path): walk the WaitPolicy ladder —
+    // cpu_relax spins, then slow ticks that check the watchdog deadline
+    // and yield/park per the policy.
     auto blocking = [&](auto&& attempt) -> bool {
-      int spins = 0;
+      Waiter w(wait, &park_gate);
       while (!attempt()) {
         if (failure.abort.load(std::memory_order_acquire)) return false;
-        if (++spins >= 256) {
-          spins = 0;
+        if (w.should_tick()) {
           if (Clock::now() > deadline) {
             failure.fail("exec::Engine: timeout at P" + std::to_string(wi) +
                          " (" + program.label + ")");
             return false;
           }
-          std::this_thread::yield();
+          w.idle();
         }
       }
       return true;
@@ -280,20 +364,19 @@ ExecReport Engine::run_impl(const Program& program,
     // Reliable blocking wait: additionally keeps our heartbeat moving and
     // runs the failure detector against the peer we are blocked on.
     auto blocking_on = [&](ProcId peer, auto&& attempt) -> bool {
-      Watch w = watch_of(peer);
-      int spins = 0;
+      Watch watch = watch_of(peer);
+      Waiter w(wait, &park_gate);
       while (!attempt()) {
         beat();
         if (failure.abort.load(std::memory_order_acquire)) return false;
-        if (++spins >= 256) {
-          spins = 0;
+        if (w.should_tick()) {
           if (Clock::now() > deadline) {
             failure.fail("exec::Engine: timeout at P" + std::to_string(wi) +
                          " (" + program.label + ")");
             return false;
           }
-          if (suspect(peer, w)) return false;
-          std::this_thread::yield();
+          if (suspect(peer, watch)) return false;
+          w.idle();
         }
       }
       return true;
@@ -324,24 +407,23 @@ ExecReport Engine::run_impl(const Program& program,
         while (ar.try_pop(a)) acked[link] = std::max(acked[link], a);
         return acked[link] >= m.seq;
       };
-      Watch w = watch_of(peer);
+      Watch watch = watch_of(peer);
       auto backoff = std::chrono::microseconds(rec.ack_timeout_us);
       const auto max_backoff = std::chrono::microseconds(rec.max_backoff_us);
       Clock::time_point next_retx = Clock::now() + backoff;
       int retries_left = rec.max_retries;
-      int spins = 0;
+      Waiter w(wait, &park_gate);
       while (!drained()) {
         beat();
         if (failure.abort.load(std::memory_order_acquire)) return false;
-        if (++spins >= 64) {
-          spins = 0;
+        if (w.should_tick()) {
           const Clock::time_point now = Clock::now();
           if (now > deadline) {
             failure.fail("exec::Engine: ack timeout at P" +
                          std::to_string(wi) + " (" + program.label + ")");
             return false;
           }
-          if (suspect(peer, w)) return false;
+          if (suspect(peer, watch)) return false;
           if (now >= next_retx) {
             // Retransmit for as long as the ack is missing: a receiver
             // that was busy on another link while the exponential ramp
@@ -365,14 +447,18 @@ ExecReport Engine::run_impl(const Program& program,
             }
             next_retx = now + backoff;
           }
-          std::this_thread::yield();
+          w.idle();
         }
       }
       return true;
     };
 
     // kFold seeds the accumulator with the processor's own value (already
-    // copied into report.folded); kSum starts empty.
+    // copied into report.folded); kSum starts empty.  A typed combiner
+    // takes the fused kernel on every size-matched fold; anything else —
+    // including the first contribution, which is assigned — goes through
+    // the generic lane.  The fold ORDER is the instruction stream either
+    // way, so non-commutative combination_order survives intact.
     Bytes& acc = report.folded[p];
     bool acc_have = program.mode == Mode::kFold;
     std::size_t operand_pos = 0;
@@ -380,8 +466,15 @@ ExecReport Engine::run_impl(const Program& program,
       if (!acc_have) {
         acc.assign(rhs.begin(), rhs.end());
         acc_have = true;
+        return;
+      }
+      if (kernel != nullptr && acc.size() == rhs.size()) {
+        kernel(acc.data(), rhs.data(), acc.size());
+        ++kernel_folds[p];
+        kernel_bytes[p] += rhs.size();
       } else {
-        (*op)(acc, rhs);
+        (op->generic())(acc, rhs);
+        ++generic_folds[p];
       }
     };
 
@@ -413,13 +506,19 @@ ExecReport Engine::run_impl(const Program& program,
           ev.item = ins.item;
           ev.planned = ins.when;
           ev.start_ns = ns_since(start);
-          const Bytes& payload =
-              program.mode == Mode::kMove
-                  ? report.items[p][static_cast<std::size_t>(ins.item)]
-                  : acc;
+          const std::byte* payload_data;
+          std::size_t payload_size;
+          if (program.mode == Mode::kMove) {
+            const Slot& s = slots[slot_index(p, static_cast<std::size_t>(ins.item))];
+            payload_data = s.data;
+            payload_size = s.size;
+          } else {
+            payload_data = acc.data();
+            payload_size = acc.size();
+          }
           const auto link = static_cast<std::size_t>(ins.link);
           SpscMailbox& mb = *mailboxes[link];
-          Message m{ins.item, payload.data(), payload.size(), 0};
+          Message m{ins.item, payload_data, payload_size, 0};
           if (reliable) {
             m.seq = ++send_seq[link];
             const std::uint64_t delay =
@@ -439,7 +538,7 @@ ExecReport Engine::run_impl(const Program& program,
             ev.xfer_ns = ns_since(start);
           }
           ev.end_ns = ns_since(start);
-          bytes_moved[p] += payload.size();
+          bytes_moved[p] += payload_size;
           report.events[p].push_back(ev);
           break;
         }
@@ -493,7 +592,36 @@ ExecReport Engine::run_impl(const Program& program,
               return;
             }
           } else {
-            if (!blocking([&] { return mb.try_pop(m); })) return;
+            // Fast lane: drain every message this stream consumes
+            // back-to-back on this link (Instr::chain) in one bulk pop —
+            // one acquire/release round for the whole batch instead of
+            // one per message.  Unchained receives (chain <= 1, e.g.
+            // all-to-all's rotating links) take a plain pop: a
+            // single-message bulk pop adds queue bookkeeping on top of
+            // the same ring round-trip.
+            PendingQ& pq = pending[link];
+            if (pq.head < pq.buf.size()) {
+              m = pq.buf[pq.head++];
+            } else if (ins.chain <= 1) {
+              if (!blocking([&] { return mb.try_pop(m); })) {
+                return;
+              }
+            } else {
+              // Chained receive with nothing pending: block for the head
+              // message exactly like the unchained path (a drip-feeding
+              // pipeline pays nothing over a plain pop), then claim
+              // whatever the producer already queued behind it — up to the
+              // rest of the chain — in one bulk pop.  A burst left while
+              // this worker was descheduled is drained with a single
+              // acquire/release round instead of one per message.
+              if (!blocking([&] { return mb.try_pop(m); })) {
+                return;
+              }
+              pq.buf.clear();
+              pq.head = 0;
+              (void)mb.pop_bulk(pq.buf,
+                                static_cast<std::size_t>(ins.chain) - 1);
+            }
           }
           ev.xfer_ns = ns_since(start);
           if (m.item != ins.item) {
@@ -504,8 +632,18 @@ ExecReport Engine::run_impl(const Program& program,
             return;
           }
           if (program.mode == Mode::kMove) {
-            Bytes& slot = report.items[p][static_cast<std::size_t>(m.item)];
-            slot.assign(m.data, m.data + m.size);
+            const std::size_t si =
+                slot_index(p, static_cast<std::size_t>(m.item));
+            const Slot& slot = slots[si];
+            if (slot.data == nullptr || slot.size != m.size) {
+              failure.fail("exec::Engine: P" + std::to_string(wi) +
+                           " received item " + std::to_string(m.item) +
+                           " with unexpected payload size " +
+                           std::to_string(m.size));
+              return;
+            }
+            if (m.size != 0) std::memcpy(slot.data, m.data, m.size);
+            slot_filled[si] = 1;
           } else {
             fold(std::span<const std::byte>(m.data, m.size));
           }
@@ -535,17 +673,39 @@ ExecReport Engine::run_impl(const Program& program,
       run_span.set_arg(program.label + " P=" +
                        std::to_string(program.params.P));
     }
+    // Park mode: a ticker wakes every parked waiter each park_tick_us, so
+    // parked workers re-check their condition, deadline and heartbeat at a
+    // bounded cadence — the watchdog and failure detector stay live even
+    // though producers never touch the gate.
+    std::atomic<bool> ticker_stop{false};
+    std::thread ticker;
+    if (wait.mode == WaitPolicy::Mode::kPark) {
+      ticker = std::thread([&] {
+        while (!ticker_stop.load(std::memory_order_acquire)) {
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(wait.park_tick_us));
+          park_gate.tick();
+        }
+      });
+    }
     pool_.run(static_cast<int>(P), worker);
     report.wall_ns = ns_since(start);
+    if (ticker.joinable()) {
+      ticker_stop.store(true, std::memory_order_release);
+      ticker.join();
+    }
   }
 
   for (const std::size_t r : retries) report.retries += r;
   for (const std::size_t d : duplicates) report.duplicates += d;
+  for (const std::size_t k : kernel_folds) report.kernel_folds += k;
+  for (const std::size_t g : generic_folds) report.generic_folds += g;
 
   if (failure.abort.load(std::memory_order_acquire)) {
     // All workers have rejoined the epoch barrier, so nothing is producing
     // or consuming: drain every ring so an aborted run leaves no stale
-    // message (or stale ack) behind for a later run to trip on.
+    // message (or stale ack) behind for a later run to trip on.  (The
+    // arena and pending queues die with this frame.)
     Message m;
     for (const auto& mb : mailboxes) {
       while (mb->try_pop(m)) {
@@ -572,6 +732,21 @@ ExecReport Engine::run_impl(const Program& program,
     throw std::runtime_error(message);
   }
 
+  // Publish the arena-staged kMove slots into the report's user-facing
+  // vectors.  This runs after wall_ns is captured and after the pool
+  // barrier published every worker's writes, so it is single-threaded and
+  // outside the measured makespan.
+  if (program.mode == Mode::kMove) {
+    for (std::size_t p = 0; p < P; ++p) {
+      for (std::size_t i = 0; i < num_items; ++i) {
+        const std::size_t si = slot_index(p, i);
+        if (!slot_filled[si]) continue;
+        const Slot& s = slots[si];
+        report.items[p][i].assign(s.data, s.data + s.size);
+      }
+    }
+  }
+
   for (const std::size_t b : bytes_moved) report.payload_bytes += b;
   for (const auto& mb : mailboxes) {
     report.max_mailbox_occupancy =
@@ -594,6 +769,28 @@ ExecReport Engine::run_impl(const Program& program,
                   obs::default_latency_buckets_ns(),
                   "wall-clock duration of one executed collective", labels)
         .observe(static_cast<double>(report.wall_ns));
+    if (op != nullptr && op->typed()) {
+      const std::string klabels = "op=\"" + std::string(op_name(op->spec().op)) +
+                                  "\",dtype=\"" +
+                                  dtype_name(op->spec().dtype) + "\"";
+      if (report.kernel_folds > 0) {
+        reg.counter("logpc_exec_kernel_folds_total",
+                    "folds executed by typed SIMD combine kernels", klabels)
+            .inc(report.kernel_folds);
+        std::size_t kb = 0;
+        for (const std::size_t b : kernel_bytes) kb += b;
+        reg.counter("logpc_exec_kernel_fold_bytes_total",
+                    "payload bytes folded by typed combine kernels", klabels)
+            .inc(kb);
+      }
+      if (report.generic_folds > 0) {
+        reg.counter("logpc_exec_kernel_fallback_folds_total",
+                    "folds a typed combiner routed to the generic lane "
+                    "(operand size mismatch)",
+                    klabels)
+            .inc(report.generic_folds);
+      }
+    }
     if (reliable) {
       std::array<std::size_t, 4> by_kind{};
       for (const auto& evs : report.fault_events) {

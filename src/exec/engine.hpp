@@ -8,9 +8,11 @@
 #include <string>
 #include <vector>
 
+#include "exec/kernels.hpp"
 #include "exec/mailbox.hpp"
 #include "exec/program.hpp"
 #include "exec/thread_pool.hpp"
+#include "exec/wait.hpp"
 #include "fault/fault.hpp"
 
 /// \file engine.hpp
@@ -46,14 +48,8 @@
 
 namespace logpc::exec {
 
-using Bytes = std::vector<std::byte>;
-
-/// Left-fold step for kFold/kSum runs: acc <- op(acc, rhs).  Must be
-/// associative; need not be commutative — the engine folds in exactly the
-/// plan's combination order.  The very first contribution is assigned, not
-/// folded (the engine handles that; `op` never sees an empty accumulator).
-using CombineFn =
-    std::function<void(Bytes& acc, std::span<const std::byte> rhs)>;
+// Bytes, CombineFn and the typed-kernel Combiner live in exec/kernels.hpp;
+// this header re-exports them through its include for source compatibility.
 
 /// One timed operation on one processor.  Timestamps are nanoseconds on
 /// the steady clock, relative to the run's start.
@@ -96,6 +92,9 @@ struct ExecReport {
   std::size_t max_mailbox_occupancy = 0;  ///< high-water mark over all links
   std::size_t retries = 0;     ///< retransmissions under acked delivery
   std::size_t duplicates = 0;  ///< retransmitted copies discarded exactly-once
+  std::size_t kernel_folds = 0;   ///< folds taken by the typed SIMD kernel
+  std::size_t generic_folds = 0;  ///< folds through the type-erased lane
+  std::size_t arena_bytes = 0;    ///< payload staging carved from the arena
   std::vector<std::vector<ExecEvent>> events;  ///< [proc], in stream order
   std::vector<std::vector<validate::DeliveryRecord>> deliveries;  ///< [proc]
   /// Injected faults, per processor in injection order.  Decisions are
@@ -140,6 +139,13 @@ class Engine {
     /// must fail loudly, not hang the pool).  The clock starts when the
     /// run is dispatched, not while it queues behind another run.
     std::uint64_t timeout_ms = 20000;
+    /// Record per-link high-water marks (ExecReport::max_mailbox_occupancy).
+    /// Off, the producer's push pays only the ring indices.
+    bool mailbox_stats = true;
+    /// How blocked workers wait: spin / adaptive (default) / park.  One
+    /// policy drives every wait in the run — mailbox waits, ack waits and
+    /// the failure-detector loops.
+    WaitPolicy wait;
     Recovery recovery;
   };
 
@@ -155,13 +161,21 @@ class Engine {
                  const fault::Injector* injector = nullptr);
 
   /// kFold: `values[p]` is processor p's initial value; receives fold with
-  /// `op` in arrival order.  The root's accumulator is the result.
+  /// `op` in arrival order.  The root's accumulator is the result.  A
+  /// typed Combiner (constructed from a KernelSpec) takes the fused SIMD
+  /// lane on every size-matched fold; the CombineFn overloads are the
+  /// fully generic path.
+  ExecReport run(const Program& program, const std::vector<Bytes>& values,
+                 const Combiner& op, const fault::Injector* injector = nullptr);
   ExecReport run(const Program& program, const std::vector<Bytes>& values,
                  const CombineFn& op, const fault::Injector* injector = nullptr);
 
   /// kSum: `operands[i]` are the local operands of plan.procs[i] (counts
   /// must match sum::operand_layout; throws otherwise), folded with `op` in
   /// the plan's combination order.
+  ExecReport run(const Program& program,
+                 const std::vector<std::vector<Bytes>>& operands,
+                 const Combiner& op, const fault::Injector* injector = nullptr);
   ExecReport run(const Program& program,
                  const std::vector<std::vector<Bytes>>& operands,
                  const CombineFn& op, const fault::Injector* injector = nullptr);
@@ -177,7 +191,7 @@ class Engine {
                       const std::vector<Bytes>* item_values,
                       const std::vector<Bytes>* fold_values,
                       const std::vector<std::vector<Bytes>>* operands,
-                      const CombineFn* op, const fault::Injector* injector);
+                      const Combiner* op, const fault::Injector* injector);
 
   Options opts_;
   ThreadPool pool_;

@@ -1,0 +1,188 @@
+#include "exec/kernels.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <type_traits>
+
+/// This translation unit is compiled with -O3 (see src/CMakeLists.txt) so
+/// the fold loops below auto-vectorize; everything else in the library
+/// stays at the project default.  The generic reference lane instead
+/// applies the operation one element at a time through a type-erased
+/// std::function — the cost the engine actually paid before the typed
+/// registry, when every combine went through a std::function per item and
+/// items were scalar-sized (one dispatch plus memcpy staging per value;
+/// see add_u64 in bench_exec).  Behind that boundary the compiler can
+/// neither fuse, unroll, nor vectorize across elements, which is
+/// precisely what the fused kernels remove, so it is the baseline
+/// bench_kernels reports speedups against.
+
+namespace logpc::exec {
+
+namespace {
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define LOGPC_NO_VECTORIZE \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define LOGPC_NO_VECTORIZE
+#endif
+
+template <typename T>
+bool aligned_for(const void* p) noexcept {
+  return reinterpret_cast<std::uintptr_t>(p) % alignof(T) == 0;
+}
+
+struct SumOp {
+  template <typename T>
+  static T apply(T a, T b) noexcept {
+    if constexpr (std::is_integral_v<T>) {
+      // Wrap-around on overflow: fold results must not depend on which
+      // lane (vector/scalar/generic) ran, and signed UB would also differ
+      // between sanitized and plain builds.
+      using U = std::make_unsigned_t<T>;
+      return static_cast<T>(static_cast<U>(a) + static_cast<U>(b));
+    } else {
+      return a + b;
+    }
+  }
+};
+struct MinOp {
+  template <typename T>
+  static T apply(T a, T b) noexcept {
+    return b < a ? b : a;
+  }
+};
+struct MaxOp {
+  template <typename T>
+  static T apply(T a, T b) noexcept {
+    return a < b ? b : a;
+  }
+};
+
+/// The fused fold loop.  The aligned lane reads through typed pointers —
+/// the trivial elementwise form every compiler vectorizes — and the
+/// misaligned lane stages each element through memcpy so arbitrary byte
+/// offsets stay UB-free.
+template <typename T, typename F>
+void fold_kernel(std::byte* acc, const std::byte* rhs,
+                 std::size_t bytes) noexcept {
+  const std::size_t n = bytes / sizeof(T);
+  if (aligned_for<T>(acc) && aligned_for<T>(rhs)) {
+    T* __restrict__ a = reinterpret_cast<T*>(acc);
+    const T* __restrict__ r = reinterpret_cast<const T*>(rhs);
+    for (std::size_t i = 0; i < n; ++i) a[i] = F::template apply<T>(a[i], r[i]);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      T a;
+      T r;
+      std::memcpy(&a, acc + i * sizeof(T), sizeof(T));
+      std::memcpy(&r, rhs + i * sizeof(T), sizeof(T));
+      a = F::template apply<T>(a, r);
+      std::memcpy(acc + i * sizeof(T), &a, sizeof(T));
+    }
+  }
+}
+
+/// One type-erased element application, written the way the pre-fast-lane
+/// combines were (see add_u64-style CombineFns in bench_exec): stage both
+/// values through memcpys bounded by the bytes actually available, apply,
+/// write back.  The std::min clamp never binds here — fold_generic only
+/// passes full elements — but like the historical combines the bound is a
+/// runtime value, so the staging stays a real (non-constant-foldable)
+/// memcpy rather than a register move.  noinline keeps this a real call
+/// even before the std::function wrapper below adds its own dispatch.
+template <typename T, typename F>
+[[gnu::noinline]] void apply_erased(std::byte* a, const std::byte* r,
+                                    std::size_t avail) {
+  T x{};
+  T y{};
+  const std::size_t m = std::min(avail, sizeof(T));
+  std::memcpy(&x, a, m);
+  std::memcpy(&y, r, m);
+  x = F::template apply<T>(x, y);
+  std::memcpy(a, &x, m);
+}
+
+/// The erased reference lane: same per-element operation sequence as the
+/// kernel, one element at a time, each application through a type-erased
+/// std::function — the pre-fast-lane engine's per-item combine cost.  The
+/// volatile read launders the target so the compiler cannot devirtualize
+/// it back into the fused form it is the baseline for.
+template <typename T, typename F>
+LOGPC_NO_VECTORIZE void fold_generic(std::byte* acc, const std::byte* rhs,
+                                     std::size_t bytes) noexcept {
+  using ApplyFn = void (*)(std::byte*, const std::byte*, std::size_t);
+  ApplyFn volatile laundered = &apply_erased<T, F>;
+  const std::function<void(std::byte*, const std::byte*, std::size_t)> f =
+      laundered;
+  const std::size_t n = bytes / sizeof(T);
+  for (std::size_t i = 0; i < n; ++i) {
+    f(acc + i * sizeof(T), rhs + i * sizeof(T), bytes - i * sizeof(T));
+  }
+}
+
+template <typename F>
+constexpr std::array<KernelFn, kNumDTypes> kernel_row() {
+  return {&fold_kernel<std::int32_t, F>, &fold_kernel<std::int64_t, F>,
+          &fold_kernel<float, F>, &fold_kernel<double, F>};
+}
+
+template <typename F>
+constexpr std::array<KernelFn, kNumDTypes> generic_row() {
+  return {&fold_generic<std::int32_t, F>, &fold_generic<std::int64_t, F>,
+          &fold_generic<float, F>, &fold_generic<double, F>};
+}
+
+constexpr std::array<std::array<KernelFn, kNumDTypes>, kNumOps> kKernels = {
+    kernel_row<SumOp>(), kernel_row<MinOp>(), kernel_row<MaxOp>()};
+constexpr std::array<std::array<KernelFn, kNumDTypes>, kNumOps> kGenerics = {
+    generic_row<SumOp>(), generic_row<MinOp>(), generic_row<MaxOp>()};
+
+}  // namespace
+
+const char* op_name(Op op) noexcept {
+  switch (op) {
+    case Op::kSum: return "sum";
+    case Op::kMin: return "min";
+    case Op::kMax: return "max";
+  }
+  return "?";
+}
+
+const char* dtype_name(DType t) noexcept {
+  switch (t) {
+    case DType::kI32: return "i32";
+    case DType::kI64: return "i64";
+    case DType::kF32: return "f32";
+    case DType::kF64: return "f64";
+  }
+  return "?";
+}
+
+std::size_t elem_size(DType t) noexcept {
+  switch (t) {
+    case DType::kI32: return 4;
+    case DType::kI64: return 8;
+    case DType::kF32: return 4;
+    case DType::kF64: return 8;
+  }
+  return 1;
+}
+
+KernelFn lookup(const KernelSpec& spec) noexcept {
+  return kKernels[static_cast<std::size_t>(spec.op)]
+                 [static_cast<std::size_t>(spec.dtype)];
+}
+
+CombineFn generic_combine(const KernelSpec& spec) {
+  const KernelFn scalar = kGenerics[static_cast<std::size_t>(spec.op)]
+                                   [static_cast<std::size_t>(spec.dtype)];
+  return [scalar](Bytes& acc, std::span<const std::byte> rhs) {
+    scalar(acc.data(), rhs.data(), std::min(acc.size(), rhs.size()));
+  };
+}
+
+}  // namespace logpc::exec

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <stdexcept>
@@ -53,10 +54,18 @@ struct Message {
 /// std::invalid_argument on capacity == 0: every legal LogP machine admits
 /// at least one in-flight message, so a zero capacity is always a bug at
 /// the call site, not a configuration to round up.
+///
+/// `track_occupancy` gates the high-water-mark bookkeeping: when off, the
+/// producer's push pays nothing beyond the ring indices and
+/// max_occupancy() reports 0.  When on, the update is a plain relaxed
+/// load + conditional relaxed store — max_occupancy_ has a single writer
+/// (the producer), so the CAS loop earlier revisions ran on every push
+/// was pure overhead.
 template <typename T>
 class SpscRing {
  public:
-  explicit SpscRing(std::size_t capacity) : cap_(capacity), slots_(capacity) {
+  explicit SpscRing(std::size_t capacity, bool track_occupancy = true)
+      : cap_(capacity), track_(track_occupancy), slots_(capacity) {
     if (capacity == 0) {
       throw std::invalid_argument(
           "SpscRing: capacity must be >= 1 (the LogP capacity constraint "
@@ -75,12 +84,22 @@ class SpscRing {
     if (used == cap_) return false;
     slots_[t % cap_] = m;
     tail_.store(t + 1, std::memory_order_release);
-    std::size_t seen = max_occupancy_.load(std::memory_order_relaxed);
-    while (seen < used + 1 &&
-           !max_occupancy_.compare_exchange_weak(seen, used + 1,
-                                                 std::memory_order_relaxed)) {
-    }
+    note_occupancy(used + 1);
     return true;
+  }
+
+  /// Producer side, bulk: pushes up to `n` items from `v`, publishing them
+  /// with one release store.  Returns how many were accepted (0 when
+  /// full); the acquire/release pair is paid once for the whole batch.
+  std::size_t try_push_bulk(const T* v, std::size_t n) {
+    const std::size_t t = tail_.load(std::memory_order_relaxed);
+    const std::size_t used = t - head_.load(std::memory_order_acquire);
+    const std::size_t m = std::min(n, cap_ - used);
+    if (m == 0) return 0;
+    for (std::size_t i = 0; i < m; ++i) slots_[(t + i) % cap_] = v[i];
+    tail_.store(t + m, std::memory_order_release);
+    note_occupancy(used + m);
+    return m;
   }
 
   /// Consumer side.  False when empty.
@@ -92,6 +111,20 @@ class SpscRing {
     return true;
   }
 
+  /// Consumer side, bulk: appends up to `max` ready items to `out` and
+  /// frees their slots with one release store — the receiver drain loop's
+  /// primitive, amortizing the acquire/release pair over every message
+  /// that is already queued.  Returns the number drained (0 when empty).
+  std::size_t pop_bulk(std::vector<T>& out, std::size_t max) {
+    const std::size_t h = head_.load(std::memory_order_relaxed);
+    const std::size_t avail = tail_.load(std::memory_order_acquire) - h;
+    const std::size_t n = std::min(avail, max);
+    if (n == 0) return 0;
+    for (std::size_t i = 0; i < n; ++i) out.push_back(slots_[(h + i) % cap_]);
+    head_.store(h + n, std::memory_order_release);
+    return n;
+  }
+
   [[nodiscard]] std::size_t capacity() const { return cap_; }
 
   /// Messages currently queued (racy outside the producer/consumer pair;
@@ -101,15 +134,28 @@ class SpscRing {
            head_.load(std::memory_order_acquire);
   }
 
-  /// High-water mark of queued messages, as observed by the producer.  The
-  /// engine tests assert this never exceeds ceil(L/g): the executed
-  /// schedule honored the model's capacity constraint.
+  /// High-water mark of queued messages, as observed by the producer (0
+  /// when occupancy tracking is disabled).  The engine tests assert this
+  /// never exceeds ceil(L/g): the executed schedule honored the model's
+  /// capacity constraint.
   [[nodiscard]] std::size_t max_occupancy() const {
     return max_occupancy_.load(std::memory_order_relaxed);
   }
 
+  /// Whether this ring records its high-water mark.
+  [[nodiscard]] bool tracks_occupancy() const { return track_; }
+
  private:
+  void note_occupancy(std::size_t used) {
+    if (!track_) return;
+    // Single writer (the producer): a plain conditional store suffices.
+    if (used > max_occupancy_.load(std::memory_order_relaxed)) {
+      max_occupancy_.store(used, std::memory_order_relaxed);
+    }
+  }
+
   std::size_t cap_;
+  bool track_;
   std::vector<T> slots_;
   alignas(64) std::atomic<std::size_t> head_{0};  ///< consumer cursor
   alignas(64) std::atomic<std::size_t> tail_{0};  ///< producer cursor

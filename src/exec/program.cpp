@@ -46,6 +46,23 @@ struct Keyed {
   }
 };
 
+/// Back-to-front sweep filling Instr::chain: for each receive, how many
+/// consecutive receives (itself included) the stream performs on the same
+/// link with nothing in between.  This is the engine's licence to drain
+/// that many messages in one bulk pop.
+void annotate_recv_chains(Program& prog) {
+  for (ProcProgram& pp : prog.procs) {
+    std::vector<Instr>& v = pp.instrs;
+    for (std::size_t j = v.size(); j-- > 0;) {
+      if (v[j].op != OpCode::kRecv) continue;
+      const bool chained = j + 1 < v.size() &&
+                           v[j + 1].op == OpCode::kRecv &&
+                           v[j + 1].link == v[j].link;
+      v[j].chain = chained ? v[j + 1].chain + 1 : 1;
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<std::vector<validate::DeliveryRecord>>
@@ -123,6 +140,7 @@ Program compile_broadcast(const Schedule& s, std::string label) {
     }
   }
   prog.links = links.take();
+  annotate_recv_chains(prog);
   return prog;
 }
 
@@ -170,6 +188,7 @@ Program compile_reduction(const bcast::ReductionPlan& plan) {
     }
   }
   prog.links = links.take();
+  annotate_recv_chains(prog);
   return prog;
 }
 
@@ -217,6 +236,7 @@ Program compile_summation(const sum::SummationPlan& plan) {
     }
   }
   prog.links = links.take();
+  annotate_recv_chains(prog);
   return prog;
 }
 

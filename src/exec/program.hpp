@@ -56,6 +56,12 @@ struct Instr {
   std::int32_t count = 0;  ///< kCombineLocal: operands to fold
   std::int32_t link = -1;  ///< mailbox index (kSend/kRecv)
   Time when = 0;           ///< planned cycle of the event
+  /// kRecv drain hint: this receive plus the count of immediately
+  /// following receives on the same link (>= 1).  The engine's bulk drain
+  /// pops at most `chain` messages in one acquire/release round — only
+  /// what this stream consumes back-to-back anyway, so the mailbox bound
+  /// keeps its capacity-constraint meaning.  Computed at compile time.
+  std::int32_t chain = 1;
 };
 
 /// One directed processor pair with traffic, i.e. one mailbox.

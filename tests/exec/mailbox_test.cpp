@@ -137,5 +137,141 @@ TEST(Mailbox, SpscStressPreservesOrderAndPayload) {
   EXPECT_NE(checksum, 0u);
 }
 
+TEST(Mailbox, StatsOptOutSkipsHighWaterTracking) {
+  SpscMailbox mb(5, /*track_occupancy=*/false);
+  EXPECT_FALSE(mb.tracks_occupancy());
+  for (ItemId i = 0; i < 5; ++i) ASSERT_TRUE(mb.try_push(msg(i)));
+  EXPECT_EQ(mb.max_occupancy(), 0u);  // tracking disabled, not "empty"
+  EXPECT_EQ(mb.size(), 5u);
+  SpscMailbox tracked(5);
+  EXPECT_TRUE(tracked.tracks_occupancy());
+}
+
+TEST(Mailbox, PopBulkDrainsUpToMaxInFifoOrder) {
+  SpscMailbox mb(8);
+  for (ItemId i = 0; i < 6; ++i) ASSERT_TRUE(mb.try_push(msg(i)));
+  std::vector<Message> out;
+  EXPECT_EQ(mb.pop_bulk(out, 4), 4u);
+  ASSERT_EQ(out.size(), 4u);
+  for (ItemId i = 0; i < 4; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)].item, i);
+  // Appends, never clears: the engine reuses one pending buffer.
+  EXPECT_EQ(mb.pop_bulk(out, 10), 2u);
+  ASSERT_EQ(out.size(), 6u);
+  EXPECT_EQ(out[4].item, 4);
+  EXPECT_EQ(out[5].item, 5);
+  EXPECT_EQ(mb.pop_bulk(out, 1), 0u);  // empty
+  EXPECT_EQ(mb.size(), 0u);
+}
+
+TEST(Mailbox, TryPushBulkStopsAtCapacity) {
+  SpscMailbox mb(4);
+  std::vector<Message> batch;
+  for (ItemId i = 0; i < 6; ++i) batch.push_back(msg(i));
+  EXPECT_EQ(mb.try_push_bulk(batch.data(), batch.size()), 4u);
+  EXPECT_EQ(mb.try_push_bulk(batch.data() + 4, 2), 0u);  // full
+  Message out;
+  ASSERT_TRUE(mb.try_pop(out));
+  EXPECT_EQ(out.item, 0);
+  EXPECT_EQ(mb.try_push_bulk(batch.data() + 4, 2), 1u);  // one slot free
+  for (ItemId want : {1, 2, 3, 4}) {
+    ASSERT_TRUE(mb.try_pop(out));
+    EXPECT_EQ(out.item, want);
+  }
+  EXPECT_EQ(mb.max_occupancy(), 4u);
+}
+
+TEST(Mailbox, BulkAndSingleOperationsInterleave) {
+  SpscMailbox mb(3);
+  std::vector<Message> out;
+  ItemId next = 0, want = 0;
+  for (int round = 0; round < 500; ++round) {
+    const std::size_t pushed = static_cast<std::size_t>(round % 3) + 1;
+    std::vector<Message> batch;
+    for (std::size_t i = 0; i < pushed; ++i) batch.push_back(msg(next + static_cast<ItemId>(i)));
+    const std::size_t accepted = mb.try_push_bulk(batch.data(), batch.size());
+    next += static_cast<ItemId>(accepted);
+    if (round % 2 == 0) {
+      Message m;
+      if (mb.try_pop(m)) EXPECT_EQ(m.item, want++);
+    } else {
+      out.clear();
+      const std::size_t n = mb.pop_bulk(out, 2);
+      for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(out[i].item, want++);
+    }
+  }
+  // Drain the remainder; the interleaving never reordered or lost anything.
+  out.clear();
+  while (mb.pop_bulk(out, 8) > 0) {
+  }
+  for (const Message& m : out) EXPECT_EQ(m.item, want++);
+  EXPECT_EQ(want, next);
+}
+
+/// Cross-thread bulk stress: a producer pushing randomized batch sizes
+/// against a consumer draining randomized bulk sizes must preserve order,
+/// payload visibility and the capacity bound — the same contract as the
+/// single-message stress test, through the amortized entry points.
+TEST(Mailbox, BulkSpscStressPreservesOrderAndPayload) {
+  constexpr int kMessages = 200000;
+  constexpr std::size_t kCap = 6;
+  SpscMailbox mb(kCap);
+  std::vector<std::uint64_t> payload(kMessages);
+
+  std::thread producer([&] {
+    std::uint32_t state = 12345;  // cheap deterministic LCG
+    int sent = 0;
+    std::vector<Message> batch;
+    while (sent < kMessages) {
+      state = state * 1664525u + 1013904223u;
+      const int want = 1 + static_cast<int>(state % 4);
+      batch.clear();
+      for (int i = 0; i < want && sent + i < kMessages; ++i) {
+        const int id = sent + i;
+        payload[static_cast<std::size_t>(id)] =
+            0x5EED0000ull + static_cast<std::uint64_t>(id);
+        batch.push_back(Message{
+            static_cast<ItemId>(id),
+            reinterpret_cast<const std::byte*>(
+                &payload[static_cast<std::size_t>(id)]),
+            sizeof(std::uint64_t)});
+      }
+      std::size_t done = 0;
+      while (done < batch.size()) {
+        const std::size_t n =
+            mb.try_push_bulk(batch.data() + done, batch.size() - done);
+        if (n == 0) {
+          std::this_thread::yield();
+          continue;
+        }
+        done += n;
+      }
+      sent += static_cast<int>(batch.size());
+    }
+  });
+
+  std::uint32_t state = 99;
+  int received = 0;
+  std::vector<Message> got;
+  while (received < kMessages) {
+    state = state * 1664525u + 1013904223u;
+    const std::size_t want = 1 + state % 5;
+    got.clear();
+    const std::size_t n = mb.pop_bulk(got, want);
+    if (n == 0) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got[i].item, received);
+      std::uint64_t v = 0;
+      std::memcpy(&v, got[i].data, sizeof v);
+      ASSERT_EQ(v, 0x5EED0000ull + static_cast<std::uint64_t>(received));
+      ++received;
+    }
+  }
+  producer.join();
+  EXPECT_LE(mb.max_occupancy(), kCap);
+}
+
 }  // namespace
 }  // namespace logpc::exec
