@@ -36,7 +36,7 @@ mkdir -p "$OUT"
 
 echo "=== perf smoke: Release build ($BUILD/) ==="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" -j "$JOBS" --target bench_kernels bench_exec
+cmake --build "$BUILD" -j "$JOBS" --target bench_kernels bench_exec bench_service
 
 echo
 echo "=== bench_kernels ==="
@@ -46,6 +46,14 @@ LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_kernels" \
 echo
 echo "=== bench_exec ==="
 LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_exec" \
+  --benchmark_filter='^$' 2>/dev/null
+
+echo
+echo "=== bench_service ==="
+# Sustained service throughput (warm daemon vs cold per-run engines).
+# Artifact-only like bench_exec: absolute req/s moves with runner load, so
+# BENCH_throughput.json records the trajectory without gating.
+LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_service" \
   --benchmark_filter='^$' 2>/dev/null
 
 if [[ "$REBASELINE" == 1 || ! -f "$BASELINE" ]]; then

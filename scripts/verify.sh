@@ -36,7 +36,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
     --target test_plan_cache test_planner test_snapshot test_fib \
              test_obs_metrics test_obs_trace \
              test_exec_mailbox test_exec_kernels test_exec_engine \
-             test_communicator_exec test_fault
+             test_communicator_exec test_fault test_svc_sched test_svc
   ./build-tsan/tests/test_plan_cache
   ./build-tsan/tests/test_planner
   ./build-tsan/tests/test_snapshot
@@ -47,6 +47,10 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/test_exec_kernels
   ./build-tsan/tests/test_exec_engine
   ./build-tsan/tests/test_communicator_exec
+  ./build-tsan/tests/test_svc_sched
+  # The service suite is the headline TSan target: pool threads, racing
+  # submitters and shutdown all hammer one mutex/cv pair.
+  ./build-tsan/tests/test_svc
   # Fault-injection suite at the CI seed matrix: fault decisions are pure
   # hashes of the seed, so each seed exercises a different drop/delay
   # pattern through the same retry and recovery paths.
@@ -63,7 +67,8 @@ if [[ "$RUN_ASAN" == 1 ]]; then
     --target test_obs_metrics test_obs_trace test_obs_chrome \
              test_plan_cache test_planner test_snapshot \
              test_exec_mailbox test_exec_kernels test_exec_engine \
-             test_communicator_exec test_exec_property test_fault
+             test_communicator_exec test_exec_property test_fault \
+             test_svc_sched test_svc
   ./build-asan/tests/test_obs_metrics
   ./build-asan/tests/test_obs_trace
   ./build-asan/tests/test_obs_chrome
@@ -75,6 +80,8 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   ./build-asan/tests/test_exec_engine
   ./build-asan/tests/test_communicator_exec
   ./build-asan/tests/test_exec_property
+  ./build-asan/tests/test_svc_sched
+  ./build-asan/tests/test_svc
   for seed in 1 7 1993; do
     LOGPC_FAULT_SEED="$seed" ./build-asan/tests/test_fault
   done

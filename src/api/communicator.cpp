@@ -144,13 +144,35 @@ exec::Engine& engine_or_shared(exec::Engine* engine) {
 }
 }  // namespace
 
+exec::Program Communicator::compile(runtime::Problem problem, std::int64_t k,
+                                    ProcId root) const {
+  const obs::Span span("comm.compile", "comm");
+  switch (problem) {
+    case runtime::Problem::kBroadcast:
+      return exec::compile_broadcast(
+          planner_->plan(PlanKey::broadcast(params_, root))->schedule,
+          "bcast");
+    case runtime::Problem::kReduce:
+      return exec::compile_reduction(reduce(root));
+    case runtime::Problem::kAllToAll:
+      return exec::compile_broadcast(
+          planner_->plan(PlanKey::alltoall(params_, static_cast<int>(k)))
+              ->schedule,
+          k == 1 ? "allgather" : "alltoall");
+    case runtime::Problem::kSummation:
+      return exec::compile_summation(reduce_operands(k));
+    default:
+      throw std::invalid_argument(
+          "Communicator::compile: problem has no execution semantics");
+  }
+}
+
 exec::ExecReport Communicator::run_broadcast(std::span<const std::byte> payload,
                                              ProcId root,
                                              exec::Engine* engine) const {
   const obs::Span span("comm.run_broadcast", "comm");
-  const PlanPtr plan = planner_->plan(PlanKey::broadcast(params_, root));
   const exec::Program program =
-      exec::compile_broadcast(plan->schedule, "bcast");
+      compile(runtime::Problem::kBroadcast, 1, root);
   const std::vector<exec::Bytes> items{
       exec::Bytes(payload.begin(), payload.end())};
   return engine_or_shared(engine).run(program, items);
@@ -161,7 +183,7 @@ exec::ExecReport Communicator::run_reduce(const std::vector<exec::Bytes>& values
                                           ProcId root,
                                           exec::Engine* engine) const {
   const obs::Span span("comm.run_reduce", "comm");
-  const exec::Program program = exec::compile_reduction(reduce(root));
+  const exec::Program program = compile(runtime::Problem::kReduce, 1, root);
   return engine_or_shared(engine).run(program, values, op);
 }
 
@@ -170,16 +192,14 @@ exec::ExecReport Communicator::run_reduce(const std::vector<exec::Bytes>& values
                                           ProcId root,
                                           exec::Engine* engine) const {
   const obs::Span span("comm.run_reduce", "comm");
-  const exec::Program program = exec::compile_reduction(reduce(root));
+  const exec::Program program = compile(runtime::Problem::kReduce, 1, root);
   return engine_or_shared(engine).run(program, values, op);
 }
 
 exec::ExecReport Communicator::run_allgather(
     const std::vector<exec::Bytes>& contributions, exec::Engine* engine) const {
   const obs::Span span("comm.run_allgather", "comm");
-  const PlanPtr plan = planner_->plan(PlanKey::alltoall(params_, 1));
-  const exec::Program program =
-      exec::compile_broadcast(plan->schedule, "allgather");
+  const exec::Program program = compile(runtime::Problem::kAllToAll, 1, 0);
   return engine_or_shared(engine).run(program, contributions);
 }
 

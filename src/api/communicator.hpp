@@ -100,6 +100,18 @@ class Communicator {
                                       std::int64_t k = 1,
                                       ProcId root = 0) const;
 
+  /// The executable lowering of the cached plan for an *executable*
+  /// problem — kBroadcast, kReduce, kAllToAll (k = 1 is the allgather the
+  /// run path uses) or kSummation (k = operand count n).  This is the
+  /// exact program the corresponding run_* method would execute; a serving
+  /// layer (svc::CollectiveService) caches the returned Program per
+  /// (problem, k, root) and hands it straight to its pool engines, paying
+  /// plan lookup + compilation once instead of per request.  Throws
+  /// std::invalid_argument for problems with no execution semantics.
+  [[nodiscard]] exec::Program compile(runtime::Problem problem,
+                                      std::int64_t k = 1,
+                                      ProcId root = 0) const;
+
   // --- one-to-all -------------------------------------------------------
   /// Optimal single-item broadcast (Theorem 2.1).
   [[nodiscard]] Schedule bcast(ProcId root = 0) const;

@@ -54,40 +54,16 @@ struct Failure {
   }
 };
 
-/// One heartbeat counter per logical processor, cache-line padded.  A live
-/// worker bumps its own slot on every instruction and every spin-wait tick;
-/// a peer blocked on rank r accuses r dead only after r's slot has stayed
-/// frozen for Recovery::suspect_after_ms — so a slow-but-alive rank (which
-/// keeps bumping while it stalls) is never excluded.  A parked worker
-/// (WaitPolicy::Mode::kPark) wakes on every ParkGate tick and bumps, so
-/// parking never looks like death.
-struct alignas(64) Heartbeat {
-  std::atomic<std::uint64_t> v{0};
-};
-
-/// kMove payload staging: one arena-carved, 64-byte-aligned region per
-/// (processor, item) slot the plan touches.  Workers memcpy into their own
-/// slots; the pool's completion barrier publishes the bytes, and the
-/// epilogue copies filled slots into the report's user-facing vectors.
-struct Slot {
-  std::byte* data = nullptr;
-  std::size_t size = 0;
-};
-
-/// Consumer-side drain buffer, one per link (each link has exactly one
-/// consumer).  pop_bulk refills it with every message the stream is about
-/// to consume back-to-back (Instr::chain), amortizing the ring's
-/// acquire/release pair across the batch.
-struct PendingQ {
-  std::vector<Message> buf;
-  std::size_t head = 0;
-};
-
 }  // namespace
 
 Engine& Engine::shared() {
   static Engine* engine = new Engine();  // leaked: outlives static teardown
   return *engine;
+}
+
+void Engine::prewarm(int procs) {
+  if (procs <= 0) return;
+  pool_.reserve(static_cast<unsigned>(procs));
 }
 
 ExecReport Engine::run(const Program& program,
@@ -195,35 +171,27 @@ ExecReport Engine::run_impl(const Program& program,
   // for the pool.
   std::lock_guard run_lock(run_mu_);
 
-  // --- run state ---------------------------------------------------------
-  std::vector<std::unique_ptr<SpscMailbox>> mailboxes;
-  mailboxes.reserve(program.links.size());
-  for (std::size_t i = 0; i < program.links.size(); ++i) {
-    mailboxes.push_back(std::make_unique<SpscMailbox>(cap, opts_.mailbox_stats));
-  }
-  std::vector<PendingQ> pending(program.links.size());
-  for (PendingQ& pq : pending) pq.buf.reserve(cap);
-
-  // Reliable-mode state, one slot per link.  Each slot is touched by only
-  // one side of its link (seq/acked by the producer, accepted/attempts by
-  // the consumer), so plain vectors are race-free.
-  std::vector<std::unique_ptr<AckRing>> acks;
-  std::vector<std::uint64_t> send_seq;   // producer: last seq pushed
-  std::vector<std::uint64_t> acked;      // producer: highest acked seq seen
-  std::vector<std::uint64_t> accepted;   // consumer: highest seq accepted
-  std::vector<std::uint64_t> attempts;   // consumer: arrivals of expected seq
-  std::unique_ptr<Heartbeat[]> hearts;
-  if (reliable) {
-    acks.reserve(program.links.size());
-    for (std::size_t i = 0; i < program.links.size(); ++i) {
-      acks.push_back(std::make_unique<AckRing>(cap, opts_.mailbox_stats));
-    }
-    send_seq.assign(program.links.size(), 0);
-    acked.assign(program.links.size(), 0);
-    accepted.assign(program.links.size(), 0);
-    attempts.assign(program.links.size(), 0);
-    hearts = std::make_unique<Heartbeat[]>(P);
-  }
+  // --- run state: the engine's warm per-run context ----------------------
+  // Threads are warm when the pool already holds a worker per processor;
+  // buffers are warm when the context's previous shape matches and
+  // prepare() recycled every ring/queue/arena chunk without allocating.
+  const bool pool_warm =
+      pool_.size() >= static_cast<unsigned>(program.params.P);
+  RunShape shape;
+  shape.links = program.links.size();
+  shape.capacity = cap;
+  shape.mailbox_stats = opts_.mailbox_stats;
+  shape.reliable = reliable;
+  shape.procs = P;
+  const bool buffers_warm = ctx_.prepare(shape);
+  std::vector<std::unique_ptr<SpscMailbox>>& mailboxes = ctx_.mailboxes;
+  std::vector<PendingQ>& pending = ctx_.pending;
+  std::vector<std::unique_ptr<AckRing>>& acks = ctx_.acks;
+  std::vector<std::uint64_t>& send_seq = ctx_.send_seq;
+  std::vector<std::uint64_t>& acked = ctx_.acked;
+  std::vector<std::uint64_t>& accepted = ctx_.accepted;
+  std::vector<std::uint64_t>& attempts = ctx_.attempts;
+  Heartbeat* const hearts = ctx_.hearts.get();
 
   ExecReport report;
   report.params = program.params;
@@ -232,27 +200,31 @@ ExecReport Engine::run_impl(const Program& program,
   report.predicted_makespan = program.predicted_makespan;
   report.messages = program.num_messages;
   report.mailbox_capacity = cap;
+  report.warm_pool = pool_warm;
+  report.warm_buffers = buffers_warm;
   report.events.resize(P);
   report.deliveries.resize(P);
   report.fault_events.resize(P);
   report.folded.resize(P);
 
-  // --- kMove payload staging: the per-run buffer arena -------------------
+  // --- kMove payload staging: the context's warm buffer arena ------------
   // Every (processor, item) slot the plan touches is carved 64-byte-aligned
   // out of one bump arena before workers start, so the receive hot path is
   // a plain memcpy — no allocator calls on any worker thread.  The arena
-  // lives on this frame and outlives the pool epoch below.
-  std::vector<Slot> slots;
-  std::vector<char> slot_filled;  // 1 = slot holds delivered/seeded bytes
+  // and slot tables live in the run context (rewound by prepare(), chunks
+  // kept warm across runs) and outlive the pool epoch below.
+  std::vector<Slot>& slots = ctx_.slots;
+  std::vector<char>& slot_filled = ctx_.slot_filled;
   auto slot_index = [num_items](std::size_t p, std::size_t item) {
     return p * num_items + item;
   };
-  BufferArena arena;
+  BufferArena& arena = ctx_.arena;
   if (program.mode == Mode::kMove) {
     report.items.assign(P, std::vector<Bytes>(num_items));
-    slots.resize(P * num_items);
+    slots.assign(P * num_items, Slot{});
     slot_filled.assign(P * num_items, 0);
-    std::vector<char> used(P * num_items, 0);
+    std::vector<char>& used = ctx_.slot_used;
+    used.assign(P * num_items, 0);
     for (const InitialPlacement& init : program.initials) {
       used[slot_index(static_cast<std::size_t>(init.proc),
                       static_cast<std::size_t>(init.item))] = 1;
@@ -705,7 +677,8 @@ ExecReport Engine::run_impl(const Program& program,
     // All workers have rejoined the epoch barrier, so nothing is producing
     // or consuming: drain every ring so an aborted run leaves no stale
     // message (or stale ack) behind for a later run to trip on.  (The
-    // arena and pending queues die with this frame.)
+    // context re-drains on its next prepare() as well, but a throwing run
+    // must not leave the shared rings dirty in between.)
     Message m;
     for (const auto& mb : mailboxes) {
       while (mb->try_pop(m)) {
@@ -769,6 +742,13 @@ ExecReport Engine::run_impl(const Program& program,
                   obs::default_latency_buckets_ns(),
                   "wall-clock duration of one executed collective", labels)
         .observe(static_cast<double>(report.wall_ns));
+    reg.counter(report.warm_pool ? "logpc_exec_warm_runs_total"
+                                 : "logpc_exec_cold_starts_total",
+                report.warm_pool
+                    ? "runs dispatched onto already-resident worker threads"
+                    : "runs that spawned worker threads on the request path",
+                labels)
+        .inc();
     if (op != nullptr && op->typed()) {
       const std::string klabels = "op=\"" + std::string(op_name(op->spec().op)) +
                                   "\",dtype=\"" +

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/context.hpp"
 #include "exec/kernels.hpp"
 #include "exec/mailbox.hpp"
 #include "exec/program.hpp"
@@ -19,6 +20,16 @@
 /// The shared-memory execution engine: runs a compiled Program on a pool
 /// of OS threads — one logical LogP processor per worker — moving real
 /// payload bytes through one bounded lock-free mailbox per directed link.
+///
+/// An Engine is two halves: a *persistent worker-pool resource* (the
+/// ThreadPool plus a warm RunContext of mailboxes, ack rings and arena
+/// chunks, kept alive across runs) and a *cheap per-run execution
+/// context* (RunContext::prepare rewinds rather than rebuilds when
+/// consecutive runs share a shape).  Back-to-back runs on one engine
+/// therefore pay neither thread spawn/join nor per-link allocation —
+/// ExecReport::warm_pool / warm_buffers record which path a run took, and
+/// svc::CollectiveService keeps a small set of such engines as its
+/// persistent pools.
 ///
 /// Execution is as-fast-as-possible: planned cycles order each stream but
 /// never pace it.  The model's constraints survive as *structure* — the
@@ -95,6 +106,17 @@ struct ExecReport {
   std::size_t kernel_folds = 0;   ///< folds taken by the typed SIMD kernel
   std::size_t generic_folds = 0;  ///< folds through the type-erased lane
   std::size_t arena_bytes = 0;    ///< payload staging carved from the arena
+  /// True when the run dispatched onto already-resident worker threads: no
+  /// OS thread was spawned on the request path.  A fresh engine's first
+  /// run (or the first run after a growth in P) is a cold start; every
+  /// same-or-smaller run after it — and every run after prewarm(P) —
+  /// reports true.  The service's persistent engine pools regression-
+  /// assert this stays true under sustained traffic.
+  bool warm_pool = false;
+  /// True when the run reused the engine's RunContext warm: same shape as
+  /// the previous run, so mailboxes, ack rings, drain queues, heartbeat
+  /// slots and arena chunks were recycled with zero allocation.
+  bool warm_buffers = false;
   std::vector<std::vector<ExecEvent>> events;  ///< [proc], in stream order
   std::vector<std::vector<validate::DeliveryRecord>> deliveries;  ///< [proc]
   /// Injected faults, per processor in injection order.  Decisions are
@@ -181,8 +203,26 @@ class Engine {
                  const CombineFn& op, const fault::Injector* injector = nullptr);
 
   /// The process-wide engine api::Communicator's run_* entry points use by
-  /// default.  Thread-safe: concurrent runs serialize on the pool.
+  /// default.
+  ///
+  /// Thread-safety contract (all engines, enforced by run_mu_): run() may
+  /// be called from any number of threads concurrently; runs serialize on
+  /// the engine's run mutex, each getting its full watchdog budget from
+  /// dispatch (not from when it started queueing).  Options are fixed at
+  /// construction and immutable afterwards — there is deliberately no
+  /// setter, so a run never observes a torn options struct and the shared
+  /// engine always carries the defaults.  Callers needing different knobs
+  /// (recovery, wait policy, mailbox stats) construct their own Engine;
+  /// svc::CollectiveService does exactly that, one per pool.
   static Engine& shared();
+
+  /// Pre-spawns `procs` worker threads so the first real run dispatches
+  /// warm (ExecReport::warm_pool).  A service brings its pools up with
+  /// this before opening admission.
+  void prewarm(int procs);
+
+  /// The immutable options this engine was constructed with.
+  [[nodiscard]] const Options& options() const { return opts_; }
 
   [[nodiscard]] ThreadPool& pool() { return pool_; }
 
@@ -198,6 +238,9 @@ class Engine {
   /// Serializes runs on this engine *before* the watchdog clock starts, so
   /// a run queued behind a long one gets its full timeout budget.
   std::mutex run_mu_;
+  /// Warm per-run resources, reused across same-shape runs (guarded by
+  /// run_mu_ — exactly one run touches it at a time).
+  RunContext ctx_;
 };
 
 }  // namespace logpc::exec

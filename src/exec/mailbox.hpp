@@ -145,6 +145,15 @@ class SpscRing {
   /// Whether this ring records its high-water mark.
   [[nodiscard]] bool tracks_occupancy() const { return track_; }
 
+  /// Rewinds the high-water mark for warm reuse across runs, so each run's
+  /// occupancy report covers that run alone.  Requires both sides
+  /// quiescent (the engine calls it during single-threaded setup, after
+  /// the previous run's epoch barrier); the cursors themselves are modular
+  /// and never need rewinding.
+  void reset_stats() noexcept {
+    max_occupancy_.store(0, std::memory_order_relaxed);
+  }
+
  private:
   void note_occupancy(std::size_t used) {
     if (!track_) return;

@@ -25,6 +25,11 @@ void ThreadPool::ensure_unlocked(unsigned n) {
   }
 }
 
+void ThreadPool::reserve(unsigned n) {
+  std::unique_lock lock(mu_);
+  ensure_unlocked(n);
+}
+
 unsigned ThreadPool::size() const {
   std::unique_lock lock(mu_);
   return static_cast<unsigned>(threads_.size());

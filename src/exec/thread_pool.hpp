@@ -36,6 +36,11 @@ class ThreadPool {
   /// epoch runs at a time; concurrent callers serialize.
   void run(int tasks, const std::function<void(int)>& fn);
 
+  /// Pre-spawns workers up to `n` so a later run(tasks <= n) dispatches
+  /// onto resident threads instead of paying thread start-up on the
+  /// request path.  Idempotent; never shrinks the pool.
+  void reserve(unsigned n);
+
   /// Workers currently alive.
   [[nodiscard]] unsigned size() const;
 

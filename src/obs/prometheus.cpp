@@ -50,6 +50,27 @@ std::string escape_help(const std::string& help) {
 
 }  // namespace
 
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string label_pair(const std::string& name, const std::string& value) {
+  return name + "=\"" + escape_label_value(value) + "\"";
+}
+
 void write_prometheus(const MetricsRegistry& registry, std::ostream& os) {
   std::string last_family;
   for (const MetricSnapshot& m : registry.snapshot()) {

@@ -20,4 +20,17 @@ void write_prometheus(const MetricsRegistry& registry, std::ostream& os);
 /// The same exposition as a string.
 [[nodiscard]] std::string prometheus_text(const MetricsRegistry& registry);
 
+/// Escapes one label *value* per the exposition format: backslash, double
+/// quote and newline become \\, \" and \n.  MetricsRegistry label bodies
+/// are pre-rendered strings, so any label built from external input — a
+/// tenant name, a user-supplied collective label — must pass through this
+/// or a crafted value would break (or forge) the scrape output.
+[[nodiscard]] std::string escape_label_value(const std::string& value);
+
+/// Renders one `name="value"` label pair with the value escaped — the
+/// building block for label bodies keyed by external strings, e.g.
+/// `label_pair("tenant", cfg.name)`.  Join multiple pairs with commas.
+[[nodiscard]] std::string label_pair(const std::string& name,
+                                     const std::string& value);
+
 }  // namespace logpc::obs

@@ -1,0 +1,343 @@
+#include "svc/service.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "obs/prometheus.hpp"
+#include "obs/trace_recorder.hpp"
+
+namespace logpc::svc {
+
+namespace {
+
+std::uint64_t ns_between(std::chrono::steady_clock::time_point a,
+                         std::chrono::steady_clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+}  // namespace
+
+const char* op_kind_name(OpKind op) noexcept {
+  switch (op) {
+    case OpKind::kBroadcast: return "broadcast";
+    case OpKind::kReduce: return "reduce";
+    case OpKind::kAllgather: return "allgather";
+  }
+  return "?";
+}
+
+const char* status_name(Status s) noexcept {
+  switch (s) {
+    case Status::kOk: return "ok";
+    case Status::kQueueFull: return "queue_full";
+    case Status::kRateLimited: return "rate_limited";
+    case Status::kShutdown: return "shutdown";
+    case Status::kError: return "error";
+  }
+  return "?";
+}
+
+CollectiveService::CollectiveService(Params params, Options options,
+                                     std::shared_ptr<runtime::Planner> planner)
+    : params_(params), opts_(options), comm_(params, std::move(planner)) {
+  params_.require_valid();
+  opts_.pools = std::clamp(opts_.pools, 1, 64);
+  paused_ = opts_.start_paused;
+  pools_.reserve(static_cast<std::size_t>(opts_.pools));
+  for (int i = 0; i < opts_.pools; ++i) {
+    Pool pool;
+    pool.engine = std::make_unique<exec::Engine>(opts_.engine);
+    if (opts_.prewarm) pool.engine->prewarm(params_.P);
+    pools_.push_back(std::move(pool));
+  }
+  // Engines first, dispatcher threads second: a pool thread may pick work
+  // the instant it starts.
+  for (int i = 0; i < opts_.pools; ++i) {
+    pools_[static_cast<std::size_t>(i)].thread =
+        std::thread([this, i] { pool_loop(i); });
+  }
+}
+
+CollectiveService::~CollectiveService() { shutdown(true); }
+
+CollectiveService::TenantMetrics& CollectiveService::metrics_at(
+    TenantId tenant) {
+  if (tenant < 0 ||
+      static_cast<std::size_t>(tenant) >= tenant_metrics_.size()) {
+    throw std::invalid_argument("CollectiveService: unknown tenant id " +
+                                std::to_string(tenant));
+  }
+  return *tenant_metrics_[static_cast<std::size_t>(tenant)];
+}
+
+TenantId CollectiveService::register_tenant(TenantConfig config) {
+  auto tm = std::make_unique<TenantMetrics>();
+  std::lock_guard lock(mu_);
+  const TenantId id = sched_.add_tenant(config);
+  std::string value = config.name.empty()
+                          ? ("tenant-" + std::to_string(id))
+                          : config.name;
+  if (!used_labels_.insert(value).second) {
+    value += "#" + std::to_string(id);
+    used_labels_.insert(value);
+  }
+  // The tenant name is untrusted input: label_pair escapes it so the
+  // exporter always emits parseable exposition text.
+  tm->label = obs::label_pair("tenant", value);
+
+  // Registration takes the registry mutex while we hold mu_ (mu_ -> reg);
+  // safe because nothing evaluated under the registry mutex takes mu_ —
+  // every per-tenant instrument here is a plain atomic, not a callback.
+  auto& reg = obs::MetricsRegistry::global();
+  tm->admitted_total =
+      &reg.counter("logpc_svc_admitted_total",
+                   "requests admitted into a tenant queue", tm->label);
+  tm->rejected_queue_full_total = &reg.counter(
+      "logpc_svc_rejected_total", "requests rejected at admission",
+      tm->label + ",reason=\"queue_full\"");
+  tm->rejected_rate_limited_total = &reg.counter(
+      "logpc_svc_rejected_total", "requests rejected at admission",
+      tm->label + ",reason=\"rate_limited\"");
+  tm->completed_ok_total =
+      &reg.counter("logpc_svc_completed_total", "requests fully executed",
+                   tm->label + ",status=\"ok\"");
+  tm->completed_error_total =
+      &reg.counter("logpc_svc_completed_total", "requests fully executed",
+                   tm->label + ",status=\"error\"");
+  tm->queue_depth = &reg.gauge("logpc_svc_queue_depth",
+                               "requests currently queued for the tenant",
+                               tm->label);
+  tm->queue_wait =
+      &reg.histogram("logpc_svc_queue_wait_ns",
+                     obs::default_latency_buckets_ns(),
+                     "admission-to-dispatch wait", tm->label);
+  tm->e2e_latency =
+      &reg.histogram("logpc_svc_request_ns", obs::default_latency_buckets_ns(),
+                     "submission-to-completion latency", tm->label);
+  tenant_metrics_.push_back(std::move(tm));
+  return id;
+}
+
+SubmitResult CollectiveService::submit(TenantId tenant, Request request) {
+  auto pending = std::make_unique<Pending>();
+  pending->tenant = tenant;
+  pending->req = std::move(request);
+  pending->submitted = Clock::now();
+  std::future<Response> response = pending->promise.get_future();
+  const double now = now_sec();
+
+  SubmitResult out;
+  {
+    std::lock_guard lock(mu_);
+    TenantMetrics& m = metrics_at(tenant);  // validates the id first
+    if (stopping_) {
+      out.status = Status::kShutdown;
+      return out;
+    }
+    switch (sched_.offer(tenant, pending->req.qos, next_handle_, now)) {
+      case Admit::kQueueFull:
+        m.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+        m.rejected_queue_full_total->inc();
+        out.status = Status::kQueueFull;
+        return out;
+      case Admit::kRateLimited:
+        m.rejected_rate_limited.fetch_add(1, std::memory_order_relaxed);
+        m.rejected_rate_limited_total->inc();
+        out.status = Status::kRateLimited;
+        return out;
+      case Admit::kAdmitted:
+        break;
+    }
+    m.admitted.fetch_add(1, std::memory_order_relaxed);
+    m.admitted_total->inc();
+    m.queue_depth->set(static_cast<double>(sched_.queue_depth(tenant)));
+    queued_reqs_.emplace(next_handle_, std::move(pending));
+    ++next_handle_;
+  }
+  cv_.notify_one();
+  out.status = Status::kOk;
+  out.response = std::move(response);
+  return out;
+}
+
+void CollectiveService::pool_loop(int pool_index) {
+  exec::Engine& engine = *pools_[static_cast<std::size_t>(pool_index)].engine;
+  for (;;) {
+    std::unique_ptr<Pending> pending;
+    TenantMetrics* tm = nullptr;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] {
+        return stopping_ || (!paused_ && sched_.queued() > 0);
+      });
+      if (stopping_) {
+        // drain=true keeps dispatching (a pause no longer holds work back)
+        // until every queue is empty; drain=false exits now and leaves the
+        // leftovers for shutdown() to fail with kShutdown.
+        if (!drain_on_stop_ || sched_.queued() == 0) return;
+      } else if (paused_ || sched_.queued() == 0) {
+        continue;  // spurious wake or lost race with another pool
+      }
+      TenantId tenant = -1;
+      std::uint64_t handle = 0;
+      if (!sched_.pick(&tenant, &handle)) continue;
+      const auto it = queued_reqs_.find(handle);
+      pending = std::move(it->second);
+      queued_reqs_.erase(it);
+      pending->seq = dispatch_seq_++;
+      tm = &metrics_at(tenant);
+      tm->queue_depth->set(static_cast<double>(sched_.queue_depth(tenant)));
+    }
+
+    Response r = execute(*pending, engine, pool_index);
+
+    tm->queue_wait->observe(static_cast<double>(r.queue_wait_ns));
+    tm->e2e_latency->observe(static_cast<double>(r.total_ns));
+    tm->completed.fetch_add(1, std::memory_order_relaxed);
+    (r.status == Status::kOk ? tm->completed_ok_total
+                             : tm->completed_error_total)
+        ->inc();
+    pending->promise.set_value(std::move(r));
+  }
+}
+
+std::shared_ptr<const exec::Program> CollectiveService::program_for(
+    OpKind op, ProcId root) {
+  const std::pair<int, ProcId> key{static_cast<int>(op),
+                                   op == OpKind::kAllgather ? 0 : root};
+  std::lock_guard lock(prog_mu_);
+  auto it = programs_.find(key);
+  if (it != programs_.end()) return it->second;
+  runtime::Problem problem = runtime::Problem::kBroadcast;
+  switch (op) {
+    case OpKind::kBroadcast: problem = runtime::Problem::kBroadcast; break;
+    case OpKind::kReduce: problem = runtime::Problem::kReduce; break;
+    case OpKind::kAllgather: problem = runtime::Problem::kAllToAll; break;
+  }
+  auto program = std::make_shared<const exec::Program>(
+      comm_.compile(problem, 1, key.second));
+  programs_.emplace(key, program);
+  return program;
+}
+
+Response CollectiveService::execute(Pending& pending, exec::Engine& engine,
+                                    int pool_index) {
+  Response r;
+  r.pool = pool_index;
+  r.dispatch_seq = pending.seq;
+  r.queue_wait_ns = ns_between(pending.submitted, Clock::now());
+
+  obs::Span span("svc.request", "svc");
+  if (span.active()) {
+    span.set_arg(std::string(op_kind_name(pending.req.op)) +
+                 " qos=" + qos_name(pending.req.qos) + " pool=" +
+                 std::to_string(pool_index));
+  }
+  try {
+    const std::shared_ptr<const exec::Program> program =
+        program_for(pending.req.op, pending.req.root);
+    switch (pending.req.op) {
+      case OpKind::kBroadcast: {
+        const std::vector<exec::Bytes> items{pending.req.payload};
+        r.report = engine.run(*program, items);
+        break;
+      }
+      case OpKind::kReduce:
+        r.report = engine.run(*program, pending.req.values,
+                              pending.req.combine);
+        break;
+      case OpKind::kAllgather:
+        r.report = engine.run(*program, pending.req.values);
+        break;
+    }
+    r.status = Status::kOk;
+  } catch (const std::exception& e) {
+    r.status = Status::kError;
+    r.error = e.what();
+  }
+  r.total_ns = ns_between(pending.submitted, Clock::now());
+  return r;
+}
+
+void CollectiveService::pause() {
+  std::lock_guard lock(mu_);
+  paused_ = true;
+}
+
+void CollectiveService::resume() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void CollectiveService::shutdown(bool drain) {
+  std::lock_guard shutdown_lock(shutdown_mu_);
+  if (shut_down_) return;
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    drain_on_stop_ = drain;
+  }
+  cv_.notify_all();
+  for (Pool& pool : pools_) {
+    if (pool.thread.joinable()) pool.thread.join();
+  }
+  // With drain=false the pools exited immediately; fail what they left
+  // behind so no future is abandoned unresolved.
+  std::vector<std::unique_ptr<Pending>> leftovers;
+  {
+    std::lock_guard lock(mu_);
+    shut_down_ = true;
+    leftovers.reserve(queued_reqs_.size());
+    for (auto& [handle, pending] : queued_reqs_) {
+      leftovers.push_back(std::move(pending));
+    }
+    queued_reqs_.clear();
+    TenantId tenant = -1;
+    std::uint64_t handle = 0;
+    while (sched_.pick(&tenant, &handle)) {
+      metrics_at(tenant).queue_depth->set(
+          static_cast<double>(sched_.queue_depth(tenant)));
+    }
+  }
+  for (std::unique_ptr<Pending>& pending : leftovers) {
+    Response r;
+    r.status = Status::kShutdown;
+    r.error = "service shut down before dispatch";
+    pending->promise.set_value(std::move(r));
+  }
+}
+
+CollectiveService::TenantCounters CollectiveService::tenant_counters(
+    TenantId tenant) const {
+  std::lock_guard lock(mu_);
+  auto* self = const_cast<CollectiveService*>(this);
+  const TenantMetrics& m = self->metrics_at(tenant);
+  TenantCounters c;
+  c.admitted = m.admitted.load(std::memory_order_relaxed);
+  c.completed = m.completed.load(std::memory_order_relaxed);
+  c.rejected_queue_full = m.rejected_queue_full.load(std::memory_order_relaxed);
+  c.rejected_rate_limited =
+      m.rejected_rate_limited.load(std::memory_order_relaxed);
+  c.queue_depth = sched_.queue_depth(tenant);
+  return c;
+}
+
+bool CollectiveService::accepting() const {
+  std::lock_guard lock(mu_);
+  return !stopping_;
+}
+
+std::size_t CollectiveService::queued() const {
+  std::lock_guard lock(mu_);
+  return sched_.queued();
+}
+
+double CollectiveService::now_sec() const {
+  return std::chrono::duration<double>(Clock::now() - epoch_).count();
+}
+
+}  // namespace logpc::svc

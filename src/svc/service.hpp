@@ -1,0 +1,250 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "api/communicator.hpp"
+#include "exec/engine.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/planner.hpp"
+#include "svc/scheduler.hpp"
+
+/// \file service.hpp
+/// The collective-service daemon: the long-running, multi-tenant serving
+/// layer over the whole stack.  Where api::Communicator answers one call
+/// at a time — plan, compile, run, return — a CollectiveService accepts
+/// *requests* from logical tenants into per-tenant bounded queues, admits
+/// them through QoS / fair-share / rate-limit policy (svc::Scheduler), and
+/// dispatches them onto a small set of **persistent engine pools**: one
+/// exec::Engine per pool, threads prewarmed and run contexts kept warm, so
+/// back-to-back collectives pay neither thread spawn/join nor per-link
+/// allocation (ExecReport::warm_pool / warm_buffers on every Response
+/// prove it).
+///
+/// Data path of one admitted request:
+///
+///   submit(tenant, req) ── admission (Scheduler::offer: rate bucket,
+///     queue bound) ──> per-tenant queue ── pool thread (Scheduler::pick:
+///     QoS class, then weighted stride fair-share) ──> compiled Program
+///     (cached per (op, root) via Communicator::compile; plans come from
+///     the shared thread-safe Planner) ──> Engine::run on the pool's warm
+///     engine ──> promise fulfilled, future resolves with the Response.
+///
+/// Rejections are synchronous and explicit — SubmitResult carries
+/// kQueueFull / kRateLimited / kShutdown with no future attached — so an
+/// overloaded service applies backpressure instead of growing a queue
+/// without bound.
+///
+/// Telemetry: per-tenant admission/rejection/completion counters, a
+/// queue-depth gauge maintained at every admit/dispatch, queue-wait and
+/// end-to-end latency histograms (all labeled `tenant="<escaped name>"`
+/// through obs::label_pair so arbitrary tenant names render as valid
+/// Prometheus), plus an `svc.request` span around every execution.
+///
+/// Shutdown is graceful by default: shutdown(true) stops admission,
+/// drains every queued request through the pools, then joins the pool
+/// threads; shutdown(false) stops after the in-flight runs and fails the
+/// still-queued requests with kShutdown.  The destructor drains.
+
+namespace logpc::svc {
+
+/// Collectives the service serves.  Each maps to an executable problem of
+/// the planning runtime and to the matching Engine::run form.
+enum class OpKind : std::uint8_t {
+  kBroadcast,  ///< payload from root to all (one item)
+  kReduce,     ///< one value per proc folded to root with `combine`
+  kAllgather,  ///< every proc contributes values[p], all end with all P
+};
+
+[[nodiscard]] const char* op_kind_name(OpKind op) noexcept;
+
+/// Terminal status of a request (SubmitResult::status uses the same enum:
+/// a rejected submit never gets a future).
+enum class Status : std::uint8_t {
+  kOk,           ///< executed; Response::report holds the run
+  kQueueFull,    ///< rejected at admission: tenant queue at capacity
+  kRateLimited,  ///< rejected at admission: tenant over its rate limit
+  kShutdown,     ///< rejected or cancelled by service shutdown
+  kError,        ///< dispatched but the run threw; Response::error says why
+};
+
+[[nodiscard]] const char* status_name(Status s) noexcept;
+
+/// One collective to execute.  Inputs are owned by the request (the
+/// service executes asynchronously; views would dangle).
+struct Request {
+  OpKind op = OpKind::kBroadcast;
+  QoS qos = QoS::kBatch;
+  ProcId root = 0;
+  exec::Bytes payload;               ///< kBroadcast: the item
+  std::vector<exec::Bytes> values;   ///< kReduce/kAllgather: one per proc
+  exec::Combiner combine;            ///< kReduce: fold operator
+};
+
+/// What the future resolves to.
+struct Response {
+  Status status = Status::kOk;
+  std::string error;             ///< set when status == kError/kShutdown
+  exec::ExecReport report;       ///< the completed run (status == kOk)
+  std::uint64_t queue_wait_ns = 0;  ///< admission to dispatch
+  std::uint64_t total_ns = 0;       ///< submission to completion
+  int pool = -1;                    ///< engine pool that ran it
+  /// Global dispatch order (0-based): the k-th request any pool picked.
+  /// The QoS and fairness tests assert on it.
+  std::uint64_t dispatch_seq = 0;
+};
+
+/// Synchronous half of submit().  `response` is valid iff accepted().
+struct SubmitResult {
+  Status status = Status::kOk;
+  std::future<Response> response;
+  [[nodiscard]] bool accepted() const { return status == Status::kOk; }
+};
+
+class CollectiveService {
+ public:
+  struct Options {
+    /// Persistent engine pools.  Each pool is one exec::Engine (P worker
+    /// threads + warm run context) plus one dispatcher thread; requests
+    /// across pools run concurrently, requests on one pool serialize.
+    int pools = 2;
+    /// Spawn every pool's worker threads before admission opens, so even
+    /// the first request dispatches warm.
+    bool prewarm = true;
+    /// Start with dispatch paused (admission still open) — operational
+    /// lever for staged bring-up; also what the policy tests use to build
+    /// a backlog deterministically.
+    bool start_paused = false;
+    /// Engine knobs shared by every pool.
+    exec::Engine::Options engine;
+  };
+
+  /// \param planner plan-lookup service; nullptr uses the process-wide
+  ///        runtime::Planner::shared_default() (shared plan cache).
+  explicit CollectiveService(Params params, Options options,
+                             std::shared_ptr<runtime::Planner> planner = nullptr);
+  explicit CollectiveService(Params params)
+      : CollectiveService(params, Options{}) {}
+  ~CollectiveService();  ///< shutdown(true)
+  CollectiveService(const CollectiveService&) = delete;
+  CollectiveService& operator=(const CollectiveService&) = delete;
+
+  /// Registers a tenant.  Thread-safe; may be called while serving.
+  TenantId register_tenant(TenantConfig config);
+
+  /// Admission: synchronous verdict plus (on kOk) a future for the
+  /// eventual Response.  Never blocks on execution.  Throws
+  /// std::invalid_argument for an unknown tenant id.
+  SubmitResult submit(TenantId tenant, Request request);
+
+  /// Dispatch gate: pause() holds queued work (admission stays open),
+  /// resume() releases it.  Draining shutdown overrides a pause.
+  void pause();
+  void resume();
+
+  /// Stops admission, then either drains every queued request through the
+  /// pools (drain = true) or fails still-queued requests with kShutdown
+  /// (drain = false).  Joins the pool threads; idempotent; thread-safe.
+  void shutdown(bool drain = true);
+
+  /// Point-in-time per-tenant accounting (test/ops introspection; the
+  /// same numbers are exported as logpc_svc_* metrics).
+  struct TenantCounters {
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected_queue_full = 0;
+    std::uint64_t rejected_rate_limited = 0;
+    std::size_t queue_depth = 0;
+  };
+  [[nodiscard]] TenantCounters tenant_counters(TenantId tenant) const;
+
+  [[nodiscard]] const Params& params() const { return params_; }
+  [[nodiscard]] int pools() const { return static_cast<int>(pools_.size()); }
+  [[nodiscard]] bool accepting() const;
+  /// Requests currently queued (all tenants).
+  [[nodiscard]] std::size_t queued() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Pending {
+    TenantId tenant = -1;
+    Request req;
+    std::promise<Response> promise;
+    Clock::time_point submitted;
+    std::uint64_t seq = 0;  ///< dispatch order, assigned at pick
+  };
+
+  struct Pool {
+    std::unique_ptr<exec::Engine> engine;
+    std::thread thread;
+  };
+
+  /// Registry-owned instruments + plain mirrors for tenant_counters().
+  struct TenantMetrics {
+    std::string label;  ///< pre-escaped `tenant="..."` body
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected_queue_full{0};
+    std::atomic<std::uint64_t> rejected_rate_limited{0};
+    obs::Counter* admitted_total = nullptr;
+    obs::Counter* rejected_queue_full_total = nullptr;
+    obs::Counter* rejected_rate_limited_total = nullptr;
+    obs::Counter* completed_ok_total = nullptr;
+    obs::Counter* completed_error_total = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    obs::Histogram* queue_wait = nullptr;
+    obs::Histogram* e2e_latency = nullptr;
+  };
+
+  void pool_loop(int pool_index);
+  Response execute(Pending& pending, exec::Engine& engine, int pool_index);
+  TenantMetrics& metrics_at(TenantId tenant);  ///< call under mu_; throws
+  /// Compiled program for (op, root), cached for the service lifetime —
+  /// the machine is fixed, so every same-shape request reuses one
+  /// lowering (plans themselves come from the shared plan cache).
+  std::shared_ptr<const exec::Program> program_for(OpKind op, ProcId root);
+  [[nodiscard]] double now_sec() const;
+
+  Params params_;
+  Options opts_;
+  api::Communicator comm_;
+  const Clock::time_point epoch_ = Clock::now();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  Scheduler sched_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<Pending>> queued_reqs_;
+  std::uint64_t next_handle_ = 1;
+  std::uint64_t dispatch_seq_ = 0;
+  bool paused_ = false;
+  bool stopping_ = false;
+  bool drain_on_stop_ = true;
+  std::vector<std::unique_ptr<TenantMetrics>> tenant_metrics_;
+  /// Metric label values handed out so far: a tenant re-using a name gets
+  /// a "#<id>" suffix instead of silently sharing the first tenant's
+  /// series.
+  std::set<std::string> used_labels_;
+
+  std::mutex prog_mu_;
+  std::map<std::pair<int, ProcId>, std::shared_ptr<const exec::Program>>
+      programs_;
+
+  std::mutex shutdown_mu_;  ///< serializes shutdown(); makes it idempotent
+  bool shut_down_ = false;
+
+  std::vector<Pool> pools_;
+};
+
+}  // namespace logpc::svc

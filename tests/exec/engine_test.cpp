@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bcast/all_to_all.hpp"
@@ -336,6 +338,75 @@ TEST(Engine, TimeoutJoinsWorkersAndLeavesThePoolReusable) {
   }
   EXPECT_GE(engine.pool().size(), workers);
   EXPECT_EQ(engine.pool().epochs(), epochs + 1);
+}
+
+TEST(Engine, ReportsWarmPoolAndWarmBuffersAcrossRuns) {
+  const Params params{8, 4, 1, 2};
+  const Program prog = compile_broadcast(bcast::optimal_single_item(params));
+  Engine engine;
+
+  // A fresh engine's first run spawns its threads and builds its run
+  // context: a cold start on both axes.
+  const ExecReport first = engine.run(prog, {tu::of_str("a")});
+  EXPECT_FALSE(first.warm_pool);
+  EXPECT_FALSE(first.warm_buffers);
+
+  // Same shape immediately after: resident threads, recycled mailboxes —
+  // and the recycled rings must deliver the *new* payload.
+  const ExecReport second = engine.run(prog, {tu::of_str("b")});
+  EXPECT_TRUE(second.warm_pool);
+  EXPECT_TRUE(second.warm_buffers);
+  for (ProcId p = 0; p < params.P; ++p) {
+    EXPECT_EQ(tu::to_str(second.item_at(p, 0)), "b");
+  }
+
+  // A different shape keeps the threads warm but rebuilds the context.
+  const Params smaller{5, 4, 1, 2};
+  const ExecReport third = engine.run(
+      compile_broadcast(bcast::optimal_single_item(smaller)),
+      {tu::of_str("c")});
+  EXPECT_TRUE(third.warm_pool);
+  EXPECT_FALSE(third.warm_buffers);
+}
+
+TEST(Engine, PrewarmMakesEvenTheFirstRunWarm) {
+  const Params params{8, 4, 1, 2};
+  Engine engine;
+  engine.prewarm(params.P);
+  const ExecReport report = engine.run(
+      compile_broadcast(bcast::optimal_single_item(params)),
+      {tu::of_str("x")});
+  EXPECT_TRUE(report.warm_pool);
+  for (ProcId p = 0; p < params.P; ++p) {
+    EXPECT_EQ(tu::to_str(report.item_at(p, 0)), "x");
+  }
+}
+
+TEST(Engine, SharedEngineServesConcurrentCallersSafely) {
+  // Engine::shared() documents that concurrent run() calls serialize on
+  // the run mutex; hammer it from several threads and check every caller
+  // gets its own intact result.
+  const Params params{4, 4, 1, 2};
+  const Program prog = compile_broadcast(bcast::optimal_single_item(params));
+  std::vector<std::thread> callers;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&, c] {
+      for (int i = 0; i < 5; ++i) {
+        const std::string payload =
+            "caller-" + std::to_string(c) + "-" + std::to_string(i);
+        const ExecReport report =
+            Engine::shared().run(prog, {tu::of_str(payload)});
+        for (ProcId p = 0; p < params.P; ++p) {
+          if (tu::to_str(report.item_at(p, 0)) != payload) {
+            failures.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace
