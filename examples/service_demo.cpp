@@ -11,25 +11,55 @@
 ///   3. executes on persistent, prewarmed engine pools, so every run
 ///      reports warm_pool — no thread is spawned on the request path.
 ///
-///   ./service_demo
+///   ./service_demo                          # one-shot demo
+///   ./service_demo --introspect 0           # also serve HTTP introspection
+///   ./service_demo --introspect 8080 --serve-ms 5000
+///
+/// With --introspect the daemon binds the live endpoint (port 0 picks an
+/// ephemeral port, printed as "introspect: listening on ..."), and
+/// --serve-ms keeps the service alive that long after the demo workload so
+/// /healthz, /metrics, /statusz and /tracez can be scraped.
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <future>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include "svc/service.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace logpc;
   const Params machine{8, 4, 1, 2};
+
+  int introspect_port = -1;  // disabled unless --introspect is given
+  int serve_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--introspect" && i + 1 < argc) {
+      introspect_port = std::atoi(argv[++i]);
+    } else if (arg == "--serve-ms" && i + 1 < argc) {
+      serve_ms = std::atoi(argv[++i]);
+    } else {
+      std::cerr << "usage: service_demo [--introspect PORT] [--serve-ms MS]\n";
+      return 2;
+    }
+  }
 
   svc::CollectiveService::Options opts;
   opts.pools = 2;
   opts.start_paused = true;  // build a backlog first, so policy is visible
+  opts.introspect_port = introspect_port;
   svc::CollectiveService service(machine, opts);
+
+  if (introspect_port >= 0) {
+    std::cout << "introspect: listening on 127.0.0.1:"
+              << service.introspect_port() << "\n";
+  }
 
   const svc::TenantId dashboard = service.register_tenant(
       {.name = "dashboard", .weight = 4, .queue_capacity = 16});
@@ -101,6 +131,12 @@ int main() {
     std::cout << "tenant " << t << ": admitted " << c.admitted
               << ", completed " << c.completed << ", rejected "
               << c.rejected_queue_full + c.rejected_rate_limited << "\n";
+  }
+
+  if (serve_ms > 0) {
+    std::cout << "\nserving introspection for " << serve_ms << "ms...\n"
+              << std::flush;
+    std::this_thread::sleep_for(std::chrono::milliseconds(serve_ms));
   }
 
   service.shutdown(/*drain=*/true);

@@ -16,7 +16,9 @@
 # throughput noisy, so a failed diff is a signal to look, not a gate.
 # BENCH_exec.json is produced for the artifact trail but not diffed — its
 # wall-clock makespans depend on thread scheduling and have no stable
-# per-cell ratio to guard.
+# per-cell ratio to guard.  bench_profile *does* gate (exit non-zero):
+# it compares profile-on vs profile-off medians measured back-to-back on
+# the same machine, so runner load cancels out of the ratio.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -31,12 +33,15 @@ done
 JOBS="${JOBS:-$(nproc)}"
 BUILD=build-perf
 BASELINE=bench/baselines/BENCH_kernels.json
-OUT="${LOGPC_BENCH_DIR:-$BUILD/perf}"
+# BENCH_*.json land at the repo root by default so the artifact trail sits
+# next to the sources that produced it; override with LOGPC_BENCH_DIR.
+OUT="${LOGPC_BENCH_DIR:-.}"
 mkdir -p "$OUT"
 
 echo "=== perf smoke: Release build ($BUILD/) ==="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build "$BUILD" -j "$JOBS" --target bench_kernels bench_exec bench_service
+cmake --build "$BUILD" -j "$JOBS" \
+  --target bench_kernels bench_exec bench_service bench_profile
 
 echo
 echo "=== bench_kernels ==="
@@ -55,6 +60,13 @@ echo "=== bench_service ==="
 # BENCH_throughput.json records the trajectory without gating.
 LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_service" \
   --benchmark_filter='^$' 2>/dev/null
+
+echo
+echo "=== bench_profile ==="
+# Always-on profiling overhead on the warm serving path.  This one gates:
+# profile-on vs profile-off is a same-machine ratio, so it is stable even
+# on loaded runners; a breach means obs::analyze got expensive.
+LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_profile"
 
 if [[ "$REBASELINE" == 1 || ! -f "$BASELINE" ]]; then
   mkdir -p "$(dirname "$BASELINE")"

@@ -34,15 +34,17 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # partially-built tree reports every unbuilt target as NOT_BUILT.
   cmake --build build-tsan -j "$JOBS" \
     --target test_plan_cache test_planner test_snapshot test_fib \
-             test_obs_metrics test_obs_trace \
+             test_obs_metrics test_obs_trace test_obs_flight_recorder \
              test_exec_mailbox test_exec_kernels test_exec_engine \
-             test_communicator_exec test_fault test_svc_sched test_svc
+             test_communicator_exec test_fault test_svc_sched test_svc \
+             test_svc_introspect test_prometheus_lint
   ./build-tsan/tests/test_plan_cache
   ./build-tsan/tests/test_planner
   ./build-tsan/tests/test_snapshot
   ./build-tsan/tests/test_fib --gtest_filter='SharedFib.*'
   ./build-tsan/tests/test_obs_metrics
   ./build-tsan/tests/test_obs_trace
+  ./build-tsan/tests/test_obs_flight_recorder
   ./build-tsan/tests/test_exec_mailbox
   ./build-tsan/tests/test_exec_kernels
   ./build-tsan/tests/test_exec_engine
@@ -51,6 +53,10 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # The service suite is the headline TSan target: pool threads, racing
   # submitters and shutdown all hammer one mutex/cv pair.
   ./build-tsan/tests/test_svc
+  # Introspection races the HTTP server thread against pool threads and
+  # shutdown; the lint suite scrapes a live /metrics mid-traffic.
+  ./build-tsan/tests/test_svc_introspect
+  ./build-tsan/tests/test_prometheus_lint
   # Fault-injection suite at the CI seed matrix: fault decisions are pure
   # hashes of the seed, so each seed exercises a different drop/delay
   # pattern through the same retry and recovery paths.
@@ -65,13 +71,17 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   cmake -B build-asan -S . -DLOGPC_SANITIZE=address,undefined >/dev/null
   cmake --build build-asan -j "$JOBS" \
     --target test_obs_metrics test_obs_trace test_obs_chrome \
+             test_obs_critical_path test_obs_flight_recorder \
              test_plan_cache test_planner test_snapshot \
              test_exec_mailbox test_exec_kernels test_exec_engine \
              test_communicator_exec test_exec_property test_fault \
-             test_svc_sched test_svc
+             test_svc_sched test_svc test_svc_introspect \
+             test_prometheus_lint
   ./build-asan/tests/test_obs_metrics
   ./build-asan/tests/test_obs_trace
   ./build-asan/tests/test_obs_chrome
+  ./build-asan/tests/test_obs_critical_path
+  ./build-asan/tests/test_obs_flight_recorder
   ./build-asan/tests/test_plan_cache
   ./build-asan/tests/test_planner
   ./build-asan/tests/test_snapshot
@@ -82,6 +92,8 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   ./build-asan/tests/test_exec_property
   ./build-asan/tests/test_svc_sched
   ./build-asan/tests/test_svc
+  ./build-asan/tests/test_svc_introspect
+  ./build-asan/tests/test_prometheus_lint
   for seed in 1 7 1993; do
     LOGPC_FAULT_SEED="$seed" ./build-asan/tests/test_fault
   done

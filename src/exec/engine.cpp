@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -667,6 +668,20 @@ ExecReport Engine::run_impl(const Program& program,
       ticker.join();
     }
   }
+
+#ifndef NDEBUG
+  // The documented ordering guarantee of ExecReport::events: one worker
+  // records its events sequentially on a monotonic clock, so per-processor
+  // logs are non-decreasing in start_ns and op intervals never overlap.
+  for (const auto& evs : report.events) {
+    for (std::size_t i = 1; i < evs.size(); ++i) {
+      assert(evs[i].start_ns >= evs[i - 1].start_ns &&
+             "ExecReport::events must be non-decreasing in start_ns");
+      assert(evs[i].start_ns >= evs[i - 1].end_ns &&
+             "ExecReport::events intervals must not overlap");
+    }
+  }
+#endif
 
   for (const std::size_t r : retries) report.retries += r;
   for (const std::size_t d : duplicates) report.duplicates += d;

@@ -117,6 +117,11 @@ struct ExecReport {
   /// the previous run, so mailboxes, ack rings, drain queues, heartbeat
   /// slots and arena chunks were recycled with zero allocation.
   bool warm_buffers = false;
+  /// Per-processor event logs, in stream order.  Guarantee (asserted after
+  /// every run): `events[p]` is non-decreasing in start_ns — in fact each
+  /// op completes before the next begins (start_ns[i+1] >= end_ns[i]),
+  /// because one worker thread records its events sequentially on the
+  /// steady clock.  obs::analyze() builds the causal DAG on top of this.
   std::vector<std::vector<ExecEvent>> events;  ///< [proc], in stream order
   std::vector<std::vector<validate::DeliveryRecord>> deliveries;  ///< [proc]
   /// Injected faults, per processor in injection order.  Decisions are

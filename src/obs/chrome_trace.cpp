@@ -82,6 +82,55 @@ void ChromeTraceWriter::add(const sim::Trace& trace, int pid,
   }
 }
 
+void ChromeTraceWriter::add(const RunProfile& profile, int pid,
+                            std::string_view process_name) {
+  add_process_name(pid, process_name);
+  // Stable viewer palette per component (trace-event "cname" values):
+  // greens for useful overhead, blues/greys for waiting, red for blocked.
+  auto cname = [](Component c) -> const char* {
+    switch (c) {
+      case Component::kSendOverhead: return "thread_state_running";
+      case Component::kRecvOverhead: return "thread_state_runnable";
+      case Component::kLatencyWait: return "thread_state_iowait";
+      case Component::kFold: return "rail_animation";
+      case Component::kBlocked: return "terrible";
+      case Component::kGapStall: return "grey";
+    }
+    return "grey";
+  };
+  for (std::size_t p = 0; p < profile.phases.size(); ++p) {
+    add_thread_name(pid, static_cast<std::uint32_t>(p),
+                    "rank " + std::to_string(p));
+    for (const Phase& ph : profile.phases[p]) {
+      std::ostringstream e;
+      e << R"({"name":)" << json_string(component_name(ph.component))
+        << R"(,"ph":"X","cat":"profile","cname":")" << cname(ph.component)
+        << R"(","pid":)" << pid << R"(,"tid":)" << p << R"(,"ts":)"
+        << us(ph.start_ns) << R"(,"dur":)" << us(ph.duration_ns())
+        << R"(,"args":{"item":)" << ph.item << R"(,"peer":)" << ph.peer
+        << "}}";
+      events_.push_back(e.str());
+    }
+  }
+  const auto cp_tid = static_cast<std::uint32_t>(profile.phases.size());
+  add_thread_name(pid, cp_tid, "critical path");
+  for (const PathSegment& seg : profile.critical_path) {
+    const bool send = seg.kind == exec::ExecEvent::Kind::kSend;
+    std::ostringstream name;
+    name << (send ? "send i" : "recv i") << seg.item << "@p" << seg.rank;
+    std::ostringstream e;
+    e << R"({"name":)" << json_string(name.str())
+      << R"(,"ph":"X","cat":"profile.critical","cname":")"
+      << (seg.via_wire ? "rail_response" : "thread_state_running")
+      << R"(","pid":)" << pid << R"(,"tid":)" << cp_tid << R"(,"ts":)"
+      << us(seg.start_ns) << R"(,"dur":)" << us(seg.end_ns - seg.start_ns)
+      << R"(,"args":{"rank":)" << seg.rank << R"(,"peer":)" << seg.peer
+      << R"(,"planned":)" << seg.planned << R"(,"via_wire":)"
+      << (seg.via_wire ? "true" : "false") << "}}";
+    events_.push_back(e.str());
+  }
+}
+
 void ChromeTraceWriter::write(std::ostream& os) const {
   os << "{\"traceEvents\":[";
   for (std::size_t i = 0; i < events_.size(); ++i) {

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "obs/critical_path.hpp"
 #include "obs/trace_recorder.hpp"
 #include "sim/trace.hpp"
 
@@ -37,6 +38,16 @@ class ChromeTraceWriter {
   /// "sim.send"/"sim.recv"; one cycle = 1us on the viewer's clock.
   void add(const sim::Trace& trace, int pid = 2,
            std::string_view process_name = "logp simulation");
+
+  /// Adds a profiled run as per-rank component tracks: rank p becomes
+  /// thread p of `pid`, every Phase a slice named for its component and
+  /// color-coded by the viewer's palette (cname) so the o / L / g phases —
+  /// send/recv overhead, latency waits, gap stalls, folds, ack blocks —
+  /// read at a glance.  The critical path lands on one extra track
+  /// (tid = P) so the gating chain is visible next to the ranks it
+  /// threads through.
+  void add(const RunProfile& profile, int pid = 3,
+           std::string_view process_name = "run profile");
 
   [[nodiscard]] std::size_t num_events() const { return events_.size(); }
 

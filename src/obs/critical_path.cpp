@@ -1,0 +1,230 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace logpc::obs {
+
+namespace {
+
+using exec::ExecEvent;
+
+/// Index of one event in the report: (rank, position in the stream).
+struct EventRef {
+  ProcId rank = kNoProc;
+  std::size_t index = 0;
+};
+
+Component arrival_component(exec::Mode mode) {
+  // Move-mode receives copy bytes (receive overhead in the model's sense);
+  // fold/sum receives combine the payload into the accumulator.
+  return mode == exec::Mode::kMove ? Component::kRecvOverhead
+                                   : Component::kFold;
+}
+
+}  // namespace
+
+const char* component_name(Component c) noexcept {
+  switch (c) {
+    case Component::kSendOverhead: return "send_overhead";
+    case Component::kBlocked: return "blocked";
+    case Component::kLatencyWait: return "latency_wait";
+    case Component::kRecvOverhead: return "recv_overhead";
+    case Component::kFold: return "fold";
+    case Component::kGapStall: return "gap_stall";
+  }
+  return "?";
+}
+
+std::uint64_t RankBreakdown::components_sum_ns() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : component_ns) sum += c;
+  return sum;
+}
+
+std::uint64_t RunProfile::total_ns(Component c) const {
+  std::uint64_t sum = 0;
+  for (const RankBreakdown& r : ranks) sum += r.ns(c);
+  return sum;
+}
+
+RunProfile analyze(const exec::ExecReport& report) {
+  const std::size_t P = report.events.size();
+  RunProfile profile;
+  profile.label = report.label;
+  profile.P = static_cast<int>(P);
+  profile.mode = report.mode;
+  profile.wall_ns = report.wall_ns;
+  profile.predicted_makespan = report.predicted_makespan;
+  profile.ranks.resize(P);
+  profile.phases.resize(P);
+
+  // --- per-rank decomposition: partition each span into phases ------------
+  const Component arrive = arrival_component(report.mode);
+  for (std::size_t p = 0; p < P; ++p) {
+    const std::vector<ExecEvent>& evs = report.events[p];
+    RankBreakdown& rb = profile.ranks[p];
+    std::vector<Phase>& phases = profile.phases[p];
+    if (evs.empty()) continue;
+    // Worst case per event: one gap phase + two interval phases.
+    phases.reserve(evs.size() * 3);
+    rb.first_start_ns = evs.front().start_ns;
+    rb.last_end_ns = evs.back().end_ns;
+    std::uint64_t prev_end = evs.front().start_ns;
+    for (const ExecEvent& ev : evs) {
+      if (ev.start_ns < prev_end) {
+        // The engine's documented ordering guarantee: events[p] is
+        // non-decreasing in start_ns and intervals never overlap (each op
+        // completes before the next begins on the same thread).
+        throw std::invalid_argument(
+            "obs::analyze: events out of stream order at rank " +
+            std::to_string(p));
+      }
+      if (ev.xfer_ns < ev.start_ns || ev.end_ns < ev.xfer_ns) {
+        throw std::invalid_argument(
+            "obs::analyze: malformed event timestamps at rank " +
+            std::to_string(p));
+      }
+      auto add = [&](Component c, std::uint64_t from, std::uint64_t to,
+                     ProcId peer, ItemId item) {
+        if (to <= from) return;
+        rb.component_ns[static_cast<std::size_t>(c)] += to - from;
+        phases.push_back(Phase{c, from, to, peer, item});
+      };
+      // Inter-event gap: kSum streams fold local operands between timed
+      // events (kCombineLocal emits none), so the gap is combining work
+      // there; everywhere else it is stall.
+      add(report.mode == exec::Mode::kSum ? Component::kFold
+                                          : Component::kGapStall,
+          prev_end, ev.start_ns, kNoProc, 0);
+      if (ev.kind == ExecEvent::Kind::kSend) {
+        ++rb.sends;
+        add(Component::kSendOverhead, ev.start_ns, ev.xfer_ns, ev.peer,
+            ev.item);
+        add(Component::kBlocked, ev.xfer_ns, ev.end_ns, ev.peer, ev.item);
+      } else {
+        ++rb.recvs;
+        add(Component::kLatencyWait, ev.start_ns, ev.xfer_ns, ev.peer,
+            ev.item);
+        add(arrive, ev.xfer_ns, ev.end_ns, ev.peer, ev.item);
+      }
+      prev_end = ev.end_ns;
+    }
+  }
+
+  // --- causal matching: i-th send on (from, to) pairs with i-th recv ------
+  // Flat per-link FIFOs instead of a map: a run has O(P) active links and
+  // this is on the serving path (the service analyzes every request), so
+  // a linear probe over a small vector beats tree allocations.
+  struct LinkFifo {
+    ProcId from = kNoProc;
+    ProcId to = kNoProc;
+    std::vector<std::size_t> sends;  ///< event indices on `from`, in order
+    std::size_t popped = 0;
+  };
+  std::vector<LinkFifo> links;
+  links.reserve(P);
+  auto link_index = [&links](ProcId from, ProcId to) {
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      if (links[i].from == from && links[i].to == to) return i;
+    }
+    links.push_back(LinkFifo{from, to, {}, 0});
+    return links.size() - 1;
+  };
+  for (std::size_t p = 0; p < P; ++p) {
+    for (std::size_t i = 0; i < report.events[p].size(); ++i) {
+      const ExecEvent& ev = report.events[p][i];
+      if (ev.kind == ExecEvent::Kind::kSend) {
+        links[link_index(static_cast<ProcId>(p), ev.peer)].sends.push_back(i);
+      }
+    }
+  }
+  // matched_send[rank][event index] = the EventRef of the send whose push
+  // this receive popped, or rank == kNoProc when unmatched (a send, or a
+  // recv whose sender log is missing).
+  std::vector<std::vector<EventRef>> matched_send(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    matched_send[p].resize(report.events[p].size());
+    for (std::size_t i = 0; i < report.events[p].size(); ++i) {
+      const ExecEvent& ev = report.events[p][i];
+      if (ev.kind != ExecEvent::Kind::kRecv) continue;
+      LinkFifo& link = links[link_index(ev.peer, static_cast<ProcId>(p))];
+      const std::size_t k = link.popped++;
+      if (k < link.sends.size()) {
+        matched_send[p][i] = EventRef{ev.peer, link.sends[k]};
+      }
+    }
+  }
+
+  // --- critical path: backward walk from the last-finishing event ---------
+  EventRef last;
+  std::uint64_t last_end = 0;
+  for (std::size_t p = 0; p < P; ++p) {
+    if (report.events[p].empty()) continue;
+    const std::uint64_t end = report.events[p].back().end_ns;
+    // Ties resolve to the lower rank; any tied rank is equally "last".
+    if (last.rank == kNoProc || end > last_end) {
+      last = EventRef{static_cast<ProcId>(p), report.events[p].size() - 1};
+      last_end = end;
+    }
+  }
+  if (last.rank != kNoProc) {
+    profile.straggler = last.rank;
+    profile.critical_path_ns = last_end;
+    std::vector<PathSegment> path;  // built newest-first, reversed below
+    EventRef cur = last;
+    for (;;) {
+      const auto p = static_cast<std::size_t>(cur.rank);
+      const ExecEvent& ev = report.events[p][cur.index];
+      // Gating predecessor: a receive that was already waiting when the
+      // payload arrived was gated by the matched send (wire edge);
+      // everything else by the previous event on the same rank.
+      bool wire = false;
+      EventRef pred;
+      const EventRef& m = matched_send[p][cur.index];
+      if (ev.kind == ExecEvent::Kind::kRecv && m.rank != kNoProc) {
+        const ExecEvent& s =
+            report.events[static_cast<std::size_t>(m.rank)][m.index];
+        if (s.xfer_ns >= ev.start_ns) {
+          wire = true;
+          pred = m;
+        }
+      }
+      if (!wire && cur.index > 0) {
+        pred = EventRef{cur.rank, cur.index - 1};
+      }
+      path.push_back(PathSegment{cur.rank, ev.kind, ev.peer, ev.item,
+                                 ev.start_ns, ev.end_ns, ev.planned, wire});
+      if (pred.rank == kNoProc) break;
+      cur = pred;
+    }
+    std::reverse(path.begin(), path.end());
+    profile.critical_path = std::move(path);
+  }
+
+  // --- model residual: measured critical path vs scaled prediction --------
+  profile.fit = exec::measure(report);
+  // Least-squares scale c minimizing sum_i (c * cycles_i - ns_i)^2 over the
+  // (L, o, g) pairs that have samples: c = sum(cycles*ns) / sum(cycles^2).
+  double num = 0, den = 0;
+  auto pair = [&](Time cycles, double ns, std::size_t samples) {
+    if (samples == 0 || cycles <= 0) return;
+    num += static_cast<double>(cycles) * ns;
+    den += static_cast<double>(cycles) * static_cast<double>(cycles);
+  };
+  pair(report.params.L, profile.fit.L_ns, profile.fit.latency_samples);
+  pair(report.params.o, profile.fit.o_ns, profile.fit.overhead_samples);
+  pair(report.params.g, profile.fit.g_ns, profile.fit.gap_samples);
+  profile.ns_per_cycle = den > 0 ? num / den : 0;
+  profile.predicted_ns =
+      static_cast<double>(profile.predicted_makespan) * profile.ns_per_cycle;
+  if (profile.predicted_ns > 0) {
+    profile.residual =
+        (static_cast<double>(profile.critical_path_ns) - profile.predicted_ns) /
+        profile.predicted_ns;
+  }
+  return profile;
+}
+
+}  // namespace logpc::obs

@@ -1,0 +1,171 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "exec/measure.hpp"
+
+/// \file critical_path.hpp
+/// Run analysis: where did a collective's wall time actually go, and why
+/// did it diverge from the paper's predicted makespan?
+///
+/// The engine already records one timestamped event per send/recv on every
+/// rank (ExecReport::events, stream-ordered and non-decreasing in
+/// start_ns).  analyze() reconstructs the run's *causal DAG* from those
+/// logs — the i-th push on a directed link pairs with the i-th accepted
+/// pop (the mailboxes are per-link FIFOs and reliable delivery discards
+/// duplicates exactly-once, so FIFO matching is exact), and intra-rank
+/// events chain in stream order — then walks it two ways:
+///
+///  1. **Decomposition.**  Each rank's busy+blocked span
+///     [first event start, last event end] is partitioned *exactly* into
+///     six components:
+///
+///       send-overhead  send begin -> push accepted (the model's o on the
+///                      sending side, including capacity backpressure)
+///       blocked        push accepted -> send complete (ack waits under
+///                      reliable delivery; ~0 on the fault-free path)
+///       latency-wait   recv begin -> payload arrived (the wire's L plus
+///                      any sender lateness)
+///       recv-overhead  payload arrived -> stored (move-mode memcpy: the
+///                      model's o on the receiving side)
+///       fold           payload arrived -> folded (fold/sum-mode receive
+///                      combining), plus — in kSum mode — the gaps between
+///                      events, where kCombineLocal folds operands without
+///                      emitting a timed event
+///       gap-stall      everything between consecutive events that is not
+///                      kSum local combining: scheduling noise, planned
+///                      idle slots, g-spacing the stream did not overlap
+///
+///     The identity `span == sum(components)` holds by construction —
+///     every nanosecond of the span lands in exactly one bucket — which is
+///     what the profiler tests assert (the acceptance bound is 1%; the
+///     arithmetic is exact).
+///
+///  2. **Critical path.**  Starting from the globally last-finishing
+///     event, repeatedly step to the *gating* predecessor: for a receive
+///     whose payload arrived after the rank started waiting, the matched
+///     send on the peer (a wire edge); otherwise the previous event on the
+///     same rank (a stream edge).  The result is the causal chain that
+///     determined the makespan — by construction it ends at the
+///     last-finishing rank (the straggler) and bottoms out at some rank's
+///     first event.
+///
+/// The *model residual* closes the predicted-vs-measured loop the paper's
+/// methodology implies: exec::measure() fits effective (L, o, g) in
+/// nanoseconds from the same event logs; a least-squares scale maps the
+/// plan machine's cycles onto those fitted values; and the residual is
+/// (measured critical path - scaled predicted makespan) / predicted.  A
+/// run that executed the schedule as the model prices it has a residual
+/// near zero; stragglers, contention or a mis-fitted machine push it up —
+/// exactly the signal the tuning loop (ROADMAP items 3 and 5) selects on.
+
+namespace logpc::obs {
+
+/// One component of the per-rank time decomposition.
+enum class Component : std::uint8_t {
+  kSendOverhead,  ///< send begin -> push accepted
+  kBlocked,       ///< push accepted -> send complete (ack waits)
+  kLatencyWait,   ///< recv begin -> payload arrived
+  kRecvOverhead,  ///< payload arrived -> stored (move mode)
+  kFold,          ///< payload arrived -> folded + kSum local-combine gaps
+  kGapStall,      ///< inter-event idle not attributable to local folding
+};
+
+inline constexpr std::size_t kComponents = 6;
+
+[[nodiscard]] const char* component_name(Component c) noexcept;
+
+/// One contiguous interval of a rank's timeline, tagged with the component
+/// it belongs to.  Phases partition each rank's busy+blocked span; the
+/// Chrome-trace exporter renders them as color-coded per-rank tracks.
+struct Phase {
+  Component component = Component::kGapStall;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  ProcId peer = kNoProc;  ///< send/recv peer; kNoProc for gaps
+  ItemId item = 0;              ///< item in flight; 0 for gaps
+
+  [[nodiscard]] std::uint64_t duration_ns() const { return end_ns - start_ns; }
+};
+
+/// One hop of the critical path.  `via_wire` marks a cross-rank edge: this
+/// event was gated by the matched send on `rank`'s peer rather than by the
+/// rank's own previous instruction.
+struct PathSegment {
+  ProcId rank = kNoProc;
+  exec::ExecEvent::Kind kind = exec::ExecEvent::Kind::kSend;
+  ProcId peer = kNoProc;
+  ItemId item = 0;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  Time planned = 0;      ///< the plan's cycle for this event
+  bool via_wire = false; ///< reached from the matched send, not the stream
+};
+
+/// Per-rank totals of the six components plus the span they partition.
+struct RankBreakdown {
+  std::uint64_t first_start_ns = 0;  ///< rank's first event begins
+  std::uint64_t last_end_ns = 0;     ///< rank's last event completes
+  std::uint64_t component_ns[kComponents] = {};
+  std::size_t sends = 0;
+  std::size_t recvs = 0;
+
+  [[nodiscard]] std::uint64_t ns(Component c) const {
+    return component_ns[static_cast<std::size_t>(c)];
+  }
+  /// The rank's busy+blocked wall time: last event end - first event start.
+  [[nodiscard]] std::uint64_t span_ns() const {
+    return last_end_ns - first_start_ns;
+  }
+  /// Sum of the six components — equals span_ns() by construction.
+  [[nodiscard]] std::uint64_t components_sum_ns() const;
+};
+
+/// Everything analyze() derives from one ExecReport.
+struct RunProfile {
+  std::string label;           ///< the program's label ("bcast", ...)
+  int P = 0;
+  exec::Mode mode = exec::Mode::kMove;
+  std::uint64_t wall_ns = 0;   ///< the run's measured makespan
+  Time predicted_makespan = 0; ///< the plan's completion time, cycles
+
+  std::vector<RankBreakdown> ranks;        ///< [rank]
+  std::vector<std::vector<Phase>> phases;  ///< [rank], start-ordered
+
+  /// The causal chain ending at the last-finishing event, oldest hop
+  /// first.  Empty only when the run recorded no events at all.
+  std::vector<PathSegment> critical_path;
+  /// End of the critical path relative to the run start — the measured
+  /// completion of the last-finishing rank.
+  std::uint64_t critical_path_ns = 0;
+  /// The rank the critical path ends at (last event to finish).
+  ProcId straggler = kNoProc;
+
+  /// Effective (L, o, g) fitted from this run's events (exec::measure).
+  exec::MeasuredLogP fit;
+  /// Least-squares ns-per-cycle scale mapping the plan machine's (L, o, g)
+  /// cycles onto the fitted nanosecond values.
+  double ns_per_cycle = 0;
+  /// predicted_makespan cycles scaled to nanoseconds by ns_per_cycle.
+  double predicted_ns = 0;
+  /// (critical_path_ns - predicted_ns) / predicted_ns; 0 when the plan
+  /// predicts a zero makespan.  Positive: the run was slower than the
+  /// fitted model prices the schedule; negative: faster (overlap the
+  /// single-port model does not credit).
+  double residual = 0;
+  /// Set by the flight recorder when |residual| crosses its threshold.
+  bool anomalous = false;
+
+  /// Total over all ranks of one component (ns).
+  [[nodiscard]] std::uint64_t total_ns(Component c) const;
+};
+
+/// Profiles one run.  Requires per-rank events non-decreasing in start_ns
+/// (the engine's documented ordering guarantee); throws
+/// std::invalid_argument otherwise rather than returning garbage.
+[[nodiscard]] RunProfile analyze(const exec::ExecReport& report);
+
+}  // namespace logpc::obs

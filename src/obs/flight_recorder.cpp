@@ -1,0 +1,104 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace logpc::obs {
+
+namespace {
+
+/// Residual-magnitude ladder: 1% .. 500% in a 1-2-5 progression.  The
+/// interesting edge for anomaly triage is "how far past the threshold",
+/// not nanosecond precision.
+std::vector<double> residual_buckets() {
+  return {0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0};
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Options options) : opts_(options) {
+  opts_.capacity = std::max<std::size_t>(opts_.capacity, 1);
+  MetricsRegistry& reg =
+      opts_.registry != nullptr ? *opts_.registry : MetricsRegistry::global();
+  runs_total_ = &reg.counter("logpc_profile_runs_total",
+                             "runs analyzed into the flight recorder");
+  anomalies_total_ =
+      &reg.counter("logpc_profile_anomalies_total",
+                   "profiled runs whose model residual crossed the "
+                   "anomaly threshold");
+  residual_hist_ = &reg.histogram(
+      "logpc_profile_residual", residual_buckets(),
+      "|measured critical path - scaled predicted makespan| / predicted");
+  critical_path_hist_ = &reg.histogram(
+      "logpc_profile_critical_path_ns", default_latency_buckets_ns(),
+      "measured critical-path length of profiled runs");
+}
+
+std::shared_ptr<const RunProfile> FlightRecorder::record(RunProfile profile) {
+  profile.anomalous = profile.predicted_ns > 0 &&
+                      std::abs(profile.residual) > opts_.residual_threshold;
+  auto stored = std::make_shared<const RunProfile>(std::move(profile));
+  if (enabled()) {
+    runs_total_->inc();
+    residual_hist_->observe(std::abs(stored->residual));
+    critical_path_hist_->observe(
+        static_cast<double>(stored->critical_path_ns));
+    if (stored->anomalous) anomalies_total_->inc();
+  }
+  {
+    std::lock_guard lock(mu_);
+    ++recorded_;
+    if (stored->anomalous) ++anomalies_;
+    if (ring_.size() < opts_.capacity) {
+      ring_.push_back(stored);
+    } else {
+      ring_[first_] = stored;
+      first_ = (first_ + 1) % opts_.capacity;
+    }
+  }
+  return stored;
+}
+
+std::vector<std::shared_ptr<const RunProfile>> FlightRecorder::profiles()
+    const {
+  std::lock_guard lock(mu_);
+  std::vector<std::shared_ptr<const RunProfile>> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(first_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::shared_ptr<const RunProfile> FlightRecorder::last() const {
+  std::lock_guard lock(mu_);
+  if (ring_.empty()) return nullptr;
+  return ring_[(first_ + ring_.size() - 1) % ring_.size()];
+}
+
+std::shared_ptr<const RunProfile> FlightRecorder::last_anomaly() const {
+  std::lock_guard lock(mu_);
+  for (std::size_t i = ring_.size(); i > 0; --i) {
+    const auto& p = ring_[(first_ + i - 1) % ring_.size()];
+    if (p->anomalous) return p;
+  }
+  return nullptr;
+}
+
+FlightRecorder::Summary FlightRecorder::summary() const {
+  std::lock_guard lock(mu_);
+  Summary s;
+  s.recorded = recorded_;
+  s.dropped = recorded_ - ring_.size();
+  s.anomalies = anomalies_;
+  s.retained = ring_.size();
+  if (!ring_.empty()) {
+    const auto& newest = ring_[(first_ + ring_.size() - 1) % ring_.size()];
+    s.last_residual = newest->residual;
+    s.last_critical_path_ns = newest->critical_path_ns;
+  }
+  return s;
+}
+
+}  // namespace logpc::obs

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "obs/critical_path.hpp"
+#include "obs/metrics.hpp"
+
+/// \file flight_recorder.hpp
+/// A bounded in-memory store of the last N RunProfiles — the "black box"
+/// of a serving process.  Like the TraceRecorder's span ring, it never
+/// grows past its capacity: the oldest profile is evicted first, and
+/// recorded()/dropped() account for the loss.  Profiles are held by
+/// shared_ptr so a snapshot taken for an introspection page stays valid
+/// while new runs keep landing.
+///
+/// Every record() additionally:
+///  * tags the profile anomalous when |residual| crosses the configured
+///    threshold — the run's measured critical path diverged from the
+///    paper's predicted makespan (scaled by the fitted machine) by more
+///    than the service tolerates, and
+///  * feeds the logpc_profile_* metrics: runs/anomalies counters, the
+///    residual magnitude histogram and the critical-path latency
+///    histogram, so a scrape sees the model-vs-reality trend without
+///    pulling whole profiles.
+///
+/// Thread-safety: record() and every reader take one short mutex; the
+/// analyzer runs *outside* the recorder (callers analyze, then record), so
+/// the lock only covers a ring append and counter bumps.
+
+namespace logpc::obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    std::size_t capacity = 64;        ///< profiles retained, oldest evicted
+    /// |residual| above this tags the profile anomalous.  0.5 = the
+    /// measured critical path diverged from the scaled prediction by more
+    /// than 50%.
+    double residual_threshold = 0.5;
+    /// Metrics destination; nullptr = MetricsRegistry::global().
+    MetricsRegistry* registry = nullptr;
+  };
+
+  explicit FlightRecorder(Options options);
+  FlightRecorder() : FlightRecorder(Options{}) {}
+
+  /// Tags and stores `profile`, evicting the oldest past capacity.
+  /// Returns the stored (immutable) profile, which the service attaches to
+  /// the request's Response.
+  std::shared_ptr<const RunProfile> record(RunProfile profile);
+
+  /// Oldest-to-newest snapshot of the retained profiles.
+  [[nodiscard]] std::vector<std::shared_ptr<const RunProfile>> profiles()
+      const;
+
+  /// The most recent profile, or nullptr when none was recorded yet.
+  [[nodiscard]] std::shared_ptr<const RunProfile> last() const;
+
+  /// The most recent anomalous profile, or nullptr.
+  [[nodiscard]] std::shared_ptr<const RunProfile> last_anomaly() const;
+
+  struct Summary {
+    std::uint64_t recorded = 0;   ///< profiles ever recorded
+    std::uint64_t dropped = 0;    ///< profiles evicted from the ring
+    std::uint64_t anomalies = 0;  ///< profiles tagged anomalous
+    std::size_t retained = 0;     ///< profiles currently held
+    double last_residual = 0;     ///< residual of the newest profile
+    std::uint64_t last_critical_path_ns = 0;
+  };
+  [[nodiscard]] Summary summary() const;
+
+  [[nodiscard]] std::size_t capacity() const { return opts_.capacity; }
+  [[nodiscard]] double residual_threshold() const {
+    return opts_.residual_threshold;
+  }
+
+ private:
+  Options opts_;
+  Counter* runs_total_ = nullptr;
+  Counter* anomalies_total_ = nullptr;
+  Histogram* residual_hist_ = nullptr;
+  Histogram* critical_path_hist_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<const RunProfile>> ring_;
+  std::size_t first_ = 0;       ///< ring_[(first_ + i) % capacity]
+  std::uint64_t recorded_ = 0;
+  std::uint64_t anomalies_ = 0;
+};
+
+}  // namespace logpc::obs

@@ -55,6 +55,33 @@ const std::vector<double>& default_latency_buckets_ns() {
   return buckets;
 }
 
+std::vector<double> exponential_buckets(double start, double factor,
+                                        std::size_t count) {
+  if (!(start > 0)) {
+    throw std::invalid_argument("exponential_buckets: start must be > 0");
+  }
+  if (!(factor > 1)) {
+    throw std::invalid_argument("exponential_buckets: factor must be > 1");
+  }
+  if (count == 0) {
+    throw std::invalid_argument("exponential_buckets: count must be >= 1");
+  }
+  std::vector<double> b;
+  b.reserve(count);
+  double edge = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    b.push_back(edge);
+    edge *= factor;
+  }
+  return b;
+}
+
+const std::vector<double>& default_request_buckets_ns() {
+  static const std::vector<double> buckets =
+      exponential_buckets(1e3, 2.0, 25);  // 1us, 2us, ... ~16.8s
+  return buckets;
+}
+
 MetricsRegistry& MetricsRegistry::global() {
   static MetricsRegistry* registry = new MetricsRegistry;  // never destroyed
   return *registry;

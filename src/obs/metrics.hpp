@@ -93,6 +93,23 @@ class Histogram {
 /// 1-2.5-5 progression, in nanoseconds.
 [[nodiscard]] const std::vector<double>& default_latency_buckets_ns();
 
+/// Log-scale (exponential) bucket edges: `count` upper bounds starting at
+/// `start`, each `factor` times the previous — the standard shape for
+/// latency distributions spanning several orders of magnitude, where any
+/// fixed linear ladder collapses the far decades into one bucket.
+/// Requires start > 0, factor > 1, count >= 1 (throws
+/// std::invalid_argument otherwise).
+[[nodiscard]] std::vector<double> exponential_buckets(double start,
+                                                      double factor,
+                                                      std::size_t count);
+
+/// Request-latency ladder for the serving layer: 1us .. ~17s in factor-2
+/// steps (25 edges), in nanoseconds.  Wider than
+/// default_latency_buckets_ns() at the top — a queued request under
+/// overload legitimately waits seconds, and the e2e histogram must keep
+/// resolution there instead of dumping everything past 1s into +Inf.
+[[nodiscard]] const std::vector<double>& default_request_buckets_ns();
+
 /// Point-in-time value of one registered metric, for the exporters.
 struct MetricSnapshot {
   enum class Kind { kCounter, kGauge, kHistogram };

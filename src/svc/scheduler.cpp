@@ -101,6 +101,10 @@ std::size_t Scheduler::queue_depth(TenantId tenant) const {
   return at(tenant).depth;
 }
 
+std::size_t Scheduler::queue_depth(TenantId tenant, QoS qos) const {
+  return at(tenant).q[static_cast<std::size_t>(qos)].size();
+}
+
 const TenantConfig& Scheduler::config(TenantId tenant) const {
   return at(tenant).cfg;
 }

@@ -90,6 +90,8 @@ class Scheduler {
 
   [[nodiscard]] std::size_t queued() const { return queued_; }
   [[nodiscard]] std::size_t queue_depth(TenantId tenant) const;
+  /// Depth of one tenant's queue in one QoS class (introspection).
+  [[nodiscard]] std::size_t queue_depth(TenantId tenant, QoS qos) const;
   [[nodiscard]] std::size_t tenant_count() const { return tenants_.size(); }
   [[nodiscard]] const TenantConfig& config(TenantId tenant) const;
 

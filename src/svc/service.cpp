@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/critical_path.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace_recorder.hpp"
+#include "svc/introspect.hpp"
 
 namespace logpc::svc {
 
@@ -40,7 +42,12 @@ const char* status_name(Status s) noexcept {
 
 CollectiveService::CollectiveService(Params params, Options options,
                                      std::shared_ptr<runtime::Planner> planner)
-    : params_(params), opts_(options), comm_(params, std::move(planner)) {
+    : params_(params),
+      opts_(options),
+      comm_(params, std::move(planner)),
+      recorder_(obs::FlightRecorder::Options{
+          options.flight_recorder_capacity, options.residual_threshold,
+          nullptr}) {
   params_.require_valid();
   opts_.pools = std::clamp(opts_.pools, 1, 64);
   paused_ = opts_.start_paused;
@@ -56,6 +63,13 @@ CollectiveService::CollectiveService(Params params, Options options,
   for (int i = 0; i < opts_.pools; ++i) {
     pools_[static_cast<std::size_t>(i)].thread =
         std::thread([this, i] { pool_loop(i); });
+  }
+  // Introspection last: the pages snapshot live service state, so the
+  // service must be fully constructed before the first GET can land.
+  if (opts_.introspect_port >= 0) {
+    introspect_ = std::make_unique<IntrospectServer>(
+        *this, IntrospectServer::Options{opts_.introspect_bind,
+                                         opts_.introspect_port});
   }
 }
 
@@ -84,6 +98,7 @@ TenantId CollectiveService::register_tenant(TenantConfig config) {
   }
   // The tenant name is untrusted input: label_pair escapes it so the
   // exporter always emits parseable exposition text.
+  tm->name = value;
   tm->label = obs::label_pair("tenant", value);
 
   // Registration takes the registry mutex while we hold mu_ (mu_ -> reg);
@@ -108,12 +123,15 @@ TenantId CollectiveService::register_tenant(TenantConfig config) {
   tm->queue_depth = &reg.gauge("logpc_svc_queue_depth",
                                "requests currently queued for the tenant",
                                tm->label);
+  // Request latencies ride the log-scale bucket ladder: queue waits and
+  // end-to-end times span ~1us (warm hit, idle queue) to seconds (deep
+  // backlog), which linear latency buckets can't resolve at both ends.
   tm->queue_wait =
       &reg.histogram("logpc_svc_queue_wait_ns",
-                     obs::default_latency_buckets_ns(),
+                     obs::default_request_buckets_ns(),
                      "admission-to-dispatch wait", tm->label);
   tm->e2e_latency =
-      &reg.histogram("logpc_svc_request_ns", obs::default_latency_buckets_ns(),
+      &reg.histogram("logpc_svc_request_ns", obs::default_request_buckets_ns(),
                      "submission-to-completion latency", tm->label);
   tenant_metrics_.push_back(std::move(tm));
   return id;
@@ -252,6 +270,17 @@ Response CollectiveService::execute(Pending& pending, exec::Engine& engine,
         break;
     }
     r.status = Status::kOk;
+    if (opts_.profile) {
+      // Analyze outside the recorder's lock (the recorder only ring-appends
+      // under it).  Profiling is best-effort telemetry: a malformed event
+      // log must never turn a completed run into a failed request.
+      try {
+        obs::RunProfile profile = obs::analyze(r.report);
+        r.profile = recorder_.record(std::move(profile));
+      } catch (const std::exception&) {
+        // leave r.profile null; the run itself succeeded
+      }
+    }
   } catch (const std::exception& e) {
     r.status = Status::kError;
     r.error = e.what();
@@ -276,6 +305,9 @@ void CollectiveService::resume() {
 void CollectiveService::shutdown(bool drain) {
   std::lock_guard shutdown_lock(shutdown_mu_);
   if (shut_down_) return;
+  // Introspection first: its pages read live service state, so the server
+  // must be gone before the pools and queues start tearing down.
+  introspect_.reset();
   {
     std::lock_guard lock(mu_);
     stopping_ = true;
@@ -324,6 +356,46 @@ CollectiveService::TenantCounters CollectiveService::tenant_counters(
       m.rejected_rate_limited.load(std::memory_order_relaxed);
   c.queue_depth = sched_.queue_depth(tenant);
   return c;
+}
+
+CollectiveService::ServiceStatus CollectiveService::status() const {
+  ServiceStatus s;
+  s.pools = static_cast<int>(pools_.size());
+  s.params = params_;
+  s.recorder = recorder_.summary();
+  std::lock_guard lock(mu_);
+  s.accepting = !stopping_;
+  s.paused = paused_;
+  s.queued = sched_.queued();
+  auto* self = const_cast<CollectiveService*>(this);
+  s.tenants.reserve(tenant_metrics_.size());
+  for (std::size_t i = 0; i < tenant_metrics_.size(); ++i) {
+    const auto id = static_cast<TenantId>(i);
+    const TenantMetrics& m = self->metrics_at(id);
+    const TenantConfig& cfg = sched_.config(id);
+    TenantStatus t;
+    t.id = id;
+    t.name = m.name;
+    t.weight = std::max<std::uint32_t>(cfg.weight, 1);
+    t.queue_capacity = cfg.queue_capacity;
+    t.rate_per_sec = cfg.rate_per_sec;
+    for (std::size_t qc = 0; qc < kQoSClasses; ++qc) {
+      t.depth_by_qos[qc] = sched_.queue_depth(id, static_cast<QoS>(qc));
+    }
+    t.counters.admitted = m.admitted.load(std::memory_order_relaxed);
+    t.counters.completed = m.completed.load(std::memory_order_relaxed);
+    t.counters.rejected_queue_full =
+        m.rejected_queue_full.load(std::memory_order_relaxed);
+    t.counters.rejected_rate_limited =
+        m.rejected_rate_limited.load(std::memory_order_relaxed);
+    t.counters.queue_depth = sched_.queue_depth(id);
+    s.tenants.push_back(std::move(t));
+  }
+  return s;
+}
+
+int CollectiveService::introspect_port() const {
+  return introspect_ ? introspect_->port() : -1;
 }
 
 bool CollectiveService::accepting() const {

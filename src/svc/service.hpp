@@ -16,6 +16,7 @@
 
 #include "api/communicator.hpp"
 #include "exec/engine.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/planner.hpp"
 #include "svc/scheduler.hpp"
@@ -56,8 +57,17 @@
 /// drains every queued request through the pools, then joins the pool
 /// threads; shutdown(false) stops after the in-flight runs and fails the
 /// still-queued requests with kShutdown.  The destructor drains.
+///
+/// Observability of the daemon itself: every successful run is profiled
+/// (obs::analyze — causal DAG, critical path, component decomposition,
+/// model residual) into a bounded obs::FlightRecorder, the resulting
+/// RunProfile rides on the Response, and an opt-in HTTP introspection
+/// server (Options::introspect_port, svc/introspect.hpp) serves /metrics,
+/// /healthz, /statusz and /tracez from the live service.
 
 namespace logpc::svc {
+
+class IntrospectServer;
 
 /// Collectives the service serves.  Each maps to an executable problem of
 /// the planning runtime and to the matching Engine::run form.
@@ -103,6 +113,10 @@ struct Response {
   /// Global dispatch order (0-based): the k-th request any pool picked.
   /// The QoS and fairness tests assert on it.
   std::uint64_t dispatch_seq = 0;
+  /// The run's analyzed profile (critical path, per-rank decomposition,
+  /// model residual), shared with the service's flight recorder.  Null
+  /// when Options::profile is off or the run failed.
+  std::shared_ptr<const obs::RunProfile> profile;
 };
 
 /// Synchronous half of submit().  `response` is valid iff accepted().
@@ -128,6 +142,23 @@ class CollectiveService {
     bool start_paused = false;
     /// Engine knobs shared by every pool.
     exec::Engine::Options engine;
+    /// Profile every successful run (obs::analyze) into the flight
+    /// recorder and onto Response::profile.  On by default: the analyzer
+    /// walks the event log once, and bench_profile guards its warm-path
+    /// cost at < 5%.
+    bool profile = true;
+    /// Flight-recorder knobs (capacity of retained profiles, |residual|
+    /// anomaly threshold).
+    std::size_t flight_recorder_capacity = 64;
+    double residual_threshold = 0.5;
+    /// HTTP introspection endpoint: port to serve /metrics, /healthz,
+    /// /statusz and /tracez on.  Negative = disabled (the default);
+    /// 0 = bind an ephemeral port (read it back via introspect_port()).
+    int introspect_port = -1;
+    /// Introspection bind address.  Loopback by default — the endpoint
+    /// exposes operational internals, so reaching it from off-host is an
+    /// explicit decision.
+    std::string introspect_bind = "127.0.0.1";
   };
 
   /// \param planner plan-lookup service; nullptr uses the process-wide
@@ -169,6 +200,40 @@ class CollectiveService {
   };
   [[nodiscard]] TenantCounters tenant_counters(TenantId tenant) const;
 
+  /// Point-in-time snapshot of everything /statusz renders: service-level
+  /// state, per-tenant config + counters + per-QoS queue depths, and the
+  /// flight-recorder summary.
+  struct TenantStatus {
+    TenantId id = -1;
+    std::string name;  ///< uniquified metric label value
+    std::uint32_t weight = 1;
+    std::size_t queue_capacity = 0;
+    double rate_per_sec = 0;
+    std::size_t depth_by_qos[kQoSClasses] = {};
+    TenantCounters counters;
+  };
+  struct ServiceStatus {
+    bool accepting = false;
+    bool paused = false;
+    int pools = 0;
+    std::size_t queued = 0;
+    Params params;
+    std::vector<TenantStatus> tenants;
+    obs::FlightRecorder::Summary recorder;
+  };
+  [[nodiscard]] ServiceStatus status() const;
+
+  /// The run-profile flight recorder (always present; empty when
+  /// Options::profile is off).
+  [[nodiscard]] const obs::FlightRecorder& flight_recorder() const {
+    return recorder_;
+  }
+
+  /// The bound introspection port, or -1 when introspection is disabled.
+  /// With Options::introspect_port = 0 this is the kernel-assigned
+  /// ephemeral port.
+  [[nodiscard]] int introspect_port() const;
+
   [[nodiscard]] const Params& params() const { return params_; }
   [[nodiscard]] int pools() const { return static_cast<int>(pools_.size()); }
   [[nodiscard]] bool accepting() const;
@@ -193,6 +258,7 @@ class CollectiveService {
 
   /// Registry-owned instruments + plain mirrors for tenant_counters().
   struct TenantMetrics {
+    std::string name;   ///< uniquified plain label value (statusz)
     std::string label;  ///< pre-escaped `tenant="..."` body
     std::atomic<std::uint64_t> admitted{0};
     std::atomic<std::uint64_t> completed{0};
@@ -245,6 +311,9 @@ class CollectiveService {
   bool shut_down_ = false;
 
   std::vector<Pool> pools_;
+
+  obs::FlightRecorder recorder_;
+  std::unique_ptr<IntrospectServer> introspect_;
 };
 
 }  // namespace logpc::svc

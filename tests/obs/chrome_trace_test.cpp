@@ -2,150 +2,16 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <string>
 
+#include "../support/json_validator.hpp"
 #include "obs/json.hpp"
 #include "sched/schedule.hpp"
 
 namespace logpc::obs {
 namespace {
 
-/// Minimal recursive-descent JSON validator, so the tests assert "valid
-/// JSON" structurally instead of grepping for brackets.  Accepts exactly
-/// RFC 8259 value grammar; no extensions.
-class JsonValidator {
- public:
-  explicit JsonValidator(std::string_view text) : s_(text) {}
-
-  [[nodiscard]] bool valid() {
-    skip_ws();
-    if (!value()) return false;
-    skip_ws();
-    return pos_ == s_.size();
-  }
-
- private:
-  bool value() {
-    if (pos_ >= s_.size()) return false;
-    switch (s_[pos_]) {
-      case '{': return object();
-      case '[': return array();
-      case '"': return string();
-      case 't': return literal("true");
-      case 'f': return literal("false");
-      case 'n': return literal("null");
-      default: return number();
-    }
-  }
-
-  bool object() {
-    ++pos_;  // '{'
-    skip_ws();
-    if (peek() == '}') { ++pos_; return true; }
-    for (;;) {
-      skip_ws();
-      if (!string()) return false;
-      skip_ws();
-      if (peek() != ':') return false;
-      ++pos_;
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == '}') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool array() {
-    ++pos_;  // '['
-    skip_ws();
-    if (peek() == ']') { ++pos_; return true; }
-    for (;;) {
-      skip_ws();
-      if (!value()) return false;
-      skip_ws();
-      if (peek() == ',') { ++pos_; continue; }
-      if (peek() == ']') { ++pos_; return true; }
-      return false;
-    }
-  }
-
-  bool string() {
-    if (peek() != '"') return false;
-    ++pos_;
-    while (pos_ < s_.size()) {
-      const char c = s_[pos_];
-      if (c == '"') { ++pos_; return true; }
-      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
-      if (c == '\\') {
-        ++pos_;
-        if (pos_ >= s_.size()) return false;
-        const char e = s_[pos_];
-        if (e == 'u') {
-          for (int i = 1; i <= 4; ++i) {
-            if (pos_ + static_cast<std::size_t>(i) >= s_.size() ||
-                !std::isxdigit(static_cast<unsigned char>(
-                    s_[pos_ + static_cast<std::size_t>(i)]))) {
-              return false;
-            }
-          }
-          pos_ += 4;
-        } else if (std::string_view("\"\\/bfnrt").find(e) ==
-                   std::string_view::npos) {
-          return false;
-        }
-      }
-      ++pos_;
-    }
-    return false;  // unterminated
-  }
-
-  bool number() {
-    const std::size_t start = pos_;
-    if (peek() == '-') ++pos_;
-    if (!digits()) return false;
-    if (peek() == '.') {
-      ++pos_;
-      if (!digits()) return false;
-    }
-    if (peek() == 'e' || peek() == 'E') {
-      ++pos_;
-      if (peek() == '+' || peek() == '-') ++pos_;
-      if (!digits()) return false;
-    }
-    return pos_ > start;
-  }
-
-  bool digits() {
-    const std::size_t start = pos_;
-    while (pos_ < s_.size() &&
-           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  bool literal(std::string_view lit) {
-    if (s_.substr(pos_, lit.size()) != lit) return false;
-    pos_ += lit.size();
-    return true;
-  }
-
-  void skip_ws() {
-    while (pos_ < s_.size() &&
-           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
-            s_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
-
-  std::string_view s_;
-  std::size_t pos_ = 0;
-};
+using testsupport::JsonValidator;
 
 TEST(JsonEscape, EscapesQuotesBackslashesAndControls) {
   EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
@@ -208,6 +74,35 @@ TEST(ChromeTrace, ZeroOverheadBecomesInstantEvents) {
   EXPECT_TRUE(JsonValidator(json).valid()) << json;
   EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
   EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+}
+
+TEST(ChromeTrace, RunProfileExportsColorCodedComponentTracks) {
+  // Two-rank profiled run: rank 0 sends (overhead + blocked), rank 1 waits
+  // then stores — four phases and a two-hop critical path.
+  exec::ExecReport report;
+  report.params = Params{2, 4, 1, 2};
+  report.mode = exec::Mode::kMove;
+  report.events.resize(2);
+  report.events[0].push_back(exec::ExecEvent{
+      exec::ExecEvent::Kind::kSend, 1, 0, 10, 25, 30, 0});
+  report.events[1].push_back(exec::ExecEvent{
+      exec::ExecEvent::Kind::kRecv, 0, 0, 5, 40, 50, 5});
+  const RunProfile profile = analyze(report);
+
+  ChromeTraceWriter w;
+  w.add(profile);
+  const std::string json = w.json();
+  EXPECT_TRUE(JsonValidator(json).valid()) << json;
+  EXPECT_NE(json.find("\"run profile\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"rank 1\""), std::string::npos);
+  // Component slices are color-coded for the viewer's palette.
+  EXPECT_NE(json.find("\"send_overhead\""), std::string::npos);
+  EXPECT_NE(json.find("\"latency_wait\""), std::string::npos);
+  EXPECT_NE(json.find("\"cname\""), std::string::npos);
+  // The critical path lands on its own track past the rank rows.
+  EXPECT_NE(json.find("\"critical path\""), std::string::npos);
+  EXPECT_NE(json.find("\"profile.critical\""), std::string::npos);
 }
 
 TEST(ChromeTrace, CombinedSourcesShareOneValidFile) {

@@ -1,0 +1,114 @@
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+/// Tests of the run-profile flight recorder: ring bounds and eviction
+/// accounting, anomaly tagging against the residual threshold, the
+/// logpc_profile_* metrics, and the summary the introspection page serves.
+
+namespace logpc::obs {
+namespace {
+
+RunProfile profile_with(double residual, std::uint64_t critical_ns = 1000,
+                        const std::string& label = "bcast") {
+  RunProfile p;
+  p.label = label;
+  p.P = 4;
+  p.wall_ns = critical_ns;
+  p.critical_path_ns = critical_ns;
+  p.predicted_ns = 900;  // > 0, so the threshold applies
+  p.residual = residual;
+  return p;
+}
+
+TEST(FlightRecorder, RetainsLastNAndCountsDrops) {
+  MetricsRegistry reg;
+  FlightRecorder rec({.capacity = 3, .registry = &reg});
+  for (int i = 0; i < 5; ++i) {
+    rec.record(profile_with(0.0, 100 + static_cast<std::uint64_t>(i),
+                            "run-" + std::to_string(i)));
+  }
+  const auto kept = rec.profiles();
+  ASSERT_EQ(kept.size(), 3u);
+  EXPECT_EQ(kept[0]->label, "run-2");  // oldest two evicted
+  EXPECT_EQ(kept[2]->label, "run-4");
+  ASSERT_NE(rec.last(), nullptr);
+  EXPECT_EQ(rec.last()->label, "run-4");
+
+  const auto s = rec.summary();
+  EXPECT_EQ(s.recorded, 5u);
+  EXPECT_EQ(s.dropped, 2u);
+  EXPECT_EQ(s.retained, 3u);
+  EXPECT_EQ(s.last_critical_path_ns, 104u);
+}
+
+TEST(FlightRecorder, TagsAnomaliesPastTheThreshold) {
+  MetricsRegistry reg;
+  FlightRecorder rec({.capacity = 8, .residual_threshold = 0.5,
+                      .registry = &reg});
+  EXPECT_FALSE(rec.record(profile_with(0.2))->anomalous);
+  EXPECT_FALSE(rec.record(profile_with(-0.49))->anomalous);
+  EXPECT_TRUE(rec.record(profile_with(0.7, 2000, "slow"))->anomalous);
+  EXPECT_TRUE(rec.record(profile_with(-0.8))->anomalous);  // |residual|
+
+  ASSERT_NE(rec.last_anomaly(), nullptr);
+  EXPECT_EQ(rec.last_anomaly()->residual, -0.8);
+  EXPECT_EQ(rec.summary().anomalies, 2u);
+}
+
+TEST(FlightRecorder, ZeroPredictionNeverAnomalous) {
+  MetricsRegistry reg;
+  FlightRecorder rec({.capacity = 2, .registry = &reg});
+  RunProfile p = profile_with(99.0);
+  p.predicted_ns = 0;  // no model fit (e.g. empty run): nothing to diverge from
+  EXPECT_FALSE(rec.record(std::move(p))->anomalous);
+  EXPECT_EQ(rec.summary().anomalies, 0u);
+}
+
+TEST(FlightRecorder, FeedsProfileMetrics) {
+  MetricsRegistry reg;
+  FlightRecorder rec({.capacity = 4, .registry = &reg});
+  rec.record(profile_with(0.1));
+  rec.record(profile_with(0.9));
+  rec.record(profile_with(0.2));
+
+  bool saw_runs = false, saw_anomalies = false, saw_residual = false,
+       saw_path = false;
+  for (const MetricSnapshot& m : reg.snapshot()) {
+    if (m.name == "logpc_profile_runs_total") {
+      saw_runs = true;
+      EXPECT_EQ(m.value, 3.0);
+    } else if (m.name == "logpc_profile_anomalies_total") {
+      saw_anomalies = true;
+      EXPECT_EQ(m.value, 1.0);
+    } else if (m.name == "logpc_profile_residual") {
+      saw_residual = true;
+      EXPECT_EQ(m.count, 3u);
+    } else if (m.name == "logpc_profile_critical_path_ns") {
+      saw_path = true;
+      EXPECT_EQ(m.count, 3u);
+    }
+  }
+  EXPECT_TRUE(saw_runs);
+  EXPECT_TRUE(saw_anomalies);
+  EXPECT_TRUE(saw_residual);
+  EXPECT_TRUE(saw_path);
+}
+
+TEST(FlightRecorder, CapacityClampedToAtLeastOne) {
+  MetricsRegistry reg;
+  FlightRecorder rec({.capacity = 0, .registry = &reg});
+  EXPECT_EQ(rec.capacity(), 1u);
+  rec.record(profile_with(0.0, 1, "a"));
+  rec.record(profile_with(0.0, 2, "b"));
+  ASSERT_EQ(rec.profiles().size(), 1u);
+  EXPECT_EQ(rec.profiles()[0]->label, "b");
+}
+
+}  // namespace
+}  // namespace logpc::obs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -154,6 +155,46 @@ TEST(Prometheus, HistogramCumulativeBucketsWithInf) {
   EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
   EXPECT_NE(text.find("lat_sum 55.5\n"), std::string::npos);
   EXPECT_NE(text.find("lat_count 3\n"), std::string::npos);
+}
+
+TEST(ExponentialBuckets, GeometricLadder) {
+  const std::vector<double> edges = exponential_buckets(1.0, 10.0, 4);
+  ASSERT_EQ(edges.size(), 4u);
+  EXPECT_DOUBLE_EQ(edges[0], 1.0);
+  EXPECT_DOUBLE_EQ(edges[1], 10.0);
+  EXPECT_DOUBLE_EQ(edges[2], 100.0);
+  EXPECT_DOUBLE_EQ(edges[3], 1000.0);
+}
+
+TEST(ExponentialBuckets, EdgesAreStrictlyIncreasingAndHistogramValid) {
+  const std::vector<double> edges = exponential_buckets(1e3, 2.0, 25);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i - 1], edges[i]) << "edge " << i;
+  }
+  // A Histogram accepts the ladder (sorted, finite) and buckets land right.
+  Histogram h(edges);
+  h.observe(1.5e3);  // between edge 0 (1e3) and edge 1 (2e3)
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), edges.size() + 1);
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(ExponentialBuckets, RejectsDegenerateParameters) {
+  EXPECT_THROW(exponential_buckets(0.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(exponential_buckets(-1.0, 2.0, 4), std::invalid_argument);
+  EXPECT_THROW(exponential_buckets(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(exponential_buckets(1.0, 0.5, 4), std::invalid_argument);
+  EXPECT_THROW(exponential_buckets(1.0, 2.0, 0), std::invalid_argument);
+}
+
+TEST(ExponentialBuckets, RequestLadderSpansMicrosecondsToSeconds) {
+  const std::vector<double>& edges = default_request_buckets_ns();
+  ASSERT_EQ(edges.size(), 25u);
+  EXPECT_DOUBLE_EQ(edges.front(), 1e3);  // 1us
+  EXPECT_GT(edges.back(), 1e10);         // > 10s: overload waits resolve
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_DOUBLE_EQ(edges[i], 2.0 * edges[i - 1]);
+  }
 }
 
 TEST(Prometheus, LabeledHistogramMergesFamilyHeader) {

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+/// One-shot loopback HTTP/1.1 GET for the introspection tests: connect,
+/// send the request, read to EOF (the server closes per response), split
+/// status / headers / body.  Deliberately minimal — just enough client to
+/// exercise the real TCP path of svc::IntrospectServer.
+
+namespace logpc::testsupport {
+
+struct HttpReply {
+  bool ok = false;       ///< transport-level success (connected, got bytes)
+  int status = 0;        ///< parsed from the status line
+  std::string headers;   ///< raw header block
+  std::string body;
+};
+
+inline HttpReply http_request(int port, const std::string& target,
+                              const std::string& method = "GET") {
+  HttpReply reply;
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return reply;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    ::close(fd);
+    return reply;
+  }
+  const std::string req = method + " " + target +
+                          " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                          "Connection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < req.size()) {
+    const ssize_t n = ::send(fd, req.data() + sent, req.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return reply;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string raw;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    raw.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  const std::size_t sep = raw.find("\r\n\r\n");
+  if (sep == std::string::npos) return reply;
+  reply.headers = raw.substr(0, sep);
+  reply.body = raw.substr(sep + 4);
+  // "HTTP/1.1 200 OK" -> 200
+  const std::size_t sp = reply.headers.find(' ');
+  if (sp != std::string::npos) {
+    reply.status = std::atoi(reply.headers.c_str() + sp + 1);
+  }
+  reply.ok = reply.status != 0;
+  return reply;
+}
+
+inline HttpReply http_get(int port, const std::string& target) {
+  return http_request(port, target);
+}
+
+}  // namespace logpc::testsupport

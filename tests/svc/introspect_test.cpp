@@ -1,0 +1,177 @@
+#include "svc/introspect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "../support/http_client.hpp"
+#include "../support/json_validator.hpp"
+#include "svc/service.hpp"
+
+/// Live-socket tests of the introspection endpoint: a real
+/// CollectiveService bound to an ephemeral loopback port (introspect_port
+/// = 0), exercised through actual HTTP GETs.  Routing corner cases (404,
+/// 405, query strings) go through the same server; response bodies are
+/// validated structurally, not just grepped.
+
+namespace logpc::svc {
+namespace {
+
+using testsupport::http_get;
+using testsupport::http_request;
+using testsupport::HttpReply;
+using testsupport::JsonValidator;
+
+Params machine() { return Params{4, 4, 1, 2}; }
+
+exec::Bytes payload() {
+  const std::string s = "introspect-payload";
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  return exec::Bytes(p, p + s.size());
+}
+
+class IntrospectTest : public ::testing::Test {
+ protected:
+  IntrospectTest() {
+    CollectiveService::Options opts;
+    opts.pools = 1;
+    opts.introspect_port = 0;  // ephemeral: the kernel picks, we read back
+    svc_ = std::make_unique<CollectiveService>(machine(), opts);
+    tenant_ = svc_->register_tenant(
+        {.name = "introspect \"quoted\" tenant", .weight = 3});
+    // One completed run so /tracez has a profile and /metrics has series.
+    Request req;
+    req.op = OpKind::kBroadcast;
+    req.payload = payload();
+    SubmitResult sub = svc_->submit(tenant_, std::move(req));
+    EXPECT_TRUE(sub.accepted());
+    EXPECT_EQ(sub.response.get().status, Status::kOk);
+    port_ = svc_->introspect_port();
+  }
+
+  std::unique_ptr<CollectiveService> svc_;
+  TenantId tenant_ = -1;
+  int port_ = -1;
+};
+
+TEST_F(IntrospectTest, BindsAnEphemeralPort) {
+  EXPECT_GT(port_, 0);
+  EXPECT_LE(port_, 65535);
+}
+
+TEST_F(IntrospectTest, HealthzIsOk) {
+  const HttpReply r = http_get(port_, "/healthz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "ok\n");
+  EXPECT_NE(r.headers.find("Content-Length: 3"), std::string::npos);
+}
+
+TEST_F(IntrospectTest, MetricsServesExpositionText) {
+  const HttpReply r = http_get(port_, "/metrics");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.headers.find("version=0.0.4"), std::string::npos);
+  EXPECT_FALSE(r.body.empty());
+  EXPECT_NE(r.body.find("logpc_svc_admitted_total"), std::string::npos);
+  EXPECT_NE(r.body.find("logpc_profile_runs_total"), std::string::npos);
+}
+
+TEST_F(IntrospectTest, StatuszIsValidJsonWithTenantsAndRecorder) {
+  const HttpReply r = http_get(port_, "/statusz");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(JsonValidator(r.body).valid()) << r.body;
+  EXPECT_NE(r.body.find("\"accepting\":true"), std::string::npos);
+  EXPECT_NE(r.body.find("\"pools\":1"), std::string::npos);
+  // The tenant's hostile name arrives escaped but intact.
+  EXPECT_NE(r.body.find("introspect \\\"quoted\\\" tenant"),
+            std::string::npos);
+  EXPECT_NE(r.body.find("\"weight\":3"), std::string::npos);
+  EXPECT_NE(r.body.find("\"flight_recorder\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"recorded\":1"), std::string::npos);
+  EXPECT_NE(r.body.find("\"interactive\""), std::string::npos);
+}
+
+TEST_F(IntrospectTest, TracezIsValidJsonWithProfileAndChromeTrace) {
+  const HttpReply r = http_get(port_, "/tracez");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_TRUE(JsonValidator(r.body).valid()) << r.body;
+  EXPECT_NE(r.body.find("\"last_profile\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"critical_path_ns\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"components_ns\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"send_overhead\""), std::string::npos);
+  // The embedded Chrome trace document with the profile's rank tracks.
+  EXPECT_NE(r.body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"run profile\""), std::string::npos);
+  EXPECT_NE(r.body.find("\"critical path\""), std::string::npos);
+}
+
+TEST_F(IntrospectTest, QueryStringsAreIgnored) {
+  const HttpReply r = http_get(port_, "/healthz?verbose=1");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 200);
+  EXPECT_EQ(r.body, "ok\n");
+}
+
+TEST_F(IntrospectTest, UnknownPathIs404) {
+  const HttpReply r = http_get(port_, "/nope");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 404);
+}
+
+TEST_F(IntrospectTest, NonGetIs405) {
+  const HttpReply r = http_request(port_, "/metrics", "POST");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.status, 405);
+}
+
+TEST_F(IntrospectTest, ProfileRidesOnTheResponse) {
+  Request req;
+  req.op = OpKind::kBroadcast;
+  req.payload = payload();
+  SubmitResult sub = svc_->submit(tenant_, std::move(req));
+  ASSERT_TRUE(sub.accepted());
+  const Response resp = sub.response.get();
+  ASSERT_EQ(resp.status, Status::kOk);
+  ASSERT_NE(resp.profile, nullptr);
+  EXPECT_EQ(resp.profile->P, machine().P);
+  EXPECT_FALSE(resp.profile->critical_path.empty());
+  EXPECT_EQ(resp.profile->critical_path.back().rank,
+            resp.profile->straggler);
+  // The same profile is retained by the recorder.
+  EXPECT_EQ(svc_->flight_recorder().last(), resp.profile);
+}
+
+TEST_F(IntrospectTest, ServerStopsWithShutdown) {
+  svc_->shutdown(true);
+  EXPECT_EQ(svc_->introspect_port(), -1);
+  const HttpReply r = http_get(port_, "/healthz");
+  EXPECT_FALSE(r.ok);  // connection refused or reset — nothing serving
+}
+
+TEST(Introspect, DisabledByDefault) {
+  CollectiveService svc(machine(), {});
+  EXPECT_EQ(svc.introspect_port(), -1);
+}
+
+TEST(Introspect, ProfilingCanBeTurnedOff) {
+  CollectiveService::Options opts;
+  opts.pools = 1;
+  opts.profile = false;
+  CollectiveService svc(machine(), opts);
+  const TenantId t = svc.register_tenant({.name = "no-profile"});
+  Request req;
+  req.op = OpKind::kBroadcast;
+  req.payload = payload();
+  SubmitResult sub = svc.submit(t, std::move(req));
+  ASSERT_TRUE(sub.accepted());
+  const Response resp = sub.response.get();
+  ASSERT_EQ(resp.status, Status::kOk);
+  EXPECT_EQ(resp.profile, nullptr);
+  EXPECT_EQ(svc.flight_recorder().summary().recorded, 0u);
+}
+
+}  // namespace
+}  // namespace logpc::svc
