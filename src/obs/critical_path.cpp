@@ -173,6 +173,8 @@ RunProfile analyze(const exec::ExecReport& report) {
     profile.straggler = last.rank;
     profile.critical_path_ns = last_end;
     std::vector<PathSegment> path;  // built newest-first, reversed below
+    std::size_t total_events = 0;
+    for (std::size_t p = 0; p < P; ++p) total_events += report.events[p].size();
     EventRef cur = last;
     for (;;) {
       const auto p = static_cast<std::size_t>(cur.rank);
@@ -197,6 +199,10 @@ RunProfile analyze(const exec::ExecReport& report) {
       path.push_back(PathSegment{cur.rank, ev.kind, ev.peer, ev.item,
                                  ev.start_ns, ev.end_ns, ev.planned, wire});
       if (pred.rank == kNoProc) break;
+      // The wire-edge test admits ties (s.xfer_ns == ev.start_ns), which a
+      // coarse clock can turn into a timestamp cycle. A valid causal chain
+      // visits each event at most once, so a longer walk is a cycle: stop.
+      if (path.size() >= total_events) break;
       cur = pred;
     }
     std::reverse(path.begin(), path.end());

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -87,10 +88,26 @@ IntrospectServer::IntrospectServer(const CollectiveService& service,
 }
 
 IntrospectServer::~IntrospectServer() {
+  stop_.store(true, std::memory_order_release);
   if (listen_fd_ >= 0) {
-    // shutdown() wakes the blocked accept() (it fails with EINVAL); the
-    // serve loop treats any accept error after that as the stop signal.
+    // Waking the blocked accept() is belt-and-braces: shutdown() makes it
+    // fail with EINVAL on Linux, but on BSD/macOS shutdown() of a listening
+    // socket is ENOTCONN and accept() stays parked — so also poke the
+    // listener with a throwaway self-connect the serve loop discards once
+    // it sees stop_.
     ::shutdown(listen_fd_, SHUT_RDWR);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd >= 0) {
+      sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+      const char* host =
+          opts_.bind == "0.0.0.0" ? "127.0.0.1" : opts_.bind.c_str();
+      if (::inet_pton(AF_INET, host, &addr.sin_addr) == 1) {
+        ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+      }
+      ::close(fd);
+    }
   }
   if (thread_.joinable()) thread_.join();
   if (listen_fd_ >= 0) {
@@ -102,10 +119,22 @@ IntrospectServer::~IntrospectServer() {
 void IntrospectServer::serve() {
   for (;;) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (stop_.load(std::memory_order_acquire)) {
+      if (fd >= 0) ::close(fd);  // the destructor's wakeup self-connect
+      return;
+    }
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       return;  // listener shut down (or unrecoverable): stop serving
     }
+    // A stalled client (connected but silent, or never reading the
+    // response) must not wedge the single accept thread — nor the
+    // destructor's join behind it. A couple of seconds is generous for a
+    // scraper on loopback.
+    timeval io_timeout{};
+    io_timeout.tv_sec = 2;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &io_timeout, sizeof io_timeout);
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &io_timeout, sizeof io_timeout);
     // One tiny request per connection: read until the header terminator
     // (we ignore bodies — every route is a GET), bounded so a hostile
     // client cannot grow the buffer.

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <string>
 #include <string_view>
 #include <thread>
@@ -81,6 +82,7 @@ class IntrospectServer {
   Options opts_;
   int listen_fd_ = -1;
   int port_ = -1;
+  std::atomic<bool> stop_{false};
   std::thread thread_;
 };
 

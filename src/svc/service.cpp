@@ -67,9 +67,18 @@ CollectiveService::CollectiveService(Params params, Options options,
   // Introspection last: the pages snapshot live service state, so the
   // service must be fully constructed before the first GET can land.
   if (opts_.introspect_port >= 0) {
-    introspect_ = std::make_unique<IntrospectServer>(
-        *this, IntrospectServer::Options{opts_.introspect_bind,
-                                         opts_.introspect_port});
+    try {
+      introspect_ = std::make_unique<IntrospectServer>(
+          *this, IntrospectServer::Options{opts_.introspect_bind,
+                                           opts_.introspect_port});
+    } catch (...) {
+      // A failed bind (port taken, bad address) must surface as a
+      // catchable exception, not std::terminate: the pool threads are
+      // already running, and unwinding past joinable std::thread members
+      // aborts. Nothing is queued yet, so a non-draining stop is exact.
+      shutdown(false);
+      throw;
+    }
   }
 }
 

@@ -1,8 +1,15 @@
 #include "svc/introspect.hpp"
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <chrono>
+#include <stdexcept>
 #include <string>
+#include <thread>
 
 #include "../support/http_client.hpp"
 #include "../support/json_validator.hpp"
@@ -149,6 +156,47 @@ TEST_F(IntrospectTest, ServerStopsWithShutdown) {
   EXPECT_EQ(svc_->introspect_port(), -1);
   const HttpReply r = http_get(port_, "/healthz");
   EXPECT_FALSE(r.ok);  // connection refused or reset — nothing serving
+}
+
+TEST_F(IntrospectTest, SilentClientDoesNotWedgeShutdown) {
+  // A client that connects and never sends (or reads) must not hang
+  // shutdown(): the accepted socket carries recv/send timeouts, so the
+  // accept thread frees itself and the destructor's join completes.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  // Give the accept thread a beat to park in recv() on the silent socket —
+  // the case that used to deadlock the destructor's join.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  svc_->shutdown(true);  // must return (recv times out) instead of hanging
+  EXPECT_EQ(svc_->introspect_port(), -1);
+  ::close(fd);
+}
+
+TEST(Introspect, TakenPortSurfacesAsException) {
+  CollectiveService::Options opts;
+  opts.pools = 1;
+  opts.introspect_port = 0;
+  CollectiveService first(machine(), opts);
+  ASSERT_GT(first.introspect_port(), 0);
+  // Binding the same fixed port again must surface as a catchable
+  // exception from the constructor — not std::terminate from unwinding
+  // past the already-running pool threads.
+  opts.introspect_port = first.introspect_port();
+  EXPECT_THROW(CollectiveService(machine(), opts), std::runtime_error);
+}
+
+TEST(Introspect, BadBindAddressSurfacesAsException) {
+  CollectiveService::Options opts;
+  opts.pools = 1;
+  opts.introspect_port = 0;
+  opts.introspect_bind = "not-an-address";
+  EXPECT_THROW(CollectiveService(machine(), opts), std::runtime_error);
 }
 
 TEST(Introspect, DisabledByDefault) {
