@@ -9,11 +9,15 @@
 ///  * warm  — the daemon path: 4 equal-weight tenants submit into a
 ///    CollectiveService with persistent, prewarmed engine pools and a
 ///    service-lifetime program cache, keeping a bounded window in flight.
+///    Measured once per serving class: interactive (unfused — the class
+///    opts out of the fusion window) and batch (the admission-side
+///    fusion batcher coalesces the same-shape backlog).
 ///
-/// Reported per mode: sustained collectives/sec and the p50/p99 of the
-/// per-request end-to-end latency; plus the warm/cold throughput ratio
-/// (the ISSUE acceptance floor is 2x).  Everything lands in
-/// BENCH_throughput.json via the global JsonReport.
+/// Reported per mode and class: sustained collectives/sec and the
+/// p50/p99 of the per-request end-to-end latency; plus the warm/cold
+/// throughput ratio (the ISSUE acceptance floor is 2x).  Everything
+/// lands in BENCH_throughput.json via the global JsonReport
+/// (bench_loadgen merges its own entries into the same file).
 
 #include "bench_util.hpp"
 
@@ -105,14 +109,20 @@ Sustained run_cold() {
 }
 
 /// The daemon path: 4 tenants, persistent pools, bounded in-flight window.
-Sustained run_warm() {
+/// `qos` selects the serving class — and with it the high-throughput
+/// path: kInteractive runs every request unfused (the class opts out of
+/// the fusion window), kBatch lets the admission-side batcher coalesce
+/// the same-shape backlog.
+Sustained run_warm(svc::QoS qos) {
   svc::CollectiveService::Options opts;
   opts.pools = 2;
   svc::CollectiveService service(machine(), opts);
   std::vector<svc::TenantId> tenants;
   for (int t = 0; t < kTenants; ++t) {
     tenants.push_back(service.register_tenant(
-        {.name = "bench-" + std::to_string(t), .queue_capacity = 2 * kWindow}));
+        {.name = std::string("bench-") + svc::qos_name(qos) + "-" +
+                 std::to_string(t),
+         .queue_capacity = 2 * kWindow}));
   }
   const exec::Bytes payload = payload_of(kPayload);
 
@@ -120,11 +130,13 @@ Sustained run_warm() {
   latencies.reserve(kWarmRequests);
   std::deque<std::future<svc::Response>> inflight;
   std::size_t warm_runs = 0;
+  std::size_t fused_runs = 0;
   const auto settle = [&](std::future<svc::Response> fut) {
     const svc::Response r = fut.get();
     if (r.status == svc::Status::kOk) {
       latencies.push_back(static_cast<double>(r.total_ns));
       warm_runs += r.report.warm_pool ? 1u : 0u;
+      fused_runs += r.fused > 1 ? 1u : 0u;
     }
   };
 
@@ -132,6 +144,7 @@ Sustained run_warm() {
   for (int i = 0; i < kWarmRequests; ++i) {
     svc::Request req;
     req.op = svc::OpKind::kBroadcast;
+    req.qos = qos;
     req.payload = payload;
     svc::SubmitResult sub = service.submit(
         tenants[static_cast<std::size_t>(i % kTenants)], std::move(req));
@@ -146,8 +159,9 @@ Sustained run_warm() {
     inflight.pop_front();
   }
   const auto t1 = std::chrono::steady_clock::now();
-  std::cout << "warm pool hit rate: " << warm_runs << "/" << latencies.size()
-            << "\n";
+  std::cout << "warm[" << svc::qos_name(qos) << "] pool hit rate: "
+            << warm_runs << "/" << latencies.size() << ", fused completions: "
+            << fused_runs << "\n";
   return summarize(
       latencies,
       static_cast<std::uint64_t>(
@@ -155,12 +169,14 @@ Sustained run_warm() {
               .count()));
 }
 
-void add_entry(const std::string& mode, const Sustained& s, double speedup) {
+void add_entry(const std::string& mode, const std::string& qos,
+               const Sustained& s, double speedup) {
   logpc::bench::global_report("throughput")
       .entry("sustained",
              {{"mode", mode},
+              {"qos", qos},
               {"P", std::to_string(kP)},
-              {"tenants", std::to_string(mode == "warm" ? kTenants : 1)},
+              {"tenants", std::to_string(mode == "cold" ? 1 : kTenants)},
               {"payload", std::to_string(kPayload)}},
              {{"requests", static_cast<double>(s.requests)},
               {"collectives_per_sec", s.rps},
@@ -173,22 +189,35 @@ void report() {
   std::cout << "Collective-service sustained throughput, P = " << kP
             << ", broadcast " << kPayload << " B\n"
             << "cold = fresh engine per request; warm = daemon with "
-            << kTenants << " tenants on persistent pools\n\n";
+            << kTenants
+            << " tenants on persistent pools, per serving class\n"
+            << "(interactive = unfused latency path, batch = fusion "
+            << "batcher engaged)\n\n";
   const Sustained cold = run_cold();
-  const Sustained warm = run_warm();
-  const double speedup = cold.rps > 0 ? warm.rps / cold.rps : 0;
+  const Sustained warm_interactive = run_warm(svc::QoS::kInteractive);
+  const Sustained warm_batch = run_warm(svc::QoS::kBatch);
+  const auto speedup = [&](const Sustained& s) {
+    return cold.rps > 0 ? s.rps / cold.rps : 0;
+  };
 
-  Table t({"mode", "requests", "collectives/s", "p50 us", "p99 us"});
-  t.row("cold", cold.requests, static_cast<std::int64_t>(cold.rps),
+  Table t({"mode", "qos", "requests", "collectives/s", "p50 us", "p99 us"});
+  t.row("cold", "-", cold.requests, static_cast<std::int64_t>(cold.rps),
         cold.p50_ns / 1000.0, cold.p99_ns / 1000.0);
-  t.row("warm", warm.requests, static_cast<std::int64_t>(warm.rps),
-        warm.p50_ns / 1000.0, warm.p99_ns / 1000.0);
+  t.row("warm", "interactive", warm_interactive.requests,
+        static_cast<std::int64_t>(warm_interactive.rps),
+        warm_interactive.p50_ns / 1000.0, warm_interactive.p99_ns / 1000.0);
+  t.row("warm", "batch", warm_batch.requests,
+        static_cast<std::int64_t>(warm_batch.rps),
+        warm_batch.p50_ns / 1000.0, warm_batch.p99_ns / 1000.0);
   t.print();
-  std::cout << "\nwarm/cold throughput: " << speedup
+  std::cout << "\nwarm/cold throughput: interactive "
+            << speedup(warm_interactive) << "x, batch " << speedup(warm_batch)
             << "x (acceptance floor: 2x)\n\n";
 
-  add_entry("cold", cold, 1.0);
-  add_entry("warm", warm, speedup);
+  add_entry("cold", "-", cold, 1.0);
+  add_entry("warm", "interactive", warm_interactive,
+            speedup(warm_interactive));
+  add_entry("warm", "batch", warm_batch, speedup(warm_batch));
 }
 
 /// Microbenchmark: the per-request service overhead in isolation — submit
@@ -202,6 +231,10 @@ void BM_ServiceRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
     svc::Request req;
     req.op = svc::OpKind::kBroadcast;
+    // Interactive: one request in flight at a time would otherwise sit out
+    // the batch class's fusion window on every iteration, measuring the
+    // window instead of the per-request overhead.
+    req.qos = svc::QoS::kInteractive;
     req.payload = payload;
     svc::SubmitResult sub = service.submit(t, std::move(req));
     if (!sub.accepted()) {

@@ -136,10 +136,13 @@ class JsonReport {
     have_metrics_ = true;
   }
 
-  [[nodiscard]] std::string to_json() const {
+  /// `prior` (optional) is a block of already-serialized entry lines to
+  /// keep ahead of this report's own — the merge path below.
+  [[nodiscard]] std::string to_json(const std::string& prior = "") const {
     std::ostringstream os;
     os << "{\n  \"bench\": " << obs::json_string(bench_) << ",\n"
        << "  \"entries\": [\n";
+    if (!prior.empty()) os << prior << (entries_.empty() ? "\n" : ",\n");
     for (std::size_t i = 0; i < entries_.size(); ++i) {
       os << entries_[i] << (i + 1 < entries_.size() ? ",\n" : "\n");
     }
@@ -152,17 +155,42 @@ class JsonReport {
   }
 
   /// Writes BENCH_<bench>.json; returns the path, or "" on failure.
+  /// With LOGPC_BENCH_MERGE set (non-empty), entries already in the file
+  /// are preserved ahead of this report's — so two bench binaries (e.g.
+  /// bench_service and bench_loadgen) can accumulate into one
+  /// BENCH_throughput.json instead of the second overwriting the first.
   std::string write() const {
     const char* dir = std::getenv("LOGPC_BENCH_DIR");
     std::string path = dir && *dir ? std::string(dir) + "/" : std::string();
     path += "BENCH_" + bench_ + ".json";
+    std::string prior;
+    const char* merge = std::getenv("LOGPC_BENCH_MERGE");
+    if (merge != nullptr && *merge != '\0') prior = prior_entries(path);
     std::ofstream out(path);
     if (!out) return "";
-    out << to_json();
+    out << to_json(prior);
     return out ? path : "";
   }
 
  private:
+  /// The entry block of a previous JsonReport at `path` ("" when the file
+  /// is absent or not in this writer's format).  Textual on purpose: the
+  /// writer above fully controls the layout, so the entry lines between
+  /// `"entries": [` and the closing `  ]` round-trip verbatim.
+  static std::string prior_entries(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) return "";
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string text = ss.str();
+    const std::string open = "\"entries\": [\n";
+    const std::size_t a = text.find(open);
+    if (a == std::string::npos) return "";
+    const std::size_t b = text.find("\n  ]", a);
+    if (b == std::string::npos) return "";
+    return text.substr(a + open.size(), b - (a + open.size()));
+  }
+
   std::string bench_;
   std::vector<std::string> entries_;
   std::string metrics_json_;

@@ -41,7 +41,7 @@ mkdir -p "$OUT"
 echo "=== perf smoke: Release build ($BUILD/) ==="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$JOBS" \
-  --target bench_kernels bench_exec bench_service bench_profile
+  --target bench_kernels bench_exec bench_service bench_loadgen bench_profile
 
 echo
 echo "=== bench_kernels ==="
@@ -60,6 +60,15 @@ echo "=== bench_service ==="
 # BENCH_throughput.json records the trajectory without gating.
 LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_service" \
   --benchmark_filter='^$' 2>/dev/null
+
+echo
+echo "=== bench_loadgen --smoke ==="
+# High-throughput path: fusion batching and the segmented pipeline under
+# sustained load.  Gates on its internal floor (fused >= unfused); the
+# LOGPC_BENCH_MERGE flag appends its entries to the BENCH_throughput.json
+# bench_service just wrote instead of overwriting it.
+LOGPC_BENCH_DIR="$OUT" LOGPC_BENCH_MERGE=1 \
+  "./$BUILD/bench/bench_loadgen" --smoke
 
 echo
 echo "=== bench_profile ==="

@@ -37,7 +37,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
              test_obs_metrics test_obs_trace test_obs_flight_recorder \
              test_exec_mailbox test_exec_kernels test_exec_engine \
              test_communicator_exec test_fault test_svc_sched test_svc \
-             test_svc_introspect test_prometheus_lint
+             test_svc_fusion test_svc_introspect test_prometheus_lint
   ./build-tsan/tests/test_plan_cache
   ./build-tsan/tests/test_planner
   ./build-tsan/tests/test_snapshot
@@ -53,6 +53,9 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # The service suite is the headline TSan target: pool threads, racing
   # submitters and shutdown all hammer one mutex/cv pair.
   ./build-tsan/tests/test_svc
+  # Fusion adds the window wait to that pair plus multi-promise fan-out;
+  # byte-exactness under TSan is the ISSUE's acceptance bar.
+  ./build-tsan/tests/test_svc_fusion
   # Introspection races the HTTP server thread against pool threads and
   # shutdown; the lint suite scrapes a live /metrics mid-traffic.
   ./build-tsan/tests/test_svc_introspect
@@ -75,7 +78,7 @@ if [[ "$RUN_ASAN" == 1 ]]; then
              test_plan_cache test_planner test_snapshot \
              test_exec_mailbox test_exec_kernels test_exec_engine \
              test_communicator_exec test_exec_property test_fault \
-             test_svc_sched test_svc test_svc_introspect \
+             test_svc_sched test_svc test_svc_fusion test_svc_introspect \
              test_prometheus_lint
   ./build-asan/tests/test_obs_metrics
   ./build-asan/tests/test_obs_trace
@@ -92,6 +95,7 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   ./build-asan/tests/test_exec_property
   ./build-asan/tests/test_svc_sched
   ./build-asan/tests/test_svc
+  ./build-asan/tests/test_svc_fusion
   ./build-asan/tests/test_svc_introspect
   ./build-asan/tests/test_prometheus_lint
   for seed in 1 7 1993; do

@@ -152,6 +152,23 @@ exec::Program Communicator::compile(runtime::Problem problem, std::int64_t k,
       return exec::compile_broadcast(
           planner_->plan(PlanKey::broadcast(params_, root))->schedule,
           "bcast");
+    case runtime::Problem::kKItemBroadcast: {
+      // Segmented broadcast: the Section 3 single-sending k-item schedule,
+      // one segment per item.  The cache key normalizes root to 0 (the
+      // schedule shape is root-invariant), so a non-zero root is served by
+      // swapping ranks 0 and root in the compiled program rather than
+      // splitting the plan cache per root.
+      if (root < 0 || root >= params_.P) {
+        throw std::invalid_argument("Communicator::compile: bad root");
+      }
+      exec::Program program = exec::compile_broadcast(
+          planner_->plan(PlanKey::segmented_broadcast(params_, k))->schedule,
+          "bcast-seg");
+      if (root != 0) {
+        program = exec::relabel_swapped(std::move(program), 0, root);
+      }
+      return program;
+    }
     case runtime::Problem::kReduce:
       return exec::compile_reduction(reduce(root));
     case runtime::Problem::kAllToAll:

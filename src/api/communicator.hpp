@@ -101,8 +101,10 @@ class Communicator {
                                       ProcId root = 0) const;
 
   /// The executable lowering of the cached plan for an *executable*
-  /// problem — kBroadcast, kReduce, kAllToAll (k = 1 is the allgather the
-  /// run path uses) or kSummation (k = operand count n).  This is the
+  /// problem — kBroadcast, kKItemBroadcast (k = segment count; the root-0
+  /// plan is relabeled for other roots, so all roots share one cache
+  /// entry), kReduce, kAllToAll (k = 1 is the allgather the run path uses)
+  /// or kSummation (k = operand count n).  This is the
   /// exact program the corresponding run_* method would execute; a serving
   /// layer (svc::CollectiveService) caches the returned Program per
   /// (problem, k, root) and hands it straight to its pool engines, paying

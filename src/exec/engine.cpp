@@ -73,7 +73,28 @@ ExecReport Engine::run(const Program& program,
   if (program.mode != Mode::kMove) {
     throw std::invalid_argument("Engine::run: program is not move-mode");
   }
-  return run_impl(program, &item_values, nullptr, nullptr, nullptr, injector);
+  return run_impl(program, &item_values, nullptr, nullptr, nullptr, nullptr,
+                  injector);
+}
+
+ExecReport Engine::run_segmented(const Program& program,
+                                 const SegmentRun& seg,
+                                 const fault::Injector* injector) {
+  if (program.mode != Mode::kMove) {
+    throw std::invalid_argument(
+        "Engine::run: segmented run needs a move-mode program");
+  }
+  if (seg.segments != program.num_items) {
+    throw std::invalid_argument(
+        "Engine::run: SegmentRun::segments (" +
+        std::to_string(seg.segments) + ") must equal the program's num_items (" +
+        std::to_string(program.num_items) + ")");
+  }
+  if (seg.payload.empty()) {
+    throw std::invalid_argument(
+        "Engine::run: segmented run needs a non-empty payload");
+  }
+  return run_impl(program, nullptr, &seg, nullptr, nullptr, nullptr, injector);
 }
 
 ExecReport Engine::run(const Program& program, const std::vector<Bytes>& values,
@@ -84,7 +105,7 @@ ExecReport Engine::run(const Program& program, const std::vector<Bytes>& values,
   if (!op.valid()) {
     throw std::invalid_argument("Engine::run: combiner has no operator");
   }
-  return run_impl(program, nullptr, &values, nullptr, &op, injector);
+  return run_impl(program, nullptr, nullptr, &values, nullptr, &op, injector);
 }
 
 ExecReport Engine::run(const Program& program, const std::vector<Bytes>& values,
@@ -101,7 +122,8 @@ ExecReport Engine::run(const Program& program,
   if (!op.valid()) {
     throw std::invalid_argument("Engine::run: combiner has no operator");
   }
-  return run_impl(program, nullptr, nullptr, &operands, &op, injector);
+  return run_impl(program, nullptr, nullptr, nullptr, &operands, &op,
+                  injector);
 }
 
 ExecReport Engine::run(const Program& program,
@@ -112,6 +134,7 @@ ExecReport Engine::run(const Program& program,
 
 ExecReport Engine::run_impl(const Program& program,
                             const std::vector<Bytes>* item_values,
+                            const SegmentRun* seg,
                             const std::vector<Bytes>* fold_values,
                             const std::vector<std::vector<Bytes>>* operands,
                             const Combiner* op,
@@ -125,7 +148,7 @@ ExecReport Engine::run_impl(const Program& program,
 
   // --- validate payload inputs against the program -----------------------
   if (program.mode == Mode::kMove) {
-    if (item_values->size() != num_items) {
+    if (item_values != nullptr && item_values->size() != num_items) {
       throw std::invalid_argument("Engine::run: expected " +
                                   std::to_string(num_items) +
                                   " item payloads, got " +
@@ -221,7 +244,9 @@ ExecReport Engine::run_impl(const Program& program,
   };
   BufferArena& arena = ctx_.arena;
   if (program.mode == Mode::kMove) {
-    report.items.assign(P, std::vector<Bytes>(num_items));
+    // A segmented run coalesces: one result buffer per proc, not one per
+    // item (the per-item slots alias ranges of it, see below).
+    report.items.assign(P, std::vector<Bytes>(seg != nullptr ? 1 : num_items));
     slots.assign(P * num_items, Slot{});
     slot_filled.assign(P * num_items, 0);
     std::vector<char>& used = ctx_.slot_used;
@@ -237,20 +262,60 @@ ExecReport Engine::run_impl(const Program& program,
         }
       }
     }
-    for (std::size_t p = 0; p < P; ++p) {
-      for (std::size_t i = 0; i < num_items; ++i) {
-        if (!used[slot_index(p, i)]) continue;
-        const std::size_t size = (*item_values)[i].size();
-        slots[slot_index(p, i)] = Slot{arena.allocate(size), size};
+    if (seg != nullptr) {
+      // Coalesced segmented layout: every processor the plan touches gets
+      // ONE contiguous result buffer the size of the whole payload, and
+      // each segment's slot aliases its range of it.  Deliveries then land
+      // in their final position — the arena and the post-run publication
+      // pass below are skipped entirely, so a k-segment run pays no more
+      // serial memcpy than a bulk single-item run.
+      const std::size_t total = seg->payload.size();
+      const std::size_t base = total / num_items;
+      const std::size_t rem = total % num_items;
+      const auto seg_off = [base, rem](std::size_t i) {
+        return i * base + std::min(i, rem);
+      };
+      const auto seg_len = [base, rem](std::size_t i) {
+        return base + (i < rem ? 1 : 0);
+      };
+      for (std::size_t p = 0; p < P; ++p) {
+        bool touched = false;
+        for (std::size_t i = 0; i < num_items; ++i) {
+          touched = touched || used[slot_index(p, i)] != 0;
+        }
+        if (!touched) continue;
+        Bytes& buf = report.items[p][0];
+        buf.resize(total);
+        for (std::size_t i = 0; i < num_items; ++i) {
+          if (!used[slot_index(p, i)]) continue;
+          slots[slot_index(p, i)] = Slot{buf.data() + seg_off(i), seg_len(i)};
+        }
       }
-    }
-    for (const InitialPlacement& init : program.initials) {
-      const Slot& s = slots[slot_index(static_cast<std::size_t>(init.proc),
-                                       static_cast<std::size_t>(init.item))];
-      const Bytes& v = (*item_values)[static_cast<std::size_t>(init.item)];
-      if (!v.empty()) std::memcpy(s.data, v.data(), v.size());
-      slot_filled[slot_index(static_cast<std::size_t>(init.proc),
-                             static_cast<std::size_t>(init.item))] = 1;
+      for (const InitialPlacement& init : program.initials) {
+        const auto item = static_cast<std::size_t>(init.item);
+        const Slot& s = slots[slot_index(static_cast<std::size_t>(init.proc),
+                                         item)];
+        if (s.size != 0) {
+          std::memcpy(s.data, seg->payload.data() + seg_off(item), s.size);
+        }
+        slot_filled[slot_index(static_cast<std::size_t>(init.proc), item)] = 1;
+      }
+    } else {
+      for (std::size_t p = 0; p < P; ++p) {
+        for (std::size_t i = 0; i < num_items; ++i) {
+          if (!used[slot_index(p, i)]) continue;
+          const std::size_t size = (*item_values)[i].size();
+          slots[slot_index(p, i)] = Slot{arena.allocate(size), size};
+        }
+      }
+      for (const InitialPlacement& init : program.initials) {
+        const Slot& s = slots[slot_index(static_cast<std::size_t>(init.proc),
+                                         static_cast<std::size_t>(init.item))];
+        const Bytes& v = (*item_values)[static_cast<std::size_t>(init.item)];
+        if (!v.empty()) std::memcpy(s.data, v.data(), v.size());
+        slot_filled[slot_index(static_cast<std::size_t>(init.proc),
+                               static_cast<std::size_t>(init.item))] = 1;
+      }
     }
   } else if (program.mode == Mode::kFold) {
     for (std::size_t p = 0; p < P; ++p) report.folded[p] = (*fold_values)[p];
@@ -723,8 +788,9 @@ ExecReport Engine::run_impl(const Program& program,
   // Publish the arena-staged kMove slots into the report's user-facing
   // vectors.  This runs after wall_ns is captured and after the pool
   // barrier published every worker's writes, so it is single-threaded and
-  // outside the measured makespan.
-  if (program.mode == Mode::kMove) {
+  // outside the measured makespan.  Segmented runs already delivered in
+  // place (their slots alias the report buffers) and skip it.
+  if (program.mode == Mode::kMove && seg == nullptr) {
     for (std::size_t p = 0; p < P; ++p) {
       for (std::size_t i = 0; i < num_items; ++i) {
         const std::size_t si = slot_index(p, i);

@@ -143,6 +143,23 @@ struct ExecReport {
   }
 };
 
+/// A coalesced k-item run: one logical payload executed through a k-item
+/// (segmented) kMove program.  The engine splits `payload` into
+/// `segments` near-equal contiguous ranges (sizes differing by at most
+/// one byte, longer segments first — the same split svc::split_segments
+/// produces), seeds the plan's initial placements straight from the
+/// spans, and delivers every received segment *in place* into one
+/// contiguous per-processor result buffer: ExecReport::items[p] holds a
+/// single Bytes equal to the whole payload — byte-identical to what a
+/// bulk single-item run of the same payload would report — instead of k
+/// per-segment buffers.  That removes both the caller's split/concat
+/// copies and the engine's post-run arena-to-report publication pass, so
+/// a segmented run pays no more serial memcpy than a bulk one.
+struct SegmentRun {
+  std::span<const std::byte> payload;
+  int segments = 1;  ///< must equal the program's num_items
+};
+
 class Engine {
  public:
   /// Knobs of the acked-delivery protocol (active when a fault::Injector is
@@ -186,6 +203,16 @@ class Engine {
   /// enables fault injection plus the acked-delivery protocol.
   ExecReport run(const Program& program, const std::vector<Bytes>& item_values,
                  const fault::Injector* injector = nullptr);
+
+  /// kMove, segmented: `seg.payload` split into `seg.segments` contiguous
+  /// ranges executed through a k-item program, results coalesced back into
+  /// one contiguous buffer per processor (see SegmentRun).  Requires a
+  /// kMove program with num_items == seg.segments and a non-empty payload.
+  /// (A named method, not a run() overload: SegmentRun aggregate-converts
+  /// from a payload span, which would make `run(prog, {payload})` at the
+  /// existing kMove call sites ambiguous.)
+  ExecReport run_segmented(const Program& program, const SegmentRun& seg,
+                           const fault::Injector* injector = nullptr);
 
   /// kFold: `values[p]` is processor p's initial value; receives fold with
   /// `op` in arrival order.  The root's accumulator is the result.  A
@@ -234,6 +261,7 @@ class Engine {
  private:
   ExecReport run_impl(const Program& program,
                       const std::vector<Bytes>* item_values,
+                      const SegmentRun* seg,
                       const std::vector<Bytes>* fold_values,
                       const std::vector<std::vector<Bytes>>* operands,
                       const Combiner* op, const fault::Injector* injector);

@@ -144,6 +144,31 @@ Program compile_broadcast(const Schedule& s, std::string label) {
   return prog;
 }
 
+Program relabel_swapped(Program program, ProcId a, ProcId b) {
+  const auto P = static_cast<ProcId>(program.procs.size());
+  if (a < 0 || a >= P || b < 0 || b >= P) {
+    throw std::invalid_argument("exec::relabel_swapped: rank out of range");
+  }
+  if (a == b) return program;
+  const auto map = [a, b](ProcId p) { return p == a ? b : (p == b ? a : p); };
+  std::swap(program.procs[static_cast<std::size_t>(a)],
+            program.procs[static_cast<std::size_t>(b)]);
+  for (ProcProgram& pp : program.procs) {
+    pp.proc = map(pp.proc);
+    for (Instr& ins : pp.instrs) {
+      if (ins.peer != kNoProc) ins.peer = map(ins.peer);
+    }
+  }
+  for (Link& link : program.links) {
+    link.from = map(link.from);
+    link.to = map(link.to);
+  }
+  for (InitialPlacement& init : program.initials) {
+    init.proc = map(init.proc);
+  }
+  return program;
+}
+
 Program compile_reduction(const bcast::ReductionPlan& plan) {
   const Schedule& s = plan.schedule;
   s.params().require_valid();

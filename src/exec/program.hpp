@@ -113,4 +113,14 @@ struct Program {
 /// streams.
 [[nodiscard]] Program compile_summation(const sum::SummationPlan& plan);
 
+/// Relabels a compiled program by swapping processors `a` and `b`:
+/// instruction streams, link endpoints and initial placements all move
+/// together, so the relabeled program executes the same schedule with the
+/// two ranks' roles exchanged.  This is how a root-normalized plan serves
+/// an arbitrary root — the k-item cache keys pin root = 0 (the schedule
+/// shape is root-invariant), and the serving layer swaps 0 with the
+/// requested root at compile time instead of splitting the plan cache.
+/// Throws std::invalid_argument when either rank is out of range.
+[[nodiscard]] Program relabel_swapped(Program program, ProcId a, ProcId b);
+
 }  // namespace logpc::exec

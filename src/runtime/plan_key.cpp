@@ -120,6 +120,9 @@ PlanKey PlanKey::broadcast(const Params& p, ProcId root) {
 PlanKey PlanKey::kitem(const Params& p, std::int64_t k) {
   return make(Problem::kKItemBroadcast, p, k);
 }
+PlanKey PlanKey::segmented_broadcast(const Params& p, std::int64_t segments) {
+  return kitem(p, segments);
+}
 PlanKey PlanKey::kitem_buffered(const Params& p, std::int64_t k) {
   return make(Problem::kBufferedKItemBroadcast, p, k);
 }

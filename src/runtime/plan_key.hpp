@@ -114,6 +114,15 @@ struct PlanKey {
   // Conveniences mirroring the api::Communicator surface.
   [[nodiscard]] static PlanKey broadcast(const Params& p, ProcId root = 0);
   [[nodiscard]] static PlanKey kitem(const Params& p, std::int64_t k);
+  /// The segment-count-extended broadcast key the serving layer's
+  /// segmented pipeline resolves through: a payload split into `segments`
+  /// pieces is exactly a Section 3 single-sending k-item broadcast with
+  /// k = segments, so the key is kitem's (postal projection, root
+  /// normalized to 0 — the executable lowering swaps ranks for other
+  /// roots).  Spelling it this way keeps one cache entry per (machine,
+  /// segment count) shared between the bench harnesses and the service.
+  [[nodiscard]] static PlanKey segmented_broadcast(const Params& p,
+                                                   std::int64_t segments);
   [[nodiscard]] static PlanKey kitem_buffered(const Params& p,
                                               std::int64_t k);
   [[nodiscard]] static PlanKey scatter(const Params& p, ProcId root = 0);

@@ -205,6 +205,12 @@ std::string IntrospectServer::statusz_json() const {
   out += ",\"paused\":" + std::string(s.paused ? "true" : "false");
   out += ",\"pools\":" + std::to_string(s.pools);
   out += ",\"queued\":" + std::to_string(s.queued);
+  out += ",\"throughput\":{";
+  out += "\"inflight\":" + std::to_string(s.inflight);
+  out += ",\"fused_requests\":" + std::to_string(s.fused_requests);
+  out += ",\"fused_batches\":" + std::to_string(s.fused_batches);
+  out += ",\"segmented_runs\":" + std::to_string(s.segmented_runs);
+  out += "}";
   out += ",\"params\":{\"P\":" + std::to_string(s.params.P) +
          ",\"L\":" + std::to_string(s.params.L) +
          ",\"o\":" + std::to_string(s.params.o) +
@@ -231,6 +237,7 @@ std::string IntrospectServer::statusz_json() const {
            std::to_string(t.counters.rejected_queue_full);
     out += ",\"rejected_rate_limited\":" +
            std::to_string(t.counters.rejected_rate_limited);
+    out += ",\"fused\":" + std::to_string(t.counters.fused);
     out += "}";
   }
   out += "]";

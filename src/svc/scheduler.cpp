@@ -97,6 +97,21 @@ bool Scheduler::pick(TenantId* tenant, std::uint64_t* handle) {
   return false;  // unreachable while queued_ is kept consistent
 }
 
+bool Scheduler::take(TenantId tenant, QoS qos, std::uint64_t handle) {
+  Tenant& t = at(tenant);
+  std::deque<std::uint64_t>& q = t.q[static_cast<std::size_t>(qos)];
+  const auto it = std::find(q.begin(), q.end(), handle);
+  if (it == q.end()) return false;
+  q.erase(it);
+  --t.depth;
+  --queued_;
+  // Same fair-share charge as a pick, but no vtime_ update: the batch's
+  // lead request already moved the virtual clock, and siblings taken out
+  // of turn must not drag it around.
+  t.pass += t.stride;
+  return true;
+}
+
 std::size_t Scheduler::queue_depth(TenantId tenant) const {
   return at(tenant).depth;
 }

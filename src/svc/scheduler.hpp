@@ -88,6 +88,15 @@ class Scheduler {
   /// when every queue is empty.
   bool pick(TenantId* tenant, std::uint64_t* handle);
 
+  /// Removes one specific queued handle out of turn — the fusion batcher
+  /// claims same-shape siblings from anywhere in the queues to coalesce
+  /// them into the dispatch it just picked.  The tenant's stride pass is
+  /// charged exactly as a pick() would charge it, so a fused member still
+  /// consumes the tenant's fair-share credit and a tenant cannot ride
+  /// fusion to more than its weight's share of dispatches.  Returns false
+  /// (no state change) when the handle is not queued under (tenant, qos).
+  bool take(TenantId tenant, QoS qos, std::uint64_t handle);
+
   [[nodiscard]] std::size_t queued() const { return queued_; }
   [[nodiscard]] std::size_t queue_depth(TenantId tenant) const;
   /// Depth of one tenant's queue in one QoS class (introspection).

@@ -50,7 +50,16 @@ CollectiveService::CollectiveService(Params params, Options options,
           nullptr}) {
   params_.require_valid();
   opts_.pools = std::clamp(opts_.pools, 1, 64);
+  opts_.max_fusion_batch = std::max<std::size_t>(opts_.max_fusion_batch, 1);
   paused_ = opts_.start_paused;
+  {
+    auto& reg = obs::MetricsRegistry::global();
+    inflight_gauge_ = &reg.gauge("logpc_svc_inflight",
+                                 "requests admitted and not yet completed");
+    batch_size_hist_ = &reg.histogram(
+        "logpc_svc_batch_size", {1, 2, 4, 8, 16, 32, 64},
+        "requests coalesced into one engine run per dispatch");
+  }
   pools_.reserve(static_cast<std::size_t>(opts_.pools));
   for (int i = 0; i < opts_.pools; ++i) {
     Pool pool;
@@ -129,6 +138,10 @@ TenantId CollectiveService::register_tenant(TenantConfig config) {
   tm->completed_error_total =
       &reg.counter("logpc_svc_completed_total", "requests fully executed",
                    tm->label + ",status=\"error\"");
+  tm->fused_total = &reg.counter(
+      "logpc_svc_fused_requests_total",
+      "requests completed as members of a fused batch (>= 2 coalesced)",
+      tm->label);
   tm->queue_depth = &reg.gauge("logpc_svc_queue_depth",
                                "requests currently queued for the tenant",
                                tm->label);
@@ -151,6 +164,9 @@ SubmitResult CollectiveService::submit(TenantId tenant, Request request) {
   pending->tenant = tenant;
   pending->req = std::move(request);
   pending->submitted = Clock::now();
+  // Fusion identity computed outside the lock (pure function of the
+  // request); the dispatch side only compares keys.
+  pending->fkey = fusion_key(pending->req);
   std::future<Response> response = pending->promise.get_future();
   const double now = now_sec();
 
@@ -181,18 +197,46 @@ SubmitResult CollectiveService::submit(TenantId tenant, Request request) {
     m.queue_depth->set(static_cast<double>(sched_.queue_depth(tenant)));
     queued_reqs_.emplace(next_handle_, std::move(pending));
     ++next_handle_;
+    inflight_.fetch_add(1, std::memory_order_relaxed);
+    inflight_gauge_->add(1);
   }
-  cv_.notify_one();
+  // notify_all, not notify_one: a pool sitting in its fusion window also
+  // waits on cv_, and a single notify landing there for an unrelated
+  // request would leave an idle pool asleep.
+  cv_.notify_all();
   out.status = Status::kOk;
   out.response = std::move(response);
   return out;
 }
 
+void CollectiveService::claim_siblings(
+    const FusionKey& key, std::vector<std::unique_ptr<Pending>>& batch) {
+  if (batch.size() >= opts_.max_fusion_batch) return;
+  std::vector<std::uint64_t> handles;
+  for (const auto& [handle, pending] : queued_reqs_) {
+    if (pending->fkey.has_value() && *pending->fkey == key) {
+      handles.push_back(handle);
+    }
+  }
+  // Handles are issued monotonically, so ascending order is admission
+  // order — the fan-out (Response::fused_index) stays deterministic.
+  std::sort(handles.begin(), handles.end());
+  for (const std::uint64_t handle : handles) {
+    if (batch.size() >= opts_.max_fusion_batch) break;
+    const auto it = queued_reqs_.find(handle);
+    if (!sched_.take(it->second->tenant, it->second->req.qos, handle)) {
+      continue;  // defensive: scheduler and request map out of sync
+    }
+    batch.push_back(std::move(it->second));
+    queued_reqs_.erase(it);
+  }
+}
+
 void CollectiveService::pool_loop(int pool_index) {
   exec::Engine& engine = *pools_[static_cast<std::size_t>(pool_index)].engine;
   for (;;) {
-    std::unique_ptr<Pending> pending;
-    TenantMetrics* tm = nullptr;
+    std::vector<std::unique_ptr<Pending>> batch;
+    std::vector<TenantMetrics*> tms;
     {
       std::unique_lock lock(mu_);
       cv_.wait(lock, [this] {
@@ -210,92 +254,234 @@ void CollectiveService::pool_loop(int pool_index) {
       std::uint64_t handle = 0;
       if (!sched_.pick(&tenant, &handle)) continue;
       const auto it = queued_reqs_.find(handle);
-      pending = std::move(it->second);
+      batch.push_back(std::move(it->second));
       queued_reqs_.erase(it);
-      pending->seq = dispatch_seq_++;
-      tm = &metrics_at(tenant);
-      tm->queue_depth->set(static_cast<double>(sched_.queue_depth(tenant)));
+
+      const Pending& lead = *batch.front();
+      const bool fuse =
+          opts_.fusion_window_us > 0 && lead.fkey.has_value() &&
+          opts_.fuse_qos[static_cast<std::size_t>(lead.req.qos)];
+      if (fuse) {
+        claim_siblings(*lead.fkey, batch);
+        const auto deadline =
+            Clock::now() + std::chrono::microseconds(opts_.fusion_window_us);
+        // Hold the window open only while it can still pay off: a full
+        // batch dispatches, shutdown dispatches, and an already-amortized
+        // batch with nothing left queued dispatches — every producer is
+        // then idle or blocked on this very batch, so waiting out the
+        // window would only add latency.
+        while (!stopping_ && batch.size() < opts_.max_fusion_batch &&
+               !(batch.size() > 1 && sched_.queued() == 0)) {
+          if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+            claim_siblings(*lead.fkey, batch);
+            break;
+          }
+          claim_siblings(*lead.fkey, batch);
+        }
+      }
+      tms.reserve(batch.size());
+      for (std::unique_ptr<Pending>& member : batch) {
+        member->seq = dispatch_seq_++;
+        TenantMetrics& tm = metrics_at(member->tenant);
+        tm.queue_depth->set(
+            static_cast<double>(sched_.queue_depth(member->tenant)));
+        tms.push_back(&tm);
+      }
     }
 
-    Response r = execute(*pending, engine, pool_index);
+    std::vector<Response> responses = execute_batch(batch, engine, pool_index);
 
-    tm->queue_wait->observe(static_cast<double>(r.queue_wait_ns));
-    tm->e2e_latency->observe(static_cast<double>(r.total_ns));
-    tm->completed.fetch_add(1, std::memory_order_relaxed);
-    (r.status == Status::kOk ? tm->completed_ok_total
-                             : tm->completed_error_total)
-        ->inc();
-    pending->promise.set_value(std::move(r));
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      Response& r = responses[i];
+      TenantMetrics& tm = *tms[i];
+      tm.queue_wait->observe(static_cast<double>(r.queue_wait_ns));
+      tm.e2e_latency->observe(static_cast<double>(r.total_ns));
+      tm.completed.fetch_add(1, std::memory_order_relaxed);
+      (r.status == Status::kOk ? tm.completed_ok_total
+                               : tm.completed_error_total)
+          ->inc();
+      if (batch.size() > 1) {
+        tm.fused.fetch_add(1, std::memory_order_relaxed);
+        tm.fused_total->inc();
+      }
+      inflight_.fetch_sub(1, std::memory_order_relaxed);
+      inflight_gauge_->add(-1);
+      batch[i]->promise.set_value(std::move(r));
+    }
   }
 }
 
 std::shared_ptr<const exec::Program> CollectiveService::program_for(
-    OpKind op, ProcId root) {
-  const std::pair<int, ProcId> key{static_cast<int>(op),
-                                   op == OpKind::kAllgather ? 0 : root};
+    OpKind op, ProcId root, int segments) {
+  const std::tuple<int, ProcId, int> key{
+      static_cast<int>(op), op == OpKind::kAllgather ? 0 : root,
+      op == OpKind::kBroadcast ? segments : 1};
   std::lock_guard lock(prog_mu_);
   auto it = programs_.find(key);
   if (it != programs_.end()) return it->second;
   runtime::Problem problem = runtime::Problem::kBroadcast;
+  std::int64_t k = 1;
   switch (op) {
-    case OpKind::kBroadcast: problem = runtime::Problem::kBroadcast; break;
+    case OpKind::kBroadcast:
+      problem = segments > 1 ? runtime::Problem::kKItemBroadcast
+                             : runtime::Problem::kBroadcast;
+      k = segments;
+      break;
     case OpKind::kReduce: problem = runtime::Problem::kReduce; break;
     case OpKind::kAllgather: problem = runtime::Problem::kAllToAll; break;
   }
   auto program = std::make_shared<const exec::Program>(
-      comm_.compile(problem, 1, key.second));
+      comm_.compile(problem, k, std::get<1>(key)));
   programs_.emplace(key, program);
   return program;
 }
 
-Response CollectiveService::execute(Pending& pending, exec::Engine& engine,
-                                    int pool_index) {
-  Response r;
-  r.pool = pool_index;
-  r.dispatch_seq = pending.seq;
-  r.queue_wait_ns = ns_between(pending.submitted, Clock::now());
+std::vector<Response> CollectiveService::execute_batch(
+    const std::vector<std::unique_ptr<Pending>>& batch, exec::Engine& engine,
+    int pool_index) {
+  const std::size_t n = batch.size();
+  const Request& lead = batch.front()->req;
+  const auto dispatched = Clock::now();
+
+  std::vector<Response> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].pool = pool_index;
+    out[i].dispatch_seq = batch[i]->seq;
+    out[i].queue_wait_ns = ns_between(batch[i]->submitted, dispatched);
+    out[i].fused = static_cast<std::uint32_t>(n);
+    out[i].fused_index = static_cast<std::uint32_t>(i);
+  }
+  batch_size_hist_->observe(static_cast<double>(n));
+  if (n > 1) {
+    fused_batches_.fetch_add(1, std::memory_order_relaxed);
+    fused_requests_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   obs::Span span("svc.request", "svc");
   if (span.active()) {
-    span.set_arg(std::string(op_kind_name(pending.req.op)) +
-                 " qos=" + qos_name(pending.req.qos) + " pool=" +
-                 std::to_string(pool_index));
+    span.set_arg(std::string(op_kind_name(lead.op)) +
+                 " qos=" + qos_name(lead.qos) + " pool=" +
+                 std::to_string(pool_index) + " fused=" + std::to_string(n));
   }
+
+  int segments = 1;
   try {
-    const std::shared_ptr<const exec::Program> program =
-        program_for(pending.req.op, pending.req.root);
-    switch (pending.req.op) {
+    // The per-run injector keeps Options::fault a pure test hook: the
+    // engine's acked-delivery protocol switches on per run, and a killed
+    // rank never poisons the next dispatch's decisions.
+    std::optional<fault::Injector> injector;
+    if (opts_.fault.has_value()) injector.emplace(*opts_.fault);
+    const fault::Injector* inj = injector ? &*injector : nullptr;
+
+    std::vector<const Request*> members;
+    members.reserve(n);
+    for (const std::unique_ptr<Pending>& member : batch) {
+      members.push_back(&member->req);
+    }
+
+    exec::ExecReport run;
+    std::size_t chunk = 0;  // bytes per member in the fused buffers
+    switch (lead.op) {
       case OpKind::kBroadcast: {
-        const std::vector<exec::Bytes> items{pending.req.payload};
-        r.report = engine.run(*program, items);
+        chunk = lead.payload.size();
+        exec::Bytes fused_payload;
+        const exec::Bytes* whole = &lead.payload;
+        if (n > 1) {
+          fused_payload = concat_payloads(members);
+          whole = &fused_payload;
+        }
+        const SegmentPolicy policy{opts_.segment_threshold,
+                                   opts_.segment_bytes, opts_.max_segments};
+        segments = choose_segments(whole->size(), policy);
+        const std::shared_ptr<const exec::Program> program =
+            program_for(lead.op, lead.root, segments);
+        if (segments > 1) {
+          // Coalesced segmented run: the engine splits the payload itself
+          // and delivers each proc's segments into one contiguous result
+          // buffer — report.items already has the bulk single-send shape,
+          // with no split/concat copies on this thread.
+          run = engine.run_segmented(
+              *program,
+              exec::SegmentRun{
+                  std::span<const std::byte>(whole->data(), whole->size()),
+                  segments},
+              inj);
+        } else {
+          run = engine.run(*program, std::vector<exec::Bytes>{*whole}, inj);
+        }
         break;
       }
-      case OpKind::kReduce:
-        r.report = engine.run(*program, pending.req.values,
-                              pending.req.combine);
+      case OpKind::kReduce: {
+        const std::shared_ptr<const exec::Program> program =
+            program_for(lead.op, lead.root, 1);
+        if (n > 1) {
+          chunk = lead.values.front().size();
+          run = engine.run(*program, concat_values(members),
+                           fused_combiner(lead, chunk, n), inj);
+        } else {
+          run = engine.run(*program, lead.values, lead.combine, inj);
+        }
         break;
-      case OpKind::kAllgather:
-        r.report = engine.run(*program, pending.req.values);
+      }
+      case OpKind::kAllgather: {
+        const std::shared_ptr<const exec::Program> program =
+            program_for(lead.op, 0, 1);
+        if (n > 1) {
+          chunk = lead.values.front().size();
+          run = engine.run(*program, concat_values(members), inj);
+        } else {
+          run = engine.run(*program, lead.values, inj);
+        }
         break;
+      }
     }
-    r.status = Status::kOk;
+    if (segments > 1) {
+      segmented_runs_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::shared_ptr<const obs::RunProfile> profile;
     if (opts_.profile) {
       // Analyze outside the recorder's lock (the recorder only ring-appends
       // under it).  Profiling is best-effort telemetry: a malformed event
-      // log must never turn a completed run into a failed request.
+      // log must never turn a completed run into a failed request.  One
+      // batch is one run is one profile — every member shares it, so the
+      // flight recorder attributes the engine work once while each tenant's
+      // counters above still tick per request.
       try {
-        obs::RunProfile profile = obs::analyze(r.report);
-        r.profile = recorder_.record(std::move(profile));
+        profile = recorder_.record(obs::analyze(run));
       } catch (const std::exception&) {
-        // leave r.profile null; the run itself succeeded
+        // leave profile null; the run itself succeeded
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i].status = Status::kOk;
+      out[i].segments = static_cast<std::uint32_t>(segments);
+      out[i].profile = profile;
+    }
+    if (n == 1) {
+      // Solo runs hand the report over unsliced: bulk is the raw run, and
+      // a segmented run's report is already coalesced to the bulk shape by
+      // the engine (one contiguous buffer per proc).
+      out[0].report = std::move(run);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i].report = member_report(run, lead.op, chunk, i, n);
       }
     }
   } catch (const std::exception& e) {
-    r.status = Status::kError;
-    r.error = e.what();
+    // One engine run is the whole batch: a failure (including a rank death
+    // under Options::fault) fails every member with the same error — no
+    // member can have partially completed, and no future is left behind.
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i].status = Status::kError;
+      out[i].error = e.what();
+    }
   }
-  r.total_ns = ns_between(pending.submitted, Clock::now());
-  return r;
+  const auto done = Clock::now();
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i].total_ns = ns_between(batch[i]->submitted, done);
+  }
+  return out;
 }
 
 void CollectiveService::pause() {
@@ -348,6 +534,8 @@ void CollectiveService::shutdown(bool drain) {
     Response r;
     r.status = Status::kShutdown;
     r.error = "service shut down before dispatch";
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    inflight_gauge_->add(-1);
     pending->promise.set_value(std::move(r));
   }
 }
@@ -363,6 +551,7 @@ CollectiveService::TenantCounters CollectiveService::tenant_counters(
   c.rejected_queue_full = m.rejected_queue_full.load(std::memory_order_relaxed);
   c.rejected_rate_limited =
       m.rejected_rate_limited.load(std::memory_order_relaxed);
+  c.fused = m.fused.load(std::memory_order_relaxed);
   c.queue_depth = sched_.queue_depth(tenant);
   return c;
 }
@@ -376,6 +565,11 @@ CollectiveService::ServiceStatus CollectiveService::status() const {
   s.accepting = !stopping_;
   s.paused = paused_;
   s.queued = sched_.queued();
+  s.inflight = static_cast<std::size_t>(
+      std::max<std::int64_t>(inflight_.load(std::memory_order_relaxed), 0));
+  s.fused_requests = fused_requests_.load(std::memory_order_relaxed);
+  s.fused_batches = fused_batches_.load(std::memory_order_relaxed);
+  s.segmented_runs = segmented_runs_.load(std::memory_order_relaxed);
   auto* self = const_cast<CollectiveService*>(this);
   s.tenants.reserve(tenant_metrics_.size());
   for (std::size_t i = 0; i < tenant_metrics_.size(); ++i) {
@@ -397,6 +591,7 @@ CollectiveService::ServiceStatus CollectiveService::status() const {
         m.rejected_queue_full.load(std::memory_order_relaxed);
     t.counters.rejected_rate_limited =
         m.rejected_rate_limited.load(std::memory_order_relaxed);
+    t.counters.fused = m.fused.load(std::memory_order_relaxed);
     t.counters.queue_depth = sched_.queue_depth(id);
     s.tenants.push_back(std::move(t));
   }

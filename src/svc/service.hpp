@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -7,9 +8,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -19,6 +22,8 @@
 #include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/planner.hpp"
+#include "svc/fusion.hpp"
+#include "svc/request.hpp"
 #include "svc/scheduler.hpp"
 
 /// \file service.hpp
@@ -38,9 +43,22 @@
 ///   submit(tenant, req) ── admission (Scheduler::offer: rate bucket,
 ///     queue bound) ──> per-tenant queue ── pool thread (Scheduler::pick:
 ///     QoS class, then weighted stride fair-share) ──> compiled Program
-///     (cached per (op, root) via Communicator::compile; plans come from
-///     the shared thread-safe Planner) ──> Engine::run on the pool's warm
-///     engine ──> promise fulfilled, future resolves with the Response.
+///     (cached per (op, root, segments) via Communicator::compile; plans
+///     come from the shared thread-safe Planner) ──> Engine::run on the
+///     pool's warm engine ──> promise fulfilled, future resolves with the
+///     Response.
+///
+/// High-throughput path (svc/fusion.hpp): after picking a request whose
+/// QoS class opts in, the pool holds a short fusion window
+/// (Options::fusion_window_us) and coalesces every queued same-shape
+/// request — any tenant — into one engine run over concatenated buffers,
+/// fanning the result back out per member; plan lookup, RunContext reuse
+/// and worker wakeups are paid once per batch.  Broadcast payloads at or
+/// above Options::segment_threshold additionally split into the Section 3
+/// single-sending k-item schedule, overlapping successive segments'
+/// transfer rounds instead of serializing one bulk send.  Fairness is
+/// preserved: every fused member is charged against its tenant's stride
+/// pass exactly as a solo dispatch would be (Scheduler::take).
 ///
 /// Rejections are synchronous and explicit — SubmitResult carries
 /// kQueueFull / kRateLimited / kShutdown with no future attached — so an
@@ -69,62 +87,9 @@ namespace logpc::svc {
 
 class IntrospectServer;
 
-/// Collectives the service serves.  Each maps to an executable problem of
-/// the planning runtime and to the matching Engine::run form.
-enum class OpKind : std::uint8_t {
-  kBroadcast,  ///< payload from root to all (one item)
-  kReduce,     ///< one value per proc folded to root with `combine`
-  kAllgather,  ///< every proc contributes values[p], all end with all P
-};
-
-[[nodiscard]] const char* op_kind_name(OpKind op) noexcept;
-
-/// Terminal status of a request (SubmitResult::status uses the same enum:
-/// a rejected submit never gets a future).
-enum class Status : std::uint8_t {
-  kOk,           ///< executed; Response::report holds the run
-  kQueueFull,    ///< rejected at admission: tenant queue at capacity
-  kRateLimited,  ///< rejected at admission: tenant over its rate limit
-  kShutdown,     ///< rejected or cancelled by service shutdown
-  kError,        ///< dispatched but the run threw; Response::error says why
-};
-
-[[nodiscard]] const char* status_name(Status s) noexcept;
-
-/// One collective to execute.  Inputs are owned by the request (the
-/// service executes asynchronously; views would dangle).
-struct Request {
-  OpKind op = OpKind::kBroadcast;
-  QoS qos = QoS::kBatch;
-  ProcId root = 0;
-  exec::Bytes payload;               ///< kBroadcast: the item
-  std::vector<exec::Bytes> values;   ///< kReduce/kAllgather: one per proc
-  exec::Combiner combine;            ///< kReduce: fold operator
-};
-
-/// What the future resolves to.
-struct Response {
-  Status status = Status::kOk;
-  std::string error;             ///< set when status == kError/kShutdown
-  exec::ExecReport report;       ///< the completed run (status == kOk)
-  std::uint64_t queue_wait_ns = 0;  ///< admission to dispatch
-  std::uint64_t total_ns = 0;       ///< submission to completion
-  int pool = -1;                    ///< engine pool that ran it
-  /// Global dispatch order (0-based): the k-th request any pool picked.
-  /// The QoS and fairness tests assert on it.
-  std::uint64_t dispatch_seq = 0;
-  /// The run's analyzed profile (critical path, per-rank decomposition,
-  /// model residual), shared with the service's flight recorder.  Null
-  /// when Options::profile is off or the run failed.
-  std::shared_ptr<const obs::RunProfile> profile;
-};
-
-/// Synchronous half of submit().  `response` is valid iff accepted().
-struct SubmitResult {
-  Status status = Status::kOk;
-  std::future<Response> response;
-  [[nodiscard]] bool accepted() const { return status == Status::kOk; }
-};
+// OpKind, Status, Request, Response and SubmitResult live in
+// svc/request.hpp (shared with the fusion helpers); this header
+// re-exports them through its include.
 
 class CollectiveService {
  public:
@@ -159,6 +124,32 @@ class CollectiveService {
     /// exposes operational internals, so reaching it from off-host is an
     /// explicit decision.
     std::string introspect_bind = "127.0.0.1";
+
+    // --- high-throughput path (svc/fusion.hpp) -------------------------
+    /// Fusion window: after picking a fusible request, the pool coalesces
+    /// every queued same-shape request into the dispatch and keeps the
+    /// batch open up to this long for more to arrive (cut short when the
+    /// queues drain with the batch already amortized, when the batch
+    /// fills, or at shutdown).  0 disables fusion entirely.
+    std::uint64_t fusion_window_us = 200;
+    /// Per-class opt-out.  Interactive defaults to unfused — the window
+    /// is pure added latency when traffic is sparse, and the class exists
+    /// for latency; batch and best-effort default to fused.
+    bool fuse_qos[kQoSClasses] = {false, true, true};
+    /// Requests per fused batch, at most.
+    std::size_t max_fusion_batch = 32;
+    /// Broadcast payloads at/above this split into the Section 3 k-item
+    /// segmented pipeline; 0 disables segmentation.
+    std::size_t segment_threshold = 256 * 1024;
+    /// Target bytes per segment: k = ceil(total / segment_bytes), clamped
+    /// to [2, max_segments].
+    std::size_t segment_bytes = 64 * 1024;
+    int max_segments = 16;
+    /// Deterministic fault injection applied to every run (an Injector is
+    /// built from this spec per dispatch).  Test hook: a rank death inside
+    /// a fused batch must fail every member consistently, and that can
+    /// only be provoked from inside the service's own dispatch path.
+    std::optional<fault::FaultSpec> fault;
   };
 
   /// \param planner plan-lookup service; nullptr uses the process-wide
@@ -196,6 +187,8 @@ class CollectiveService {
     std::uint64_t completed = 0;
     std::uint64_t rejected_queue_full = 0;
     std::uint64_t rejected_rate_limited = 0;
+    /// Completions that rode a fused batch (>= 2 requests coalesced).
+    std::uint64_t fused = 0;
     std::size_t queue_depth = 0;
   };
   [[nodiscard]] TenantCounters tenant_counters(TenantId tenant) const;
@@ -217,6 +210,13 @@ class CollectiveService {
     bool paused = false;
     int pools = 0;
     std::size_t queued = 0;
+    /// Requests admitted and not yet completed (queued + dispatched).
+    std::size_t inflight = 0;
+    /// High-throughput path totals: members of >= 2-request fused batches,
+    /// the batches themselves, and runs that took the segmented pipeline.
+    std::uint64_t fused_requests = 0;
+    std::uint64_t fused_batches = 0;
+    std::uint64_t segmented_runs = 0;
     Params params;
     std::vector<TenantStatus> tenants;
     obs::FlightRecorder::Summary recorder;
@@ -249,6 +249,8 @@ class CollectiveService {
     std::promise<Response> promise;
     Clock::time_point submitted;
     std::uint64_t seq = 0;  ///< dispatch order, assigned at pick
+    /// Fusion identity, computed once at submit (nullopt = must run solo).
+    std::optional<FusionKey> fkey;
   };
 
   struct Pool {
@@ -264,23 +266,36 @@ class CollectiveService {
     std::atomic<std::uint64_t> completed{0};
     std::atomic<std::uint64_t> rejected_queue_full{0};
     std::atomic<std::uint64_t> rejected_rate_limited{0};
+    std::atomic<std::uint64_t> fused{0};
     obs::Counter* admitted_total = nullptr;
     obs::Counter* rejected_queue_full_total = nullptr;
     obs::Counter* rejected_rate_limited_total = nullptr;
     obs::Counter* completed_ok_total = nullptr;
     obs::Counter* completed_error_total = nullptr;
+    obs::Counter* fused_total = nullptr;
     obs::Gauge* queue_depth = nullptr;
     obs::Histogram* queue_wait = nullptr;
     obs::Histogram* e2e_latency = nullptr;
   };
 
   void pool_loop(int pool_index);
-  Response execute(Pending& pending, exec::Engine& engine, int pool_index);
+  /// Runs one dispatch — the whole batch through one engine run — and
+  /// returns one Response per member, batch order.
+  std::vector<Response> execute_batch(
+      const std::vector<std::unique_ptr<Pending>>& batch, exec::Engine& engine,
+      int pool_index);
+  /// Moves every queued request matching `key` into `batch` (admission
+  /// order, up to max_fusion_batch), charging each claim through
+  /// Scheduler::take.  Call under mu_.
+  void claim_siblings(const FusionKey& key,
+                      std::vector<std::unique_ptr<Pending>>& batch);
   TenantMetrics& metrics_at(TenantId tenant);  ///< call under mu_; throws
-  /// Compiled program for (op, root), cached for the service lifetime —
-  /// the machine is fixed, so every same-shape request reuses one
-  /// lowering (plans themselves come from the shared plan cache).
-  std::shared_ptr<const exec::Program> program_for(OpKind op, ProcId root);
+  /// Compiled program for (op, root, segments), cached for the service
+  /// lifetime — the machine is fixed, so every same-shape request reuses
+  /// one lowering (plans themselves come from the shared plan cache).
+  /// segments > 1 resolves the Section 3 k-item pipeline program.
+  std::shared_ptr<const exec::Program> program_for(OpKind op, ProcId root,
+                                                  int segments);
   [[nodiscard]] double now_sec() const;
 
   Params params_;
@@ -304,8 +319,17 @@ class CollectiveService {
   std::set<std::string> used_labels_;
 
   std::mutex prog_mu_;
-  std::map<std::pair<int, ProcId>, std::shared_ptr<const exec::Program>>
+  std::map<std::tuple<int, ProcId, int>, std::shared_ptr<const exec::Program>>
       programs_;
+
+  /// Service-wide throughput accounting (plain atomics mirroring the
+  /// logpc_svc_inflight / fused / batch-size instruments for status()).
+  std::atomic<std::int64_t> inflight_{0};
+  std::atomic<std::uint64_t> fused_requests_{0};
+  std::atomic<std::uint64_t> fused_batches_{0};
+  std::atomic<std::uint64_t> segmented_runs_{0};
+  obs::Gauge* inflight_gauge_ = nullptr;
+  obs::Histogram* batch_size_hist_ = nullptr;
 
   std::mutex shutdown_mu_;  ///< serializes shutdown(); makes it idempotent
   bool shut_down_ = false;

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <future>
 #include <regex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "../support/http_client.hpp"
 #include "svc/service.hpp"
@@ -158,6 +160,63 @@ TEST(PrometheusLint, HistogramsCarryInfBucketAndSumCount) {
     EXPECT_EQ(sums.count(h), 1u) << h << " lacks _sum";
     EXPECT_EQ(counts.count(h), 1u) << h << " lacks _count";
   }
+}
+
+TEST(PrometheusLint, ThroughputSeriesExposedAndLintClean) {
+  // Drive traffic that actually fuses: pause the service, stack up
+  // identical-shape broadcasts, then resume so one dispatch coalesces
+  // them.  All three high-throughput series must then carry non-trivial
+  // values and every line must match the 0.0.4 grammar.
+  svc::CollectiveService::Options opts;
+  opts.pools = 1;
+  opts.start_paused = true;
+  opts.introspect_port = 0;
+  svc::CollectiveService svc(Params{4, 4, 1, 2}, opts);
+  const svc::TenantId t = svc.register_tenant({.name = "fused-lint"});
+  const std::string payload = "fused-lint-data";
+  const auto* p = reinterpret_cast<const std::byte*>(payload.data());
+  std::vector<std::future<svc::Response>> futures;
+  for (int i = 0; i < 4; ++i) {
+    svc::Request req;
+    req.op = svc::OpKind::kBroadcast;
+    req.payload = exec::Bytes(p, p + payload.size());
+    req.qos = svc::QoS::kBatch;
+    svc::SubmitResult sub = svc.submit(t, std::move(req));
+    ASSERT_TRUE(sub.accepted());
+    futures.push_back(std::move(sub.response));
+  }
+  svc.resume();
+  for (auto& f : futures) EXPECT_EQ(f.get().status, svc::Status::kOk);
+
+  const HttpReply r = http_get(svc.introspect_port(), "/metrics");
+  ASSERT_TRUE(r.ok);
+  for (const char* name :
+       {"logpc_svc_fused_requests_total", "logpc_svc_batch_size_bucket",
+        "logpc_svc_batch_size_sum", "logpc_svc_batch_size_count",
+        "logpc_svc_inflight"}) {
+    EXPECT_NE(r.body.find(name), std::string::npos) << "missing " << name;
+  }
+  // All four resolved, so the inflight gauge must have returned to zero.
+  EXPECT_NE(r.body.find("logpc_svc_inflight 0"), std::string::npos);
+  std::istringstream in(r.body);
+  std::string line;
+  bool fused_nonzero = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line.rfind("# HELP", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, help_re())) << line;
+    } else if (line.rfind("# TYPE", 0) == 0) {
+      EXPECT_TRUE(std::regex_match(line, type_re())) << line;
+    } else {
+      EXPECT_TRUE(std::regex_match(line, sample_re())) << line;
+      if (line.rfind("logpc_svc_fused_requests_total", 0) == 0 &&
+          line.back() != '0') {
+        fused_nonzero = true;
+      }
+    }
+  }
+  EXPECT_TRUE(fused_nonzero)
+      << "expected the paused backlog to fuse at least one batch";
 }
 
 TEST(PrometheusLint, HostileTenantNameStaysOneParseableLine) {

@@ -172,6 +172,65 @@ TEST(SvcScheduler, UnknownTenantThrows) {
   EXPECT_FALSE(s.pick(&t, &h));
 }
 
+TEST(SvcScheduler, TakeRemovesTheNamedRequestAndChargesStride) {
+  Scheduler s;
+  const TenantId a = s.add_tenant({.name = "a", .queue_capacity = 16});
+  ASSERT_EQ(s.offer(a, QoS::kBatch, 10, 0.0), Admit::kAdmitted);
+  ASSERT_EQ(s.offer(a, QoS::kBatch, 11, 0.0), Admit::kAdmitted);
+  ASSERT_EQ(s.offer(a, QoS::kBatch, 12, 0.0), Admit::kAdmitted);
+  // Claim the middle request out of band, as the fusion batcher does.
+  EXPECT_TRUE(s.take(a, QoS::kBatch, 11));
+  EXPECT_EQ(s.queue_depth(a), 2u);
+  EXPECT_EQ(s.queued(), 2u);
+  // The remaining requests still dispatch in FIFO order, minus the taken one.
+  TenantId t = -1;
+  std::uint64_t h = 0;
+  ASSERT_TRUE(s.pick(&t, &h));
+  EXPECT_EQ(h, 10u);
+  ASSERT_TRUE(s.pick(&t, &h));
+  EXPECT_EQ(h, 12u);
+  EXPECT_FALSE(s.pick(&t, &h));
+}
+
+TEST(SvcScheduler, TakeChargesFairShareLikePick) {
+  // Requests claimed via take() (fusion siblings) must cost their tenant
+  // the same stride charge a pick would: after consuming 40 dispatches'
+  // worth of service through one pick + 39 takes, the tenant owes the
+  // untouched competitor the whole next round — it cannot treat the fused
+  // batch as a single dispatch and immediately reclaim the engine.
+  Scheduler s;
+  const TenantId fused = s.add_tenant({.name = "fused", .queue_capacity = 64});
+  const TenantId other = s.add_tenant({.name = "other", .queue_capacity = 64});
+  fill(s, fused, 40);
+  TenantId t = -1;
+  std::uint64_t h = 0;
+  ASSERT_TRUE(s.pick(&t, &h));
+  for (int i = 0; i < 39; ++i) {
+    ASSERT_TRUE(s.take(fused, QoS::kBatch, 0));
+  }
+  EXPECT_EQ(s.queued(), 0u);
+  fill(s, fused, 20);
+  fill(s, other, 20);
+  const auto order = drain(s);
+  int fused_first20 = 0;
+  for (int i = 0; i < 20; ++i) {
+    fused_first20 += order[static_cast<std::size_t>(i)] == fused;
+  }
+  // `other` has 40 strides of credit over `fused`, so its whole backlog
+  // drains first.  Were take() free, `fused` would alternate here.
+  EXPECT_EQ(fused_first20, 0);
+}
+
+TEST(SvcScheduler, TakeReturnsFalseForUnknownHandleOrClass) {
+  Scheduler s;
+  const TenantId a = s.add_tenant({.name = "a", .queue_capacity = 16});
+  ASSERT_EQ(s.offer(a, QoS::kBatch, 5, 0.0), Admit::kAdmitted);
+  EXPECT_FALSE(s.take(a, QoS::kBatch, 99));        // no such handle
+  EXPECT_FALSE(s.take(a, QoS::kInteractive, 5));   // wrong class
+  EXPECT_EQ(s.queue_depth(a), 1u);
+  EXPECT_THROW((void)s.take(7, QoS::kBatch, 5), std::invalid_argument);
+}
+
 TEST(SvcScheduler, WeightAndCapacityAreClampedToOne) {
   Scheduler s;
   const TenantId a = s.add_tenant({.name = "a", .weight = 0,

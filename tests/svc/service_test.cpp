@@ -141,6 +141,9 @@ TEST(SvcService, EqualWeightTenantsShareWithinTolerance) {
   CollectiveService::Options opts;
   opts.pools = 1;
   opts.start_paused = true;
+  // This test asserts the stride scheduler's dispatch order; fusion would
+  // coalesce the identical-shape backlog into admission-order batches.
+  opts.fusion_window_us = 0;
   CollectiveService svc(machine(), opts);
   const TenantId a = svc.register_tenant({.name = "fair-a",
                                           .queue_capacity = 64});
@@ -176,6 +179,8 @@ TEST(SvcService, WeightedTenantsSplitByWeight) {
   CollectiveService::Options opts;
   opts.pools = 1;
   opts.start_paused = true;
+  // As above: weighted stride order is the subject, so keep fusion off.
+  opts.fusion_window_us = 0;
   CollectiveService svc(machine(), opts);
   const TenantId heavy = svc.register_tenant(
       {.name = "w-heavy", .weight = 3, .queue_capacity = 64});
