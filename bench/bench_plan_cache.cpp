@@ -12,13 +12,17 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "runtime/implicit_plan.hpp"
 #include "runtime/planner.hpp"
 #include "runtime/snapshot.hpp"
 #include "runtime/warmup.hpp"
+#include "sim/implicit_sim.hpp"
 
 namespace {
 
@@ -175,11 +179,119 @@ void report() {
               {"replay_ms", replay_secs * 1e3},
               {"replay_builds", static_cast<double>(consumer.builds())}});
 
+  // ---- implicit vs materialized build latency (single-item broadcast) ---
+  // The large-P acceptance bar: building the O(log P) generator form must
+  // beat materializing the per-op IR by >= 100x at the top of the grid,
+  // and planning + structurally simulating P = 1M must succeed — this is
+  // the CI million-rank smoke.
+  logpc::bench::section(
+      "implicit vs materialized plan-build latency (optimal broadcast)");
+  bool gate_ok = true;
+  double top_speedup = 0.0;
+  {
+    Table grid({"P", "materialized ms", "implicit us", "speedup",
+                "implicit bytes"});
+    for (const int P : {1 << 10, 1 << 14, 1 << 17, 1 << 20}) {
+      const PlanKey key = PlanKey::broadcast(Params{P, 4, 1, 2});
+      double mat_secs = 1e300;
+      double imp_secs = 1e300;
+      const int rounds = P >= (1 << 17) ? 2 : 3;
+      for (int r = 0; r < rounds; ++r) {
+        const auto s0 = Clock::now();
+        benchmark::DoNotOptimize(Planner::build_uncached(key));
+        mat_secs = std::min(mat_secs, seconds_since(s0));
+      }
+      for (int r = 0; r < 5; ++r) {
+        const auto s0 = Clock::now();
+        benchmark::DoNotOptimize(
+            Planner::build_uncached(key, /*materialize=*/false));
+        imp_secs = std::min(imp_secs, seconds_since(s0));
+      }
+      const double speedup = mat_secs / imp_secs;
+      top_speedup = speedup;  // last row = largest P
+      const std::size_t bytes =
+          runtime::ImplicitPlan::build(key).memory_bytes();
+      grid.row(P, mat_secs * 1e3, imp_secs * 1e6,
+               static_cast<std::int64_t>(speedup),
+               static_cast<std::int64_t>(bytes));
+      json.entry("implicit_vs_materialized",
+                 {{"P", std::to_string(P)}},
+                 {{"materialized_build_ms", mat_secs * 1e3},
+                  {"implicit_build_us", imp_secs * 1e6},
+                  {"speedup", speedup},
+                  {"implicit_bytes", static_cast<double>(bytes)}});
+    }
+    grid.print();
+    std::cout << "speedup at P = 2^20: " << top_speedup << "x ("
+              << logpc::bench::ok(top_speedup >= 100.0) << ": >= 100x)\n";
+    if (top_speedup < 100.0) gate_ok = false;
+  }
+
+  // ---- million-rank smoke: plan, simulate, query ------------------------
+  logpc::bench::section("million-rank planning smoke (P = 1,000,000)");
+  {
+    const Params m{1'000'000, 4, 1, 2};
+    Planner planner;  // default threshold: 1M plans stay implicit-only
+    const auto plan_start = Clock::now();
+    const runtime::PlanPtr plan = planner.plan(PlanKey::broadcast(m));
+    const double plan_secs = seconds_since(plan_start);
+    const bool implicit_only =
+        plan->implicit != nullptr && !plan->materialized;
+
+    const auto sim_start = Clock::now();
+    const sim::ImplicitRunResult run =
+        implicit_only ? sim::run_implicit(*plan->implicit)
+                      : sim::ImplicitRunResult{};
+    const double sim_secs = seconds_since(sim_start);
+
+    // Per-rank query latency over scattered ranks (O(log P) decodes).
+    double query_ns = 0.0;
+    if (implicit_only) {
+      constexpr int kQueries = 10'000;
+      std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+      const auto q0 = Clock::now();
+      for (int i = 0; i < kQueries; ++i) {
+        seed ^= seed << 13;
+        seed ^= seed >> 7;
+        seed ^= seed << 17;
+        const auto p = static_cast<ProcId>(seed % 1'000'000);
+        benchmark::DoNotOptimize(plan->implicit->rank_schedule(p));
+      }
+      query_ns = seconds_since(q0) * 1e9 / kQueries;
+    }
+
+    std::cout << "plan build " << plan_secs * 1e3 << " ms, full 1M-rank sim "
+              << sim_secs * 1e3 << " ms (" << (run.ok ? "ok" : "FAILED")
+              << "), rank_schedule " << query_ns << " ns/query, entry "
+              << (implicit_only ? plan->implicit->memory_bytes() : 0)
+              << " bytes\n";
+    if (!implicit_only || !run.ok) {
+      std::cout << "million-rank smoke FAILED"
+                << (run.error.empty() ? "" : ": " + run.error) << "\n";
+      gate_ok = false;
+    }
+    json.entry("million_rank", {},
+               {{"plan_ms", plan_secs * 1e3},
+                {"sim_ms", sim_secs * 1e3},
+                {"sim_ok", run.ok ? 1.0 : 0.0},
+                {"ranks", static_cast<double>(run.ranks)},
+                {"makespan", static_cast<double>(run.makespan)},
+                {"rank_query_ns", query_ns},
+                {"implicit_bytes",
+                 implicit_only
+                     ? static_cast<double>(plan->implicit->memory_bytes())
+                     : 0.0}});
+  }
+
   json.attach_metrics(obs::MetricsRegistry::global());
   const std::string path = json.write();
   std::cout << (path.empty() ? "FAILED to write bench json"
                              : "bench json: " + path)
             << "\n";
+  if (!gate_ok) {
+    std::cout << "bench_plan_cache: implicit-plan acceptance gate FAILED\n";
+    std::exit(1);
+  }
 }
 
 void BM_ColdPlan(benchmark::State& state) {

@@ -41,7 +41,8 @@ mkdir -p "$OUT"
 echo "=== perf smoke: Release build ($BUILD/) ==="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$JOBS" \
-  --target bench_kernels bench_exec bench_service bench_loadgen bench_profile
+  --target bench_kernels bench_exec bench_service bench_loadgen \
+  bench_profile bench_plan_cache
 
 echo
 echo "=== bench_kernels ==="
@@ -76,6 +77,16 @@ echo "=== bench_profile ==="
 # profile-on vs profile-off is a same-machine ratio, so it is stable even
 # on loaded runners; a breach means obs::analyze got expensive.
 LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_profile"
+
+echo
+echo "=== bench_plan_cache (million-rank smoke) ==="
+# Plan-cache grids plus the implicit-plan acceptance gate: building the
+# O(log P) generator form must beat materializing the IR by >= 100x at
+# P = 2^20, and planning + structurally simulating a 1M-rank broadcast
+# must succeed.  Gates (exit non-zero): both checks are same-machine
+# ratios / pass-fail sweeps, so runner load does not destabilise them.
+LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_plan_cache" \
+  --benchmark_filter='^$' 2>/dev/null
 
 if [[ "$REBASELINE" == 1 || ! -f "$BASELINE" ]]; then
   mkdir -p "$(dirname "$BASELINE")"

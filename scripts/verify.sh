@@ -34,6 +34,7 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   # partially-built tree reports every unbuilt target as NOT_BUILT.
   cmake --build build-tsan -j "$JOBS" \
     --target test_plan_cache test_planner test_snapshot test_fib \
+             test_implicit_plan \
              test_obs_metrics test_obs_trace test_obs_flight_recorder \
              test_exec_mailbox test_exec_kernels test_exec_engine \
              test_communicator_exec test_fault test_svc_sched test_svc \
@@ -42,6 +43,10 @@ if [[ "$RUN_TSAN" == 1 ]]; then
   ./build-tsan/tests/test_planner
   ./build-tsan/tests/test_snapshot
   ./build-tsan/tests/test_fib --gtest_filter='SharedFib.*'
+  # Implicit plans are shared immutably across threads; the concurrent
+  # rank_schedule sweep proves the decode paths are read-only.
+  ./build-tsan/tests/test_implicit_plan \
+      --gtest_filter='ImplicitPlan.ConcurrentQueriesAreRaceFree'
   ./build-tsan/tests/test_obs_metrics
   ./build-tsan/tests/test_obs_trace
   ./build-tsan/tests/test_obs_flight_recorder
@@ -76,7 +81,7 @@ if [[ "$RUN_ASAN" == 1 ]]; then
     --target test_obs_metrics test_obs_trace test_obs_chrome \
              test_obs_critical_path test_obs_flight_recorder \
              test_plan_cache test_planner test_snapshot \
-             test_exec_mailbox test_exec_kernels test_exec_engine \
+             test_implicit_plan test_exec_mailbox test_exec_kernels test_exec_engine \
              test_communicator_exec test_exec_property test_fault \
              test_svc_sched test_svc test_svc_fusion test_svc_introspect \
              test_prometheus_lint
@@ -88,6 +93,7 @@ if [[ "$RUN_ASAN" == 1 ]]; then
   ./build-asan/tests/test_plan_cache
   ./build-asan/tests/test_planner
   ./build-asan/tests/test_snapshot
+  ./build-asan/tests/test_implicit_plan
   ./build-asan/tests/test_exec_mailbox
   ./build-asan/tests/test_exec_kernels
   ./build-asan/tests/test_exec_engine

@@ -8,6 +8,7 @@
 #include "bcast/kitem_bounds.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace_recorder.hpp"
+#include "runtime/implicit_plan.hpp"
 
 namespace logpc::api {
 
@@ -40,7 +41,10 @@ runtime::PlanPtr Communicator::plan(runtime::Problem problem, std::int64_t k,
 
 Schedule Communicator::bcast(ProcId root) const {
   const obs::Span span("comm.bcast", "comm");
-  return planner_->plan(PlanKey::broadcast(params_, root))->schedule;
+  // plan_schedule materializes on demand when the plan is implicit-only
+  // (large P past the planner's materialize threshold).
+  return runtime::plan_schedule(
+      *planner_->plan(PlanKey::broadcast(params_, root)));
 }
 
 Time Communicator::bcast_time() const {
@@ -86,7 +90,7 @@ bcast::ReductionPlan Communicator::reduce(ProcId root) const {
   bcast::ReductionPlan r;
   r.params = params_;
   r.root = root;
-  r.schedule = plan->schedule;
+  r.schedule = runtime::plan_schedule(*plan);
   r.completion = plan->completion;
   return r;
 }
@@ -148,10 +152,15 @@ exec::Program Communicator::compile(runtime::Problem problem, std::int64_t k,
                                     ProcId root) const {
   const obs::Span span("comm.compile", "comm");
   switch (problem) {
-    case runtime::Problem::kBroadcast:
-      return exec::compile_broadcast(
-          planner_->plan(PlanKey::broadcast(params_, root))->schedule,
-          "bcast");
+    case runtime::Problem::kBroadcast: {
+      // Implicit-capable plans lower straight from the generators; the
+      // streams are identical to compiling the materialized schedule.
+      const PlanPtr plan = planner_->plan(PlanKey::broadcast(params_, root));
+      if (plan->implicit) {
+        return exec::compile_implicit(*plan->implicit, "bcast");
+      }
+      return exec::compile_broadcast(plan->schedule, "bcast");
+    }
     case runtime::Problem::kKItemBroadcast: {
       // Segmented broadcast: the Section 3 single-sending k-item schedule,
       // one segment per item.  The cache key normalizes root to 0 (the
@@ -169,8 +178,13 @@ exec::Program Communicator::compile(runtime::Problem problem, std::int64_t k,
       }
       return program;
     }
-    case runtime::Problem::kReduce:
+    case runtime::Problem::kReduce: {
+      const PlanPtr plan = planner_->plan(PlanKey::reduce(params_, root));
+      if (plan->implicit) {
+        return exec::compile_implicit(*plan->implicit, "reduce");
+      }
       return exec::compile_reduction(reduce(root));
+    }
     case runtime::Problem::kAllToAll:
       return exec::compile_broadcast(
           planner_->plan(PlanKey::alltoall(params_, static_cast<int>(k)))
@@ -246,8 +260,12 @@ FtRunResult Communicator::run_broadcast_ft(std::span<const std::byte> payload,
     res.plan = planner_->plan(PlanKey::make(runtime::Problem::kBroadcast,
                                             params_, 1, root, mask));
     res.survivors = res.plan->key.live_ranks();
+    // A masked plan's `implicit` (like its schedule) describes the compact
+    // survivor machine, so either lowering yields the same program.
     const exec::Program program =
-        exec::compile_broadcast(res.plan->schedule, "bcast-ft");
+        res.plan->implicit
+            ? exec::compile_implicit(*res.plan->implicit, "bcast-ft")
+            : exec::compile_broadcast(res.plan->schedule, "bcast-ft");
     std::optional<fault::Injector> injector;
     if (inject) injector.emplace(spec);
     try {

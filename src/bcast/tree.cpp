@@ -1,6 +1,7 @@
 #include "bcast/tree.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <queue>
 #include <stdexcept>
 #include <tuple>
@@ -59,6 +60,13 @@ BroadcastTree BroadcastTree::up_to(const Params& params, Time t,
   if (n > max_nodes) {
     throw std::invalid_argument("BroadcastTree::up_to: tree too large (" +
                                 std::to_string(n) + " nodes)");
+  }
+  // `max_nodes` is caller-controlled and may exceed INT_MAX; optimal() takes
+  // an int node count, so reject instead of truncating.
+  if (n > static_cast<Count>(std::numeric_limits<int>::max())) {
+    throw std::invalid_argument(
+        "BroadcastTree::up_to: tree exceeds INT_MAX nodes (" +
+        std::to_string(n) + "); use the implicit planner for large P");
   }
   BroadcastTree tree = optimal(params, static_cast<int>(n));
   // By construction the n cheapest nodes are exactly those with label <= t.
@@ -149,6 +157,14 @@ Schedule BroadcastTree::to_schedule(ProcId source) const {
 Count reachable(const Params& params, Time t) {
   params.require_valid();
   if (t < 0) return 0;
+  return reachable_prefix(params, t).back();
+}
+
+std::vector<Count> reachable_prefix(const Params& params, Time t) {
+  params.require_valid();
+  if (t < 0) {
+    throw std::invalid_argument("reachable_prefix: t >= 0");
+  }
   // N(u) = processors reachable within u cycles of the root being informed:
   // the root itself plus, for each child started at i*g (landing at
   // i*g + L + 2o <= u), a full subtree with the remaining budget.
@@ -162,7 +178,7 @@ Count reachable(const Params& params, Time t) {
     }
     N[static_cast<std::size_t>(u)] = total;
   }
-  return N[static_cast<std::size_t>(t)];
+  return N;
 }
 
 Time B_of_P(const Params& params, int P) {

@@ -89,6 +89,12 @@ class BroadcastTree {
 /// (Theorem 2.2).
 [[nodiscard]] Count reachable(const Params& params, Time t);
 
+/// The whole prefix of the reachability DP in one pass: out[u] = N(u) =
+/// reachable(params, u) for u in [0, t] (out.size() == t + 1).  The implicit
+/// planner keys its O(log P) decode tables off this table.
+[[nodiscard]] std::vector<Count> reachable_prefix(const Params& params,
+                                                  Time t);
+
 /// The single-item broadcast complexity B(P; L, o, g): the least t with
 /// reachable(t) >= P.
 [[nodiscard]] Time B_of_P(const Params& params, int P);

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "runtime/implicit_plan.hpp"
 #include "sum/executor.hpp"
 
 namespace logpc::exec {
@@ -210,6 +211,55 @@ Program compile_reduction(const bcast::ReductionPlan& plan) {
       }
       sent = sent || k.instr.op == OpCode::kSend;
       prog.procs[p].instrs.push_back(k.instr);
+    }
+  }
+  prog.links = links.take();
+  annotate_recv_chains(prog);
+  return prog;
+}
+
+Program compile_implicit(const runtime::ImplicitPlan& plan,
+                         std::string label) {
+  const Params& params = plan.params();
+  params.require_valid();
+  const auto P = static_cast<std::size_t>(params.P);
+  const Time T = params.transfer_time();
+  const bool reduce = plan.is_reduction();
+  Program prog;
+  prog.params = params;
+  prog.mode = reduce ? Mode::kFold : Mode::kMove;
+  prog.label = label.empty() ? (reduce ? "reduce" : "bcast")
+                             : std::move(label);
+  prog.num_items = 1;
+  prog.predicted_makespan = plan.completion();
+  prog.num_messages = P - 1;
+  if (!reduce) {
+    prog.initials.push_back(
+        InitialPlacement{0, plan.plan_key().root, 0});
+  }
+  prog.procs.resize(P);
+
+  // Per-rank streams straight from the generators.  A RankSchedule's recvs
+  // and sends are each in time order, and every receive's payload is
+  // available no later than the first send's start (equality only on the
+  // parent link), so recvs-then-sends is exactly the Keyed order the
+  // materialized compilers produce.  Links intern rank-major.
+  LinkTable links;
+  for (std::size_t p = 0; p < P; ++p) {
+    const runtime::RankSchedule rs =
+        plan.rank_schedule(static_cast<ProcId>(p));
+    ProcProgram& stream = prog.procs[p];
+    stream.proc = static_cast<ProcId>(p);
+    stream.instrs.reserve(rs.recvs.size() + rs.sends.size());
+    for (const SendOp& op : rs.recvs) {
+      const std::int32_t link = links.intern(op.from, op.to);
+      stream.instrs.push_back(
+          Instr{OpCode::kRecv, op.from, op.item, 0, link, op.start + T});
+    }
+    for (const SendOp& op : rs.sends) {
+      const std::int32_t link = links.intern(op.from, op.to);
+      stream.instrs.push_back(
+          Instr{OpCode::kSend, op.to, op.item, 0, link, op.start});
     }
   }
   prog.links = links.take();

@@ -36,6 +36,10 @@
 ///             exactly as Lemma 5.1 times them, so any associative — even
 ///             non-commutative — operator folds in combination_order.
 
+namespace logpc::runtime {
+class ImplicitPlan;
+}  // namespace logpc::runtime
+
 namespace logpc::exec {
 
 enum class Mode : std::uint8_t { kMove, kFold, kSum };
@@ -107,6 +111,17 @@ struct Program {
 /// accumulator.  Fold order per processor is arrival order, matching
 /// bcast::execute_reduction.
 [[nodiscard]] Program compile_reduction(const bcast::ReductionPlan& plan);
+
+/// Lowers an implicit plan straight from its per-rank generators — no
+/// materialized Schedule anywhere on the path.  Produces instruction
+/// streams identical, processor by processor and instruction by
+/// instruction, to compile_broadcast / compile_reduction run on the
+/// materialized schedule for the same key (link *indices* may differ —
+/// they are interned in rank-major rather than global send order — but the
+/// link endpoints, stream order and timings agree, so engine results are
+/// byte-identical).  `label` defaults to "bcast" / "reduce" by plan kind.
+[[nodiscard]] Program compile_implicit(const runtime::ImplicitPlan& plan,
+                                       std::string label = {});
 
 /// Lowers a summation plan: local chunks from sum::operand_layout
 /// interleave with receptions; processors outside plan.procs get empty

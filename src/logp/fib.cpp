@@ -48,6 +48,9 @@ Count Fib::sum(Time i) const {
 
 Time Fib::B_of_P(Count P) const {
   if (P < 1) throw std::invalid_argument("Fib::B_of_P: P must be >= 1");
+  // f(t) clamps at kSaturated, so the scan below can never reach a larger
+  // P — without this guard it spins forever while growing the memo.
+  if (P > kSaturated) throw std::overflow_error("Fib::B_of_P: P too big");
   Time t = 0;
   while (f(t) < P) ++t;
   return t;
@@ -55,6 +58,9 @@ Time Fib::B_of_P(Count P) const {
 
 bool Fib::is_exact_P(Count P) const {
   if (P < 1) return false;
+  // At or past the clamp f(t) == kSaturated is a floor, not a value, so
+  // "f hits P exactly" is unanswerable.
+  if (P >= kSaturated) throw std::overflow_error("Fib::is_exact_P: P too big");
   return f(B_of_P(P)) == P;
 }
 

@@ -26,12 +26,26 @@
 
 namespace logpc::runtime {
 
+class ImplicitPlan;
+
 /// An immutable planning result: the canonical key, the schedule, its exact
 /// completion, and the scalar by-products the rich builder results carry
 /// (so api::Communicator can reconstitute them from a cached plan).
+///
+/// Two representations coexist:
+///  * `schedule` — the materialized per-op IR, present iff `materialized`;
+///  * `implicit` — the O(log P) generator form (implicit_plan.hpp), present
+///    whenever ImplicitPlan::supports(key).
+/// Small plans carry both (implicit is validated against materialized by
+/// the property suite); past Planner::Options::materialize_threshold the
+/// planner stores the implicit form alone, which is what makes million-rank
+/// cache entries O(log P)-sized.  Use runtime::plan_schedule(plan) when you
+/// need a Schedule regardless of representation.
 struct Plan {
   PlanKey key;
-  Schedule schedule;
+  Schedule schedule;  ///< empty unless `materialized`
+  std::shared_ptr<const ImplicitPlan> implicit;  ///< null when unsupported
+  bool materialized = true;  ///< is `schedule` populated?
   Time completion = 0;
   std::string method;        ///< construction label ("block-cyclic", ...)
   int slack = 0;             ///< k-item: extra delay over the optimal

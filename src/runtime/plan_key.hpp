@@ -3,6 +3,7 @@
 #include <bit>
 #include <cstdint>
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -77,6 +78,16 @@ struct PlanKey {
   /// failure) requires P <= 64, every set bit < P, and — for rooted
   /// problems — the root bit set; an all-ones mask normalizes back to 0 so
   /// the degenerate spelling cannot split the cache.
+  ///
+  /// HARD LIMIT: this is a single 64-bit word, so masked (fault-tolerant)
+  /// keys exist only for P <= 64.  `make` rejects mask != 0 with P > 64
+  /// (std::invalid_argument) rather than silently dropping ranks >= 64, and
+  /// the accessors below re-check so a hand-assembled key that bypassed
+  /// `make` faults fast instead of shifting past the word.  Machines larger
+  /// than 64 ranks plan full-membership keys only (mask == 0) — large-P
+  /// paths (e.g. the implicit planner) are unaffected since they never
+  /// mask.  Widening this to a rank-set type is the extension point if FT
+  /// replan is ever needed past 64 ranks.
   std::uint64_t mask = 0;
 
   /// Builds the canonical key for a request stated on the *physical*
@@ -90,7 +101,13 @@ struct PlanKey {
                                     std::uint64_t mask = 0);
 
   /// Participating ranks: popcount of the mask, or P when the mask is 0.
+  /// Throws std::logic_error for a hand-assembled key whose mask cannot
+  /// cover the machine (mask != 0 with P > 64) — see the mask field's note.
   [[nodiscard]] int live_count() const {
+    if (mask != 0 && params.P > 64) {
+      throw std::logic_error(
+          "PlanKey: membership masks require P <= 64");
+    }
     return mask == 0 ? params.P : std::popcount(mask);
   }
 

@@ -14,6 +14,7 @@
 #include "bcast/reduction.hpp"
 #include "bcast/single_item.hpp"
 #include "obs/trace_recorder.hpp"
+#include "runtime/implicit_plan.hpp"
 #include "sched/metrics.hpp"
 #include "sum/summation_tree.hpp"
 
@@ -67,10 +68,30 @@ Time port_schedule_completion(const Params& params) {
   return (params.P - 2) * params.g + params.transfer_time();
 }
 
+/// The method label an implicit-only build stamps — identical strings to
+/// the materialized switch, so representation never shows in diagnostics.
+std::string implicit_method(Problem problem) {
+  switch (problem) {
+    case Problem::kBroadcast:
+      return "optimal tree (Thm 2.1)";
+    case Problem::kReduce:
+      return "reversed optimal tree (Sec 4.2)";
+    case Problem::kBinomialBroadcast:
+      return "binomial tree";
+    case Problem::kBinaryBroadcast:
+      return "binary tree";
+    case Problem::kChainBroadcast:
+      return "linear chain";
+    default:
+      return {};
+  }
+}
+
 }  // namespace
 
 Planner::Planner(Options options)
-    : cache_(options.cache_capacity, options.cache_shards) {
+    : options_(options),
+      cache_(options.cache_capacity, options.cache_shards) {
   register_metrics();
 }
 
@@ -170,12 +191,16 @@ PlanPtr Planner::plan(const PlanKey& key) {
 
   try {
     builds_.fetch_add(1, std::memory_order_relaxed);
+    // Past the threshold, implicit-capable plans skip the O(P) IR build
+    // and are cached as O(log P) generator entries.
+    const bool materialize = !ImplicitPlan::supports(key) ||
+                             key.params.P <= options_.materialize_threshold;
     PlanPtr plan;
     {
       obs::Span span("planner.build", "planner");
       if (span.active()) span.set_arg(key.to_string());
       const obs::ScopedTimer timer(build_latency_hist(key.problem));
-      plan = std::make_shared<const Plan>(build_uncached(key));
+      plan = std::make_shared<const Plan>(build_uncached(key, materialize));
     }
     cache_.put(key, plan);
     {
@@ -196,7 +221,7 @@ PlanPtr Planner::plan(const PlanKey& key) {
   }
 }
 
-Plan Planner::build_uncached(const PlanKey& key) {
+Plan Planner::build_uncached(const PlanKey& key, bool materialize) {
   if (key.mask != 0) {
     // Degraded membership (the recovery layer re-planning around dead
     // ranks): build on the compacted machine of the survivors — the
@@ -204,12 +229,14 @@ Plan Planner::build_uncached(const PlanKey& key) {
     // live_count() processors is itself optimal — then stamp the masked
     // key back on.  Plan processor i is physical rank live_ranks()[i]; the
     // caller (api::Communicator::run_broadcast_ft) owns that mapping.
+    // Like `schedule`, any attached `implicit` describes the *compact*
+    // machine.
     Params compact = key.params;
     compact.P = key.live_count();
     const std::uint64_t below_root = key.mask & ((1ull << key.root) - 1);
     const auto virtual_root = static_cast<ProcId>(std::popcount(below_root));
     Plan plan = build_uncached(
-        PlanKey::make(key.problem, compact, key.k, virtual_root));
+        PlanKey::make(key.problem, compact, key.k, virtual_root), materialize);
     plan.key = key;
     return plan;
   }
@@ -217,6 +244,20 @@ Plan Planner::build_uncached(const PlanKey& key) {
   const int k = static_cast<int>(key.k);
   Plan plan;
   plan.key = key;
+  if (ImplicitPlan::supports(key)) {
+    plan.implicit =
+        std::make_shared<const ImplicitPlan>(ImplicitPlan::build(key));
+  }
+  if (!materialize) {
+    if (!plan.implicit) {
+      throw std::invalid_argument(
+          "Planner::build_uncached: no implicit form for " + key.to_string());
+    }
+    plan.materialized = false;
+    plan.completion = plan.implicit->completion();
+    plan.method = implicit_method(key.problem);
+    return plan;
+  }
   switch (key.problem) {
     case Problem::kBroadcast:
       plan.schedule = bcast::optimal_single_item(m, key.root);

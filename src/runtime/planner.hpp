@@ -43,6 +43,12 @@ class Planner {
   struct Options {
     std::size_t cache_capacity = 4096;
     std::size_t cache_shards = 8;
+    /// Largest P for which an implicit-capable plan also materializes its
+    /// per-op Schedule.  Past this, plan() stores the O(log P) implicit
+    /// form alone (Plan::materialized == false) — the switch that makes
+    /// million-rank planning feasible in time and cache memory.  Problems
+    /// without an implicit form always materialize, whatever P.
+    int materialize_threshold = 1 << 16;
   };
 
   Planner() : Planner(Options{}) {}
@@ -62,8 +68,12 @@ class Planner {
 
   /// Routes `key` to its schedule producer, bypassing cache and dedup: the
   /// one function that knows every builder.  Also the cold path the plan-
-  /// cache bench measures.
-  [[nodiscard]] static Plan build_uncached(const PlanKey& key);
+  /// cache bench measures.  The implicit generator is attached whenever
+  /// ImplicitPlan::supports(key); with `materialize` false the per-op
+  /// Schedule build is skipped entirely (O(log P) instead of O(P log P) —
+  /// throws std::invalid_argument for keys with no implicit form).
+  [[nodiscard]] static Plan build_uncached(const PlanKey& key,
+                                           bool materialize = true);
 
   [[nodiscard]] PlanCache& cache() { return cache_; }
   [[nodiscard]] const PlanCache& cache() const { return cache_; }
@@ -86,6 +96,7 @@ class Planner {
  private:
   void register_metrics();
 
+  Options options_;
   PlanCache cache_;
   std::atomic<std::uint64_t> builds_{0};
   std::mutex inflight_mu_;

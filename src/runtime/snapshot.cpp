@@ -4,17 +4,25 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "runtime/implicit_plan.hpp"
 #include "sched/io.hpp"
 
 namespace logpc::runtime {
 
 namespace {
 
-// v2 appends the membership mask to each key (after root); v1 snapshots
-// still load, with mask = 0 (a v1 file can only hold full-membership keys).
-constexpr char kHeader[] = "logpc-plansnap v2\n";
+// v3 adds a flags word (bit 0: the schedule was materialized) after
+// total_operands, and writes the schedule only when it was — implicit-only
+// plans serialize as a few hundred bytes whatever P is, and the generator
+// is rebuilt from the key on load.  v2 appended the membership mask to each
+// key (after root); v1 snapshots still load, with mask = 0 (a v1 file can
+// only hold full-membership keys).
+constexpr char kHeader[] = "logpc-plansnap v3\n";
+constexpr char kHeaderV2[] = "logpc-plansnap v2\n";
 constexpr char kHeaderV1[] = "logpc-plansnap v1\n";
 constexpr std::size_t kHeaderLen = 18;
+
+constexpr std::int64_t kFlagMaterialized = 1;
 
 [[noreturn]] void fail(const std::string& what) {
   throw std::invalid_argument("plan snapshot: " + what);
@@ -66,8 +74,9 @@ void write_plan(std::ostream& os, const Plan& plan) {
   put_i64(os, plan.slack);
   put_i64(os, plan.max_buffer_depth);
   put_i64(os, static_cast<std::int64_t>(plan.total_operands));
+  put_i64(os, plan.materialized ? kFlagMaterialized : 0);
   put_string(os, plan.method);
-  write_binary(os, plan.schedule);
+  if (plan.materialized) write_binary(os, plan.schedule);
 }
 
 Plan read_plan(std::istream& is, int version) {
@@ -98,8 +107,20 @@ Plan read_plan(std::istream& is, int version) {
   plan.slack = static_cast<int>(get_i64(is));
   plan.max_buffer_depth = static_cast<int>(get_i64(is));
   plan.total_operands = static_cast<std::uint64_t>(get_i64(is));
+  const std::int64_t flags = version >= 3 ? get_i64(is) : kFlagMaterialized;
+  plan.materialized = (flags & kFlagMaterialized) != 0;
   plan.method = get_string(is);
-  plan.schedule = read_binary(is);
+  if (plan.materialized) {
+    plan.schedule = read_binary(is);
+  }
+  // The generator form is derived state: rebuild it from the canonical key
+  // rather than trusting (or paying for) serialized tables.
+  if (ImplicitPlan::supports(plan.key)) {
+    plan.implicit =
+        std::make_shared<const ImplicitPlan>(ImplicitPlan::build(plan.key));
+  } else if (!plan.materialized) {
+    fail("implicit-only plan for a key without an implicit form");
+  }
   return plan;
 }
 
@@ -131,6 +152,8 @@ std::size_t load_snapshot(PlanCache& cache, std::istream& is) {
   const std::string got(header, kHeaderLen);
   int version = 0;
   if (got == std::string(kHeader, kHeaderLen)) {
+    version = 3;
+  } else if (got == std::string(kHeaderV2, kHeaderLen)) {
     version = 2;
   } else if (got == std::string(kHeaderV1, kHeaderLen)) {
     version = 1;

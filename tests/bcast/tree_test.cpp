@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <set>
+#include <vector>
 
 #include "sched/metrics.hpp"
 #include "validate/checker.hpp"
@@ -129,6 +131,27 @@ TEST(Tree, UpToContainsExactlyLabelsAtMostT) {
 TEST(Tree, UpToRejectsHugeTrees) {
   EXPECT_THROW(BroadcastTree::up_to(Params::postal(2, 1), 40, 1000),
                std::invalid_argument);
+}
+
+TEST(Tree, UpToRejectsTreesBeyondIntRange) {
+  // L = 1 postal doubles per step, so reachable(48) = 2^48.  With a caller
+  // raising max_nodes past INT_MAX, up_to used to truncate that count into
+  // optimal()'s int parameter; it must refuse instead.
+  EXPECT_THROW(BroadcastTree::up_to(Params::postal(2, 1), 48,
+                                    std::numeric_limits<std::size_t>::max()),
+               std::invalid_argument);
+}
+
+TEST(Tree, ReachablePrefixMatchesPointQueries) {
+  for (const Params& params :
+       {Params{10, 4, 1, 2}, Params::postal(50, 3), Params{7, 2, 3, 4}}) {
+    const Time t = 20;
+    const std::vector<Count> prefix = reachable_prefix(params, t);
+    ASSERT_EQ(prefix.size(), static_cast<std::size_t>(t) + 1);
+    for (Time u = 0; u <= t; ++u) {
+      EXPECT_EQ(prefix[static_cast<std::size_t>(u)], reachable(params, u));
+    }
+  }
 }
 
 TEST(Tree, DegreeHistogramT9) {

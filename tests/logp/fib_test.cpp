@@ -155,6 +155,32 @@ TEST(SharedFib, AgreesWithAPrivateInstance) {
   }
 }
 
+TEST(Fib, BOfPGuardsTheSaturationClamp) {
+  // f(t) clamps at kSaturated, so B_of_P(P) for any larger P used to scan
+  // (and grow the memo) forever.  At the clamp itself the scan still
+  // terminates — the first saturated index satisfies f(t) >= P.
+  const Fib fib(3);
+  EXPECT_NO_THROW((void)fib.B_of_P(kSaturated));
+  EXPECT_THROW((void)fib.B_of_P(kSaturated + 1), std::overflow_error);
+}
+
+TEST(Fib, IsExactPGuardsTheSaturationClamp) {
+  // At P == kSaturated "f hits P exactly" is unanswerable: the clamp is a
+  // floor, not a value.
+  const Fib fib(2);
+  EXPECT_THROW((void)fib.is_exact_P(kSaturated), std::overflow_error);
+  EXPECT_THROW((void)fib.is_exact_P(kSaturated + 1), std::overflow_error);
+  EXPECT_NO_THROW((void)fib.is_exact_P(kSaturated - 1));
+}
+
+TEST(SharedFib, ClampGuardsCoverTheSharedAccessors) {
+  EXPECT_NO_THROW((void)shared_B_of_P(3, kSaturated));
+  EXPECT_THROW((void)shared_B_of_P(3, kSaturated + 1), std::overflow_error);
+  EXPECT_THROW((void)shared_is_exact_P(3, kSaturated), std::overflow_error);
+  EXPECT_THROW((void)shared_is_exact_P(3, kSaturated + 1),
+               std::overflow_error);
+}
+
 TEST(SharedFib, ConcurrentQueriesAreConsistent) {
   // Many threads extending the same shared tables must agree with a
   // sequential reference (run under -DLOGPC_TSAN=ON for the race proof).

@@ -46,6 +46,26 @@ TEST(PlanKey, RejectsBadArguments) {
   EXPECT_THROW(PlanKey::kitem(kMachine, 0), std::invalid_argument);
 }
 
+TEST(PlanKey, MembershipMasksRequireSmallMachines) {
+  // The mask is one 64-bit word: make() must reject P > 64 with a clear
+  // error rather than silently dropping ranks >= 64 from the live set.
+  const Params big{65, 4, 1, 2};
+  EXPECT_THROW((void)PlanKey::make(Problem::kBroadcast, big, 1, 0, 0x3ull),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)PlanKey::make(Problem::kBroadcast, big));  // mask == 0
+  // A hand-assembled key that bypassed make() faults fast in the accessors
+  // instead of shifting past the word.
+  PlanKey hand = PlanKey::broadcast(big);
+  hand.mask = 0x3ull;
+  EXPECT_THROW((void)hand.live_count(), std::logic_error);
+  EXPECT_THROW((void)hand.live_ranks(), std::logic_error);
+  // Exactly-64 machines stay maskable.
+  const Params p64{64, 4, 1, 2};
+  const std::uint64_t survivors = ~0ull ^ (1ull << 63);
+  const PlanKey ok = PlanKey::make(Problem::kBroadcast, p64, 1, 0, survivors);
+  EXPECT_EQ(ok.live_count(), 63);
+}
+
 TEST(Planner, PlansMatchTheDirectBuilders) {
   Planner planner;
   const PlanPtr b = planner.plan(PlanKey::broadcast(kMachine));
