@@ -18,7 +18,10 @@
 # wall-clock makespans depend on thread scheduling and have no stable
 # per-cell ratio to guard.  bench_profile *does* gate (exit non-zero):
 # it compares profile-on vs profile-off medians measured back-to-back on
-# the same machine, so runner load cancels out of the ratio.
+# the same machine, so runner load cancels out of the ratio.  bench_tuning
+# gates the same way (tuned-vs-fixed and warm plan_tuned overhead are
+# same-machine ratios) and its decision-table winners are diffed against
+# bench/baselines/BENCH_tuning.json as a non-blocking warning.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -42,7 +45,7 @@ echo "=== perf smoke: Release build ($BUILD/) ==="
 cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$BUILD" -j "$JOBS" \
   --target bench_kernels bench_exec bench_service bench_loadgen \
-  bench_profile bench_plan_cache
+  bench_profile bench_plan_cache bench_tuning
 
 echo
 echo "=== bench_kernels ==="
@@ -87,6 +90,31 @@ echo "=== bench_plan_cache (million-rank smoke) ==="
 # ratios / pass-fail sweeps, so runner load does not destabilise them.
 LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_plan_cache" \
   --benchmark_filter='^$' 2>/dev/null
+
+echo
+echo "=== bench_tuning (auto-tuner acceptance) ==="
+# Runs the real-engine tuning grid and gates (exit non-zero) on two
+# same-machine ratios: tuned per-segment selection must beat the best
+# single fixed schedule by >= 10% on >= 2 segments, and the warm
+# Planner::plan_tuned fast path must stay within 5% of a plain plan()
+# cache hit.  Also drops decision_table.snap next to the json — the
+# artifact a deploy would install via Planner::set_decision_table.
+LOGPC_BENCH_DIR="$OUT" "./$BUILD/bench/bench_tuning"
+
+TUNING_BASELINE=bench/baselines/BENCH_tuning.json
+if [[ "$REBASELINE" == 1 || ! -f "$TUNING_BASELINE" ]]; then
+  mkdir -p "$(dirname "$TUNING_BASELINE")"
+  cp "$OUT/BENCH_tuning.json" "$TUNING_BASELINE"
+  echo "perf_smoke: tuning baseline written to $TUNING_BASELINE"
+else
+  echo
+  echo "=== decision-table winners vs $TUNING_BASELINE ==="
+  # Winner flips are informational (always exit 0): bench_tuning already
+  # gated the quantities that must hold; this diff just surfaces when the
+  # measured regime map moved.
+  python3 scripts/perf_diff.py --tuning "$TUNING_BASELINE" \
+    "$OUT/BENCH_tuning.json"
+fi
 
 if [[ "$REBASELINE" == 1 || ! -f "$BASELINE" ]]; then
   mkdir -p "$(dirname "$BASELINE")"

@@ -209,6 +209,37 @@ exec::ExecReport Communicator::run_broadcast(std::span<const std::byte> payload,
   return engine_or_shared(engine).run(program, items);
 }
 
+exec::ExecReport Communicator::run_broadcast_tuned(
+    std::span<const std::byte> payload, ProcId root,
+    exec::Engine* engine) const {
+  const obs::Span span("comm.run_broadcast_tuned", "comm");
+  runtime::PlanKey key = planner_->tuned_key(
+      tune::Collective::kBroadcast, params_, payload.size(), root);
+  if (key.problem == runtime::Problem::kKItemBroadcast && payload.empty()) {
+    // A zero-byte payload cannot be sliced; the bulk tree is equivalent.
+    key = runtime::PlanKey::broadcast(params_, root);
+  }
+  if (key.problem == runtime::Problem::kKItemBroadcast) {
+    // Segmented winner: the k-item pipeline over payload/k slices, results
+    // coalesced in place (Engine::run_segmented).  Same root convention as
+    // compile(): the cached plan is root-0, relabeled on the way out.
+    exec::Program program =
+        exec::compile_broadcast(planner_->plan(key)->schedule, "bcast-seg");
+    if (root != 0) {
+      program = exec::relabel_swapped(std::move(program), 0, root);
+    }
+    return engine_or_shared(engine).run_segmented(
+        program, exec::SegmentRun{payload, static_cast<int>(key.k)});
+  }
+  const runtime::PlanPtr plan = planner_->plan(key);
+  const exec::Program program =
+      plan->implicit ? exec::compile_implicit(*plan->implicit, "bcast")
+                     : exec::compile_broadcast(plan->schedule, "bcast");
+  const std::vector<exec::Bytes> items{
+      exec::Bytes(payload.begin(), payload.end())};
+  return engine_or_shared(engine).run(program, items);
+}
+
 exec::ExecReport Communicator::run_reduce(const std::vector<exec::Bytes>& values,
                                           const exec::CombineFn& op,
                                           ProcId root,

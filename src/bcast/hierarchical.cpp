@@ -1,0 +1,225 @@
+#include "bcast/hierarchical.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace logpc::bcast {
+
+namespace {
+
+constexpr Time kUnknown = std::numeric_limits<Time>::max();
+
+/// The machine the emitted schedule is stated on: the conservative
+/// projection over the link classes the schedule can actually use.  The
+/// degenerate shapes use exactly one class, so they are stated on it and
+/// come out as genuine flat-LogP schedules of that class.
+Params stated_machine(const HierParams& h) {
+  if (h.num_clusters() == 1) return h.intra;
+  if (h.num_clusters() == h.P()) {
+    Params cross = h.cross;
+    cross.P = h.P();
+    return cross;
+  }
+  return h.flat();
+}
+
+/// One candidate transmission the greedy could commit next.
+struct Candidate {
+  Time avail = kUnknown;  ///< schedule availability at the receiver
+  Time start = 0;
+  ProcId from = kNoProc;
+  ProcId to = kNoProc;
+  bool cross = false;
+};
+
+/// One greedy pass.  `cross_eager` selects the regime heuristic: eager
+/// commits a pending cross send before any intra send (best when the
+/// cross latency dominates — clusters unlock as early as possible), lazy
+/// commits whichever transmission informs a new rank first (best when the
+/// cross gap dominates — cheap intra helpers are recruited and the cross
+/// sends spread over distinct ports instead of serializing one leader's).
+HierBroadcast build_two_level(const HierParams& h, ProcId root,
+                              bool cross_eager) {
+  const int P = h.P();
+  const int C = h.num_clusters();
+  const Params machine = stated_machine(h);
+
+  HierBroadcast out;
+  out.schedule = Schedule(machine, 1);
+  out.schedule.add_initial(0, root, 0);
+  out.informed.assign(static_cast<std::size_t>(P), kUnknown);
+  out.informed[static_cast<std::size_t>(root)] = 0;
+  std::vector<Time> port_free(static_cast<std::size_t>(P), 0);
+
+  // Pending targets.  Each unreached cluster is entered exactly once,
+  // through a cross-class send to its leader; every other rank is an
+  // intra-class target inside its own cluster.  That keeps the two-level
+  // structure (C - 1 cross transmissions, one in-edge per cluster) while
+  // the greedy below decides *who* sends each one and when.
+  const int root_cluster = h.cluster_of[static_cast<std::size_t>(root)];
+  std::vector<int> cross_pending;  // cluster ids, increasing
+  cross_pending.reserve(static_cast<std::size_t>(C - 1));
+  for (int c = 0; c < C; ++c) {
+    if (c != root_cluster) cross_pending.push_back(c);
+  }
+  std::vector<std::vector<ProcId>> intra_pending(
+      static_cast<std::size_t>(C));
+  std::vector<std::vector<ProcId>> informed_members(
+      static_cast<std::size_t>(C));
+  informed_members[static_cast<std::size_t>(root_cluster)].push_back(root);
+  for (ProcId r = 0; r < P; ++r) {
+    const int c = h.cluster_of[static_cast<std::size_t>(r)];
+    if (r == root) continue;
+    if (c != root_cluster && r == h.leader(c)) continue;  // cross target
+    intra_pending[static_cast<std::size_t>(c)].push_back(r);
+  }
+  std::size_t cross_next = 0;
+  std::vector<std::size_t> intra_next(static_cast<std::size_t>(C), 0);
+
+  // Cheapest-arrival greedy: repeatedly commit the transmission that
+  // informs a new rank earliest (ties prefer the cross send — it unlocks a
+  // whole cluster's parallelism, the intra send only one rank).  On a
+  // uniform machine this greedy *is* the Theorem 2.1 optimal broadcast.
+  const auto ready_of = [&](ProcId s) {
+    return std::max(out.informed[static_cast<std::size_t>(s)],
+                    port_free[static_cast<std::size_t>(s)]);
+  };
+  std::size_t remaining = static_cast<std::size_t>(P - 1);
+  while (remaining > 0) {
+    Candidate best;
+    if (cross_next < cross_pending.size()) {
+      const int target_cluster = cross_pending[cross_next];
+      for (int c = 0; c < C; ++c) {
+        for (const ProcId s : informed_members[static_cast<std::size_t>(c)]) {
+          const Time start = ready_of(s);
+          const Time avail = start + h.cross.o + h.cross.L + machine.o;
+          if (avail < best.avail) {
+            best = {avail, start, s, h.leader(target_cluster), true};
+          }
+        }
+      }
+    }
+    const bool take_cross_now = cross_eager && best.from != kNoProc;
+    if (!take_cross_now) {
+      for (int c = 0; c < C; ++c) {
+        auto& pending = intra_pending[static_cast<std::size_t>(c)];
+        if (intra_next[static_cast<std::size_t>(c)] >= pending.size()) {
+          continue;
+        }
+        const ProcId target =
+            pending[intra_next[static_cast<std::size_t>(c)]];
+        for (const ProcId s : informed_members[static_cast<std::size_t>(c)]) {
+          const Time start = ready_of(s);
+          const Time avail = start + h.intra.o + h.intra.L + machine.o;
+          if (avail < best.avail) {
+            best = {avail, start, s, target, false};
+          }
+        }
+      }
+    }
+
+    const Params& cls = best.cross ? h.cross : h.intra;
+    SendOp op;
+    op.start = best.start;
+    op.from = best.from;
+    op.to = best.to;
+    op.item = 0;
+    op.recv_start = best.start + cls.o + cls.L;
+    out.informed[static_cast<std::size_t>(best.to)] =
+        out.schedule.add_send(op);
+    port_free[static_cast<std::size_t>(best.from)] = best.start + cls.g;
+    const int to_cluster = h.cluster_of[static_cast<std::size_t>(best.to)];
+    informed_members[static_cast<std::size_t>(to_cluster)].push_back(best.to);
+    if (best.cross) {
+      ++cross_next;
+    } else {
+      ++intra_next[static_cast<std::size_t>(to_cluster)];
+    }
+    --remaining;
+  }
+
+  out.schedule.sort();
+  out.completion =
+      *std::max_element(out.informed.begin(), out.informed.end());
+  return out;
+}
+
+}  // namespace
+
+HierBroadcast hierarchical_broadcast(const HierParams& h, ProcId root) {
+  h.require_valid();
+  if (root < 0 || root >= h.P()) {
+    throw std::invalid_argument("hierarchical_broadcast: root out of range");
+  }
+  // The two regime heuristics bracket the design space; keep whichever
+  // the class-accurate clock scores faster.  Degenerate shapes use one
+  // link class only, where the two passes coincide.
+  HierBroadcast lazy = build_two_level(h, root, /*cross_eager=*/false);
+  if (h.num_clusters() <= 1 || h.num_clusters() == h.P()) return lazy;
+  HierBroadcast eager = build_two_level(h, root, /*cross_eager=*/true);
+  const Time lazy_span = predict_makespan(lazy.schedule, h);
+  const Time eager_span = predict_makespan(eager.schedule, h);
+  return eager_span < lazy_span ? std::move(eager) : std::move(lazy);
+}
+
+Time predict_makespan(const Schedule& s, const HierParams& h) {
+  h.require_valid();
+  if (s.num_items() != 1) {
+    throw std::invalid_argument("predict_makespan: single-item schedules only");
+  }
+  if (s.params().P > h.P()) {
+    throw std::invalid_argument(
+        "predict_makespan: schedule machine larger than topology");
+  }
+  if (s.initials().empty()) {
+    throw std::invalid_argument("predict_makespan: no initial placement");
+  }
+  const auto n = static_cast<std::size_t>(h.P());
+  std::vector<Time> informed(n, kUnknown);
+  std::vector<Time> port_free(n, 0);
+  for (const InitialPlacement& init : s.initials()) {
+    auto& t = informed[static_cast<std::size_t>(init.proc)];
+    t = std::min(t, init.time);
+  }
+
+  // Replay sends in original (start, construction) order, preserving each
+  // processor's port order.  In a causally consistent schedule a sender's
+  // informing transmission always *starts* strictly before any of the
+  // sender's own sends, so one pass in global start order sees informed[]
+  // populated before it is read.
+  std::vector<const SendOp*> order;
+  order.reserve(s.sends().size());
+  for (const SendOp& op : s.sends()) order.push_back(&op);
+  std::stable_sort(order.begin(), order.end(),
+                   [](const SendOp* a, const SendOp* b) {
+                     return a->start < b->start;
+                   });
+  for (const SendOp* op : order) {
+    const auto f = static_cast<std::size_t>(op->from);
+    const auto t = static_cast<std::size_t>(op->to);
+    if (informed[f] == kUnknown) {
+      throw std::invalid_argument(
+          "predict_makespan: processor sends an item it never holds");
+    }
+    const Params& cls = h.link(op->from, op->to);
+    const Time start = std::max(informed[f], port_free[f]);
+    port_free[f] = start + cls.g;
+    const Time avail = start + cls.transfer_time();
+    informed[t] = std::min(informed[t], avail);
+  }
+
+  Time makespan = 0;
+  for (std::size_t r = 0; r < static_cast<std::size_t>(s.params().P); ++r) {
+    if (informed[r] == kUnknown) {
+      throw std::invalid_argument(
+          "predict_makespan: schedule never informs every processor");
+    }
+    makespan = std::max(makespan, informed[r]);
+  }
+  return makespan;
+}
+
+}  // namespace logpc::bcast

@@ -1,0 +1,77 @@
+#pragma once
+
+#include "logp/hier.hpp"
+#include "sched/schedule.hpp"
+
+/// \file hierarchical.hpp
+/// Two-level broadcast for the hierarchical machine (logp/hier.hpp).
+///
+/// The paper's Theorem 2.1 tree is optimal when every link costs the same
+/// (L, o, g).  On a two-class machine it can be arbitrarily bad: the flat
+/// optimal tree assigns ranks to tree slots by index, so almost every edge
+/// may cross clusters and pay the expensive class.  The fix (in the spirit
+/// of Barchet-Estefanel & Mounié, arXiv:cs/0408032) is a two-level
+/// schedule built by a cheapest-arrival greedy:
+///
+///  * each unreached cluster is entered exactly once, through a
+///    cross-class send to its leader (HierParams::leader), so the
+///    expensive links carry exactly C - 1 messages;
+///  * every other rank is an intra-class target inside its own cluster;
+///  * the greedy repeatedly commits whichever transmission — the next
+///    cross send from *any* informed rank, or the next intra send within
+///    any reached cluster — informs a new rank earliest under the
+///    per-link-class LogP clock (ties prefer the cross send, which
+///    unlocks a whole cluster's parallelism).
+///
+/// On a uniform machine this greedy reproduces the Theorem 2.1 optimal
+/// broadcast exactly, so the degenerate shapes (one cluster, or
+/// all-singleton clusters) come out as the pure optimal tree of the one
+/// class they use, stated on that class.  With two distinct classes the
+/// greedy interleaves the levels by itself: when the cross gap dominates
+/// it first recruits cheap intra helpers and then spreads the cross sends
+/// over distinct ports instead of serializing one leader's, and when the
+/// cross latency dominates it relays through already-informed clusters.
+///
+/// For 1 < C < P the emitted Schedule is stated on HierParams::flat()
+/// (the conservative single-class projection) but its send times follow
+/// the *class-accurate* clock: each SendOp carries an explicit
+/// recv_start = start + o_c + L_c of its link's class.  One deliberate
+/// concession keeps the schedule self-consistent for every topology-blind
+/// consumer (the exec compiler derives item availability as
+/// recv_start + params.o): the receive overhead is charged at the flat
+/// rate flat().o = max(intra.o, cross.o).  Intra hops are therefore
+/// overcharged by (flat.o - intra.o) each — the exact class-model
+/// makespan is predict_makespan(schedule, h), which is never larger.
+/// Such schedules are NOT valid flat-LogP schedules (intra sends are
+/// spaced by the intra gap, below flat().g) and must not be fed to
+/// validate::check; they obey the per-link-class rules by construction.
+
+namespace logpc::bcast {
+
+/// A two-level broadcast schedule and its class-model timing.
+struct HierBroadcast {
+  Schedule schedule;  ///< on flat() (or the one class used); class clock
+  Time completion = 0;  ///< max availability (== schedule.makespan())
+  /// Cycle each rank holds the item, index = rank (root at its initial
+  /// time, 0).  Consistent with Schedule::available_at on `schedule`.
+  std::vector<Time> informed;
+};
+
+/// Builds the two-level single-item broadcast of `h` from `root`.
+/// Degenerates gracefully: one cluster yields the pure intra optimal tree,
+/// all-singleton clusters the pure cross optimal tree.
+[[nodiscard]] HierBroadcast hierarchical_broadcast(const HierParams& h,
+                                                   ProcId root = 0);
+
+/// Re-times a single-item broadcast schedule under the two-class model:
+/// keeps each processor's send order and the tree structure, but replays
+/// the clock as-soon-as-possible charging every transmission with its own
+/// link class (o_c + L_c + o_c, gap g_c on the sender's port).  This is
+/// the evaluator the property tests and the tuner use to compare a
+/// topology-blind plan against a hierarchical one on the same machine.
+/// Requires s.num_items() == 1 and at least one initial placement; throws
+/// std::invalid_argument otherwise, or when a send's source can never hold
+/// the item.  Returns the cycle the last processor is informed.
+[[nodiscard]] Time predict_makespan(const Schedule& s, const HierParams& h);
+
+}  // namespace logpc::bcast

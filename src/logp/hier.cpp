@@ -1,0 +1,100 @@
+#include "logp/hier.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace logpc {
+
+HierParams HierParams::uniform(int P, int clusters, const Params& intra_class,
+                               const Params& cross_class) {
+  if (P < 1) throw std::invalid_argument("HierParams: P must be >= 1");
+  if (clusters < 1 || clusters > P) {
+    throw std::invalid_argument("HierParams: clusters must be in [1, P]");
+  }
+  HierParams h;
+  h.intra = intra_class;
+  h.intra.P = P;
+  h.cross = cross_class;
+  h.cross.P = clusters;
+  h.intra.require_valid();
+  h.cross.require_valid();
+  h.cluster_of.resize(static_cast<std::size_t>(P));
+  const int base = P / clusters;
+  const int extra = P % clusters;  // first `extra` clusters get base + 1
+  int rank = 0;
+  for (int c = 0; c < clusters; ++c) {
+    const int n = base + (c < extra ? 1 : 0);
+    for (int i = 0; i < n; ++i) {
+      h.cluster_of[static_cast<std::size_t>(rank++)] = c;
+    }
+  }
+  return h;
+}
+
+bool HierParams::is_uniform_blocks() const {
+  if (!valid()) return false;
+  const HierParams u = uniform(P(), num_clusters(), intra, cross);
+  return cluster_of == u.cluster_of;
+}
+
+bool HierParams::valid() const {
+  if (!intra.valid() || !cross.valid()) return false;
+  const int total = intra.P;
+  const int clusters = cross.P;
+  if (clusters < 1 || clusters > total) return false;
+  if (cluster_of.size() != static_cast<std::size_t>(total)) return false;
+  std::vector<int> count(static_cast<std::size_t>(clusters), 0);
+  for (const int c : cluster_of) {
+    if (c < 0 || c >= clusters) return false;
+    ++count[static_cast<std::size_t>(c)];
+  }
+  return std::all_of(count.begin(), count.end(),
+                     [](int n) { return n > 0; });
+}
+
+void HierParams::require_valid() const {
+  if (!valid()) {
+    throw std::invalid_argument("invalid HierParams: " + to_string());
+  }
+}
+
+std::vector<ProcId> HierParams::members(int c) const {
+  std::vector<ProcId> out;
+  for (ProcId r = 0; r < P(); ++r) {
+    if (cluster_of[static_cast<std::size_t>(r)] == c) out.push_back(r);
+  }
+  return out;
+}
+
+ProcId HierParams::leader(int c) const {
+  for (ProcId r = 0; r < P(); ++r) {
+    if (cluster_of[static_cast<std::size_t>(r)] == c) return r;
+  }
+  throw std::invalid_argument("HierParams::leader: empty cluster");
+}
+
+Params HierParams::flat() const {
+  Params f;
+  f.P = P();
+  f.L = std::max(intra.L, cross.L);
+  f.o = std::max(intra.o, cross.o);
+  f.g = std::max(intra.g, cross.g);
+  return f;
+}
+
+std::string HierParams::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const HierParams& h) {
+  os << "P=" << h.P() << " clusters=" << h.num_clusters() << " intra(L="
+     << h.intra.L << " o=" << h.intra.o << " g=" << h.intra.g << ") cross(L="
+     << h.cross.L << " o=" << h.cross.o << " g=" << h.cross.g << ")";
+  return os;
+}
+
+}  // namespace logpc

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "logp/params.hpp"
+
+/// \file hier.hpp
+/// The hierarchical two-level LogP machine: two link classes over one rank
+/// space.  Real multi-socket hosts are not the paper's uniform (L, o, g)
+/// network — a pair of ranks on the same socket exchanges messages across a
+/// link that is both lower-latency and higher-rate than a pair on different
+/// sockets, and Barchet-Estefanel & Mounié (arXiv:cs/0408032) measured
+/// collective performance splitting sharply along exactly that line.
+///
+/// HierParams keeps the flat model's vocabulary and adds the minimum
+/// structure that matters: a partition of the P ranks into clusters, an
+/// *intra*-cluster parameter class for links inside a cluster, and a
+/// *cross*-cluster class for links between clusters.  Every rule of the
+/// flat model (send overhead, wire latency, gap, capacity) applies per
+/// link, using the class of that link.
+///
+/// Conventions:
+///  * `intra.P` is the total rank count P (the machine size);
+///  * `cross.P` is the cluster count C (the size of the leader-level
+///    machine a hierarchical planner schedules across);
+///  * `cluster_of[r]` is rank r's cluster id in [0, C).
+///
+/// The canonical cache spelling (runtime::PlanKey) supports the *uniform*
+/// machine only — C balanced contiguous blocks, as built by uniform() —
+/// because a general rank->cluster map cannot live in a fixed-size key.
+/// Everything else in this header works for arbitrary partitions.
+
+namespace logpc {
+
+struct HierParams {
+  Params intra;  ///< intra-cluster link class; intra.P = total ranks
+  Params cross;  ///< cross-cluster link class; cross.P = cluster count
+  std::vector<int> cluster_of;  ///< rank -> cluster id, size intra.P
+
+  /// Total rank count.
+  [[nodiscard]] int P() const { return intra.P; }
+  /// Cluster count.
+  [[nodiscard]] int num_clusters() const { return cross.P; }
+
+  /// The canonical uniform machine: `clusters` balanced contiguous blocks
+  /// of `P` ranks (the first P % clusters blocks hold one extra rank).
+  /// `intra_class` / `cross_class` carry (L, o, g); their P fields are
+  /// overwritten with P and `clusters` respectively.  Throws
+  /// std::invalid_argument for P < 1, clusters outside [1, P], or invalid
+  /// link classes.
+  [[nodiscard]] static HierParams uniform(int P, int clusters,
+                                          const Params& intra_class,
+                                          const Params& cross_class);
+
+  /// True iff this partition is exactly the uniform() spelling for its
+  /// (P, clusters) — the only form the plan-cache key can carry.
+  [[nodiscard]] bool is_uniform_blocks() const;
+
+  /// True iff both classes are legal machines, the cluster map covers all
+  /// P ranks with ids exactly 0..C-1, and every cluster is non-empty.
+  [[nodiscard]] bool valid() const;
+  /// Throws std::invalid_argument when !valid().
+  void require_valid() const;
+
+  [[nodiscard]] bool same_cluster(ProcId a, ProcId b) const {
+    return cluster_of[static_cast<std::size_t>(a)] ==
+           cluster_of[static_cast<std::size_t>(b)];
+  }
+
+  /// The link class governing a transmission from `from` to `to`.
+  [[nodiscard]] const Params& link(ProcId from, ProcId to) const {
+    return same_cluster(from, to) ? intra : cross;
+  }
+
+  /// Cycles from send start to availability at the receiver over the
+  /// (from, to) link: o + L + o of that link's class.
+  [[nodiscard]] Time transfer_time(ProcId from, ProcId to) const {
+    return link(from, to).transfer_time();
+  }
+
+  /// Ranks of cluster `c`, increasing.
+  [[nodiscard]] std::vector<ProcId> members(int c) const;
+
+  /// The lowest rank of cluster `c` — the rank hierarchical schedules use
+  /// as the cluster's representative on the leader-level machine.
+  [[nodiscard]] ProcId leader(int c) const;
+
+  /// The conservative single-class projection: the flat machine a
+  /// topology-blind consumer can assume without ever under-charging a
+  /// link (element-wise max of the two classes).  Hierarchical schedules
+  /// are stated on this machine, with per-send explicit receive times
+  /// carrying the class-accurate timing.
+  [[nodiscard]] Params flat() const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const HierParams&, const HierParams&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const HierParams& h);
+
+}  // namespace logpc

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "logp/hier.hpp"
 #include "logp/params.hpp"
 
 /// \file plan_key.hpp
@@ -54,11 +55,17 @@ enum class Problem : std::uint8_t {
   kSerializedKItem,         ///< k * B(P) strawman (postal)
   kPipelinedBinaryKItem,    ///< pipelined fixed binary tree (postal)
   kPipelinedChainKItem,     ///< pipelined chain (postal)
+  // --- topology-aware (src/bcast/hierarchical) --------------------------
+  /// Two-level broadcast on the uniform hierarchical machine: `params`
+  /// carries the intra-cluster class (P = total ranks), the key's topology
+  /// fields the cluster count and cross-cluster class.  Appended last so
+  /// older snapshots' numeric problem ids stay stable.
+  kHierarchicalBroadcast,
 };
 
 /// Number of Problem enumerators (snapshot loading validates against it).
 inline constexpr int kNumProblems =
-    static_cast<int>(Problem::kPipelinedChainKItem) + 1;
+    static_cast<int>(Problem::kHierarchicalBroadcast) + 1;
 
 /// Stable short name ("kitem", "allreduce", ...) for logs and key strings.
 [[nodiscard]] std::string_view problem_name(Problem p);
@@ -90,15 +97,46 @@ struct PlanKey {
   /// replan is ever needed past 64 ranks.
   std::uint64_t mask = 0;
 
+  /// Topology extension, meaningful only for kHierarchicalBroadcast (zero
+  /// for every other problem, so flat keys hash and compare exactly as
+  /// before): the cluster count of the *uniform* hierarchical machine
+  /// (HierParams::uniform — C balanced contiguous blocks; a general
+  /// rank->cluster map cannot live in a fixed-size key) and the
+  /// cross-cluster link class.  `params` carries the intra class with
+  /// params.P = total ranks.  Normalizations in make(): clusters <= 1
+  /// degenerates to kBroadcast on the intra machine, clusters == P (all
+  /// singletons, intra links never used) to kBroadcast on the cross
+  /// machine.  Membership masks are rejected for hierarchical keys — the
+  /// recovery layer is topology-blind.
+  std::int32_t clusters = 0;
+  Time cross_L = 0;
+  Time cross_o = 0;
+  Time cross_g = 0;
+
   /// Builds the canonical key for a request stated on the *physical*
   /// machine `params` (normalization applied here).  Throws
   /// std::invalid_argument for an invalid machine, a root out of range,
-  /// k < 1, or an ill-formed membership mask.  Idempotent:
-  /// make(key.problem, key.params, key.k, key.root, key.mask) returns the
-  /// key unchanged.
+  /// k < 1, an ill-formed membership mask, or an ill-formed topology.
+  /// Idempotent: make(key.problem, key.params, key.k, key.root, key.mask,
+  /// key.clusters, key.cross_L, key.cross_o, key.cross_g) returns the key
+  /// unchanged.
   [[nodiscard]] static PlanKey make(Problem problem, const Params& params,
                                     std::int64_t k = 1, ProcId root = 0,
-                                    std::uint64_t mask = 0);
+                                    std::uint64_t mask = 0,
+                                    std::int32_t clusters = 0,
+                                    Time cross_L = 0, Time cross_o = 0,
+                                    Time cross_g = 0);
+
+  /// The canonical key for a two-level broadcast on the uniform
+  /// hierarchical machine `h`.  Throws std::invalid_argument when `h` is
+  /// invalid or not the uniform() spelling (is_uniform_blocks()).
+  [[nodiscard]] static PlanKey hierarchical(const HierParams& h,
+                                            ProcId root = 0);
+
+  /// Reconstructs the uniform hierarchical machine of a
+  /// kHierarchicalBroadcast key; throws std::logic_error for other
+  /// problems.
+  [[nodiscard]] HierParams hier_params() const;
 
   /// Participating ranks: popcount of the mask, or P when the mask is 0.
   /// Throws std::logic_error for a hand-assembled key whose mask cannot

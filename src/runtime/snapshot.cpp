@@ -11,13 +11,18 @@ namespace logpc::runtime {
 
 namespace {
 
-// v3 adds a flags word (bit 0: the schedule was materialized) after
-// total_operands, and writes the schedule only when it was — implicit-only
-// plans serialize as a few hundred bytes whatever P is, and the generator
-// is rebuilt from the key on load.  v2 appended the membership mask to each
-// key (after root); v1 snapshots still load, with mask = 0 (a v1 file can
-// only hold full-membership keys).
-constexpr char kHeader[] = "logpc-plansnap v3\n";
+// v4 appends the key's topology words (clusters + cross-class L, o, g —
+// zero for every flat problem) after the mask, so hierarchical plans
+// round-trip; older versions load with a zero topology, which is exactly
+// what every problem they could contain requires.  v3 added a flags word
+// (bit 0: the schedule was materialized) after total_operands, and writes
+// the schedule only when it was — implicit-only plans serialize as a few
+// hundred bytes whatever P is, and the generator is rebuilt from the key
+// on load.  v2 appended the membership mask to each key (after root); v1
+// snapshots still load, with mask = 0 (a v1 file can only hold
+// full-membership keys).
+constexpr char kHeader[] = "logpc-plansnap v4\n";
+constexpr char kHeaderV3[] = "logpc-plansnap v3\n";
 constexpr char kHeaderV2[] = "logpc-plansnap v2\n";
 constexpr char kHeaderV1[] = "logpc-plansnap v1\n";
 constexpr std::size_t kHeaderLen = 18;
@@ -70,6 +75,10 @@ void write_plan(std::ostream& os, const Plan& plan) {
   put_i64(os, plan.key.k);
   put_i64(os, plan.key.root);
   put_i64(os, static_cast<std::int64_t>(plan.key.mask));
+  put_i64(os, plan.key.clusters);
+  put_i64(os, plan.key.cross_L);
+  put_i64(os, plan.key.cross_o);
+  put_i64(os, plan.key.cross_g);
   put_i64(os, plan.completion);
   put_i64(os, plan.slack);
   put_i64(os, plan.max_buffer_depth);
@@ -91,16 +100,25 @@ Plan read_plan(std::istream& is, int version) {
   const auto root = static_cast<ProcId>(get_i64(is));
   const std::uint64_t mask =
       version >= 2 ? static_cast<std::uint64_t>(get_i64(is)) : 0;
+  std::int32_t clusters = 0;
+  Time cross_L = 0, cross_o = 0, cross_g = 0;
+  if (version >= 4) {
+    clusters = static_cast<std::int32_t>(get_i64(is));
+    cross_L = get_i64(is);
+    cross_o = get_i64(is);
+    cross_g = get_i64(is);
+  }
   Plan plan;
   try {
     // Re-canonicalize: a key that round-trips differently (or is garbage)
     // must not enter the cache under a mismatched slot.
-    plan.key =
-        PlanKey::make(static_cast<Problem>(problem), params, k, root, mask);
+    plan.key = PlanKey::make(static_cast<Problem>(problem), params, k, root,
+                             mask, clusters, cross_L, cross_o, cross_g);
   } catch (const std::invalid_argument& e) {
     fail(std::string("bad key: ") + e.what());
   }
-  if (plan.key.params != params || plan.key.mask != mask) {
+  if (plan.key.params != params || plan.key.mask != mask ||
+      plan.key.clusters != clusters) {
     fail("key not canonical");
   }
   plan.completion = get_i64(is);
@@ -152,6 +170,8 @@ std::size_t load_snapshot(PlanCache& cache, std::istream& is) {
   const std::string got(header, kHeaderLen);
   int version = 0;
   if (got == std::string(kHeader, kHeaderLen)) {
+    version = 4;
+  } else if (got == std::string(kHeaderV3, kHeaderLen)) {
     version = 3;
   } else if (got == std::string(kHeaderV2, kHeaderLen)) {
     version = 2;

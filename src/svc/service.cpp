@@ -40,17 +40,55 @@ const char* status_name(Status s) noexcept {
   return "?";
 }
 
+namespace {
+
+/// Rejects ill-formed Options at construction with std::invalid_argument
+/// (the service used to clamp silently, which hid real misconfiguration);
+/// returns the options unchanged so the member initializer can validate
+/// before any pool or recorder is built.
+CollectiveService::Options validated(const CollectiveService::Options& o) {
+  if (o.pools < 1 || o.pools > 64) {
+    throw std::invalid_argument(
+        "CollectiveService: pools must be in [1, 64]");
+  }
+  if (o.fusion_window_us > 0 && o.max_fusion_batch < 2) {
+    throw std::invalid_argument(
+        "CollectiveService: max_fusion_batch must be >= 2 while fusion is "
+        "on (a 1-request batch is no fusion; use fusion_window_us = 0 to "
+        "disable fusion instead)");
+  }
+  if (o.segment_threshold > 0 &&
+      (o.segment_bytes == 0 || o.max_segments < 2)) {
+    throw std::invalid_argument(
+        "CollectiveService: segmentation needs segment_bytes >= 1 and "
+        "max_segments >= 2 (use segment_threshold = 0 to disable it)");
+  }
+  if (o.flight_recorder_capacity == 0) {
+    throw std::invalid_argument(
+        "CollectiveService: flight_recorder_capacity must be >= 1");
+  }
+  if (!(o.residual_threshold >= 0)) {  // also rejects NaN
+    throw std::invalid_argument(
+        "CollectiveService: residual_threshold must be >= 0");
+  }
+  if (o.introspect_port > 65535) {
+    throw std::invalid_argument(
+        "CollectiveService: introspect_port must be <= 65535");
+  }
+  return o;
+}
+
+}  // namespace
+
 CollectiveService::CollectiveService(Params params, Options options,
                                      std::shared_ptr<runtime::Planner> planner)
     : params_(params),
-      opts_(options),
+      opts_(validated(options)),
       comm_(params, std::move(planner)),
       recorder_(obs::FlightRecorder::Options{
           options.flight_recorder_capacity, options.residual_threshold,
           nullptr}) {
   params_.require_valid();
-  opts_.pools = std::clamp(opts_.pools, 1, 64);
-  opts_.max_fusion_batch = std::max<std::size_t>(opts_.max_fusion_batch, 1);
   paused_ = opts_.start_paused;
   {
     auto& reg = obs::MetricsRegistry::global();

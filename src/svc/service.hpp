@@ -93,6 +93,13 @@ class IntrospectServer;
 
 class CollectiveService {
  public:
+  /// Service configuration, validated at construction: the constructor
+  /// throws std::invalid_argument for pools outside [1, 64], a fusion
+  /// batch limit below 2 while fusion is on, a segmentation policy that
+  /// can never split (segment_bytes == 0 or max_segments < 2 with a
+  /// non-zero threshold), a zero flight-recorder capacity, a negative or
+  /// NaN residual threshold, or a port above 65535 — never clamps
+  /// silently.
   struct Options {
     /// Persistent engine pools.  Each pool is one exec::Engine (P worker
     /// threads + warm run context) plus one dispatcher thread; requests

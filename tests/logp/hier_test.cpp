@@ -1,0 +1,115 @@
+#include "logp/hier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace logpc {
+namespace {
+
+const Params kIntra{0, 2, 1, 2};    // P overwritten by uniform()
+const Params kCross{0, 16, 3, 10};
+
+TEST(HierParams, UniformBuildsBalancedContiguousBlocks) {
+  const HierParams h = HierParams::uniform(10, 3, kIntra, kCross);
+  EXPECT_EQ(h.P(), 10);
+  EXPECT_EQ(h.num_clusters(), 3);
+  EXPECT_EQ(h.intra.P, 10);
+  EXPECT_EQ(h.cross.P, 3);
+  // 10 ranks over 3 clusters: the first 10 % 3 = 1 block holds the extra.
+  EXPECT_EQ(h.members(0), (std::vector<ProcId>{0, 1, 2, 3}));
+  EXPECT_EQ(h.members(1), (std::vector<ProcId>{4, 5, 6}));
+  EXPECT_EQ(h.members(2), (std::vector<ProcId>{7, 8, 9}));
+  EXPECT_EQ(h.leader(0), 0);
+  EXPECT_EQ(h.leader(1), 4);
+  EXPECT_EQ(h.leader(2), 7);
+  EXPECT_TRUE(h.valid());
+  EXPECT_TRUE(h.is_uniform_blocks());
+}
+
+TEST(HierParams, UniformRejectsIllFormedShapes) {
+  EXPECT_THROW(HierParams::uniform(0, 1, kIntra, kCross),
+               std::invalid_argument);
+  EXPECT_THROW(HierParams::uniform(8, 0, kIntra, kCross),
+               std::invalid_argument);
+  EXPECT_THROW(HierParams::uniform(8, 9, kIntra, kCross),
+               std::invalid_argument);
+  Params bad = kIntra;
+  bad.L = 0;  // the model requires L >= 1
+  EXPECT_THROW(HierParams::uniform(8, 2, bad, kCross),
+               std::invalid_argument);
+}
+
+TEST(HierParams, LinkSelectsClassByClusterMembership) {
+  const HierParams h = HierParams::uniform(8, 2, kIntra, kCross);
+  EXPECT_TRUE(h.same_cluster(0, 3));
+  EXPECT_FALSE(h.same_cluster(3, 4));
+  EXPECT_EQ(&h.link(1, 2), &h.intra);
+  EXPECT_EQ(&h.link(1, 6), &h.cross);
+  EXPECT_EQ(h.transfer_time(1, 2), h.intra.transfer_time());
+  EXPECT_EQ(h.transfer_time(1, 6), h.cross.transfer_time());
+}
+
+TEST(HierParams, FlatIsElementWiseMaxOfBothClasses) {
+  const HierParams h = HierParams::uniform(8, 2, kIntra, kCross);
+  const Params flat = h.flat();
+  EXPECT_EQ(flat.P, 8);
+  EXPECT_EQ(flat.L, 16);
+  EXPECT_EQ(flat.o, 3);
+  EXPECT_EQ(flat.g, 10);
+}
+
+TEST(HierParams, ValidRejectsBrokenClusterMaps) {
+  HierParams h = HierParams::uniform(6, 2, kIntra, kCross);
+  ASSERT_TRUE(h.valid());
+
+  HierParams gap = h;
+  gap.cluster_of = {0, 0, 0, 0, 0, 0};  // cluster 1 empty
+  EXPECT_FALSE(gap.valid());
+  EXPECT_THROW(gap.require_valid(), std::invalid_argument);
+
+  HierParams out_of_range = h;
+  out_of_range.cluster_of[5] = 7;
+  EXPECT_FALSE(out_of_range.valid());
+
+  HierParams short_map = h;
+  short_map.cluster_of.pop_back();
+  EXPECT_FALSE(short_map.valid());
+}
+
+TEST(HierParams, IsUniformBlocksRejectsOtherSpellings) {
+  HierParams h = HierParams::uniform(8, 2, kIntra, kCross);
+  ASSERT_TRUE(h.is_uniform_blocks());
+  // Same sizes, but interleaved rather than contiguous.
+  h.cluster_of = {0, 1, 0, 1, 0, 1, 0, 1};
+  EXPECT_TRUE(h.valid());
+  EXPECT_FALSE(h.is_uniform_blocks());
+  // Contiguous but unbalanced the wrong way (extra rank in a late block).
+  HierParams skew = HierParams::uniform(9, 2, kIntra, kCross);
+  skew.cluster_of = {0, 0, 0, 0, 1, 1, 1, 1, 1};
+  EXPECT_TRUE(skew.valid());
+  EXPECT_FALSE(skew.is_uniform_blocks());
+}
+
+TEST(HierParams, DegenerateShapesAreStillValidMachines) {
+  const HierParams one = HierParams::uniform(5, 1, kIntra, kCross);
+  EXPECT_EQ(one.num_clusters(), 1);
+  EXPECT_TRUE(one.same_cluster(0, 4));
+
+  const HierParams singletons = HierParams::uniform(5, 5, kIntra, kCross);
+  EXPECT_EQ(singletons.num_clusters(), 5);
+  EXPECT_FALSE(singletons.same_cluster(0, 1));
+  EXPECT_EQ(singletons.leader(3), 3);
+}
+
+TEST(HierParams, StreamsReadably) {
+  const HierParams h = HierParams::uniform(8, 2, kIntra, kCross);
+  std::ostringstream os;
+  os << h;
+  EXPECT_EQ(os.str(), h.to_string());
+  EXPECT_NE(h.to_string().find("clusters=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace logpc

@@ -77,6 +77,48 @@ int env_int(const char* name, int fallback) {
   return v != nullptr && *v != '\0' ? std::atoi(v) : fallback;
 }
 
+TEST(SvcService, RejectsDegenerateOptionsAtConstruction) {
+  const auto expect_rejected = [](CollectiveService::Options opts) {
+    EXPECT_THROW(CollectiveService(machine(), opts), std::invalid_argument);
+  };
+  CollectiveService::Options opts;
+  opts.pools = 0;
+  expect_rejected(opts);
+  opts.pools = 65;
+  expect_rejected(opts);
+
+  opts = {};
+  opts.max_fusion_batch = 1;  // fusion on by default: a 1-batch is no fusion
+  expect_rejected(opts);
+  // ...but with fusion disabled the field is irrelevant and accepted.
+  opts.fusion_window_us = 0;
+  opts.pools = 1;
+  EXPECT_NO_THROW(CollectiveService(machine(), opts));
+
+  opts = {};
+  opts.segment_bytes = 0;  // segmentation enabled but can never split
+  expect_rejected(opts);
+  opts = {};
+  opts.max_segments = 1;
+  expect_rejected(opts);
+  // Disabling segmentation makes the same fields irrelevant.
+  opts.segment_threshold = 0;
+  opts.pools = 1;
+  EXPECT_NO_THROW(CollectiveService(machine(), opts));
+
+  opts = {};
+  opts.flight_recorder_capacity = 0;
+  expect_rejected(opts);
+
+  opts = {};
+  opts.residual_threshold = -0.25;
+  expect_rejected(opts);
+
+  opts = {};
+  opts.introspect_port = 70000;
+  expect_rejected(opts);
+}
+
 TEST(SvcService, BroadcastRoundTripOnWarmPool) {
   CollectiveService::Options opts;
   opts.pools = 1;
